@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation — lane-synchronization cost and the Bit-Flip balancing claim:
+ * decoupled vs lockstep cycle counts from the cycle-level simulator,
+ * before and after Bit-Flip, on representative layers.
+ */
+#include "bench_util.hpp"
+#include "sim/npu.hpp"
+
+using namespace bitwave;
+
+int
+main()
+{
+    bench::banner("Ablation: synchronization",
+                  "decoupled vs lockstep BCE scheduling, +/- Bit-Flip");
+    BitWaveNpu npu;
+    Table t({"layer", "decoupled", "lockstep", "sync penalty",
+             "lockstep +BF", "penalty +BF"});
+    struct Probe { WorkloadId id; const char *layer; };
+    const Probe probes[] = {
+        {WorkloadId::kCnnLstm, "LSTM.0"},
+        {WorkloadId::kCnnLstm, "fc_out"},
+        {WorkloadId::kResNet18, "l4.0.down"},
+        {WorkloadId::kBertBase, "layer.0.q"},
+    };
+    for (const auto &probe : probes) {
+        const auto &w = get_workload(probe.id);
+        const auto &layer = w.layers[w.layer_index(probe.layer)];
+        const auto base =
+            npu.run_layer(layer, nullptr, nullptr, false);
+        const auto flipped = bitflip_tensor(layer.weights, 16, 4);
+        const auto bf = npu.run_layer(layer, nullptr, &flipped, false);
+        t.add_row({strprintf("%s/%s", w.name.c_str(), probe.layer),
+                   fmt_double(base.cycles_decoupled, 0),
+                   fmt_double(base.cycles_lockstep, 0),
+                   fmt_ratio(base.cycles_lockstep /
+                             base.cycles_decoupled),
+                   fmt_double(bf.cycles_lockstep, 0),
+                   fmt_ratio(bf.cycles_lockstep / bf.cycles_decoupled)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nexpected shape: Bit-Flip equalizes per-group occupancy, "
+                "driving the lockstep/decoupled penalty toward 1.0 "
+                "(Section III-D's balanced-workload claim).\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: every bench binary prints the
+ * rows/series of one paper table or figure, prefixed with a banner naming
+ * the artifact it regenerates.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bitflip/bitflip.hpp"
+#include "common/table.hpp"
+#include "nn/workloads.hpp"
+
+namespace bitwave::bench {
+
+/// Print the artifact banner ("=== Fig. 5: ... ===").
+inline void
+banner(const std::string &artifact, const std::string &caption)
+{
+    std::printf("\n=== %s: %s ===\n\n", artifact.c_str(), caption.c_str());
+}
+
+/// Bit-Flip every layer of @p w to a uniform (group, zero-column) target.
+inline std::vector<Int8Tensor>
+flip_workload(const Workload &w, int group, int zero_cols)
+{
+    std::vector<Int8Tensor> out;
+    out.reserve(w.layers.size());
+    for (const auto &l : w.layers) {
+        out.push_back(zero_cols == 0
+                          ? l.weights
+                          : bitflip_tensor(l.weights, group, zero_cols));
+    }
+    return out;
+}
+
+/// Bit-Flip only the weight-heaviest layers covering @p weight_share of
+/// the parameters (the paper's Fig. 6(e)-(h) protocol).
+inline std::vector<Int8Tensor>
+flip_heavy_layers(const Workload &w, double weight_share, int group,
+                  int zero_cols)
+{
+    std::vector<std::pair<std::int64_t, std::size_t>> sizes;
+    for (std::size_t i = 0; i < w.layers.size(); ++i) {
+        sizes.emplace_back(w.layers[i].desc.weight_count(), i);
+    }
+    std::sort(sizes.rbegin(), sizes.rend());
+    std::vector<bool> heavy(w.layers.size(), false);
+    std::int64_t cum = 0;
+    const auto target = static_cast<std::int64_t>(
+        weight_share * static_cast<double>(w.total_weights()));
+    for (const auto &[size, idx] : sizes) {
+        if (cum >= target) {
+            break;
+        }
+        heavy[idx] = true;
+        cum += size;
+    }
+    std::vector<Int8Tensor> out;
+    out.reserve(w.layers.size());
+    for (std::size_t i = 0; i < w.layers.size(); ++i) {
+        out.push_back(heavy[i] ? bitflip_tensor(w.layers[i].weights, group,
+                                                zero_cols)
+                               : w.layers[i].weights);
+    }
+    return out;
+}
+
+}  // namespace bitwave::bench

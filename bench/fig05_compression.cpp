@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 5 — compression ratio of ZRE, CSR, and BCS for the last four conv
+ * layers of ResNet18, with BCS swept over group sizes 1..64; each codec
+ * reported with ("real") and without ("ideal") index overhead.
+ */
+#include "bench_util.hpp"
+#include "compress/bcs.hpp"
+#include "compress/csr.hpp"
+#include "compress/zre.hpp"
+
+using namespace bitwave;
+
+int
+main()
+{
+    bench::banner("Fig. 5",
+                  "CR of ZRE / CSR / BCS(G) on ResNet18's last 4 conv "
+                  "layers (>= 50% of weights)");
+    const auto &w = get_workload(WorkloadId::kResNet18);
+
+    // Concatenate the four layers' weights (the figure aggregates them).
+    std::vector<std::int8_t> data;
+    std::int64_t rows = 0;
+    for (const char *name :
+         {"l4.0.conv1", "l4.0.conv2", "l4.1.conv1", "l4.1.conv2"}) {
+        const auto &t = w.layers[w.layer_index(name)].weights;
+        data.insert(data.end(), t.data(), t.data() + t.numel());
+        rows += t.dim(0);
+    }
+    const auto element_count = static_cast<std::int64_t>(data.size());
+    const Int8Tensor weights({element_count}, std::move(data));
+
+    Table t({"codec", "real CR", "ideal CR"});
+    const auto zre = zre_compress(weights);
+    t.add_row({"ZRE", fmt_ratio(zre.compression_ratio()),
+               fmt_ratio(zre.ideal_compression_ratio())});
+    const auto csr = csr_compress(weights, rows);
+    t.add_row({"CSR", fmt_ratio(csr.compression_ratio()),
+               fmt_ratio(csr.ideal_compression_ratio())});
+    for (int g : {1, 2, 4, 8, 16, 32, 64}) {
+        const auto bcs =
+            bcs_compress(weights, g, Representation::kSignMagnitude);
+        t.add_row({strprintf("BCS G=%d", g),
+                   fmt_ratio(bcs.compression_ratio()),
+                   fmt_ratio(bcs.ideal_compression_ratio())});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nexpected shape: ideal CR falls as G grows; real CR "
+                "peaks at moderate G (index overhead dominates G = 1); "
+                "BCS beats ZRE/CSR at this low value sparsity.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fig. 6 — Bit-Flip sensitivity and the CR/accuracy trade-off:
+ *  (a-d) layer-wise flipping sensitivity: metric estimate when a single
+ *        layer is forced to z zero columns,
+ *  (e-h) CR vs metric for Int8+PTQ, Int8+SM (lossless), and
+ *        Int8+SM+Bit-Flip applied to the weight-heavy layers.
+ */
+#include "bench_util.hpp"
+#include "compress/bcs.hpp"
+#include "nn/accuracy.hpp"
+#include "tensor/quantize.hpp"
+
+using namespace bitwave;
+
+namespace {
+
+double
+workload_cr(const Workload &w, const std::vector<Int8Tensor> &weights)
+{
+    std::int64_t orig = 0;
+    double comp = 0.0;
+    for (const auto &t : weights) {
+        const auto c = bcs_compress(t, 16, Representation::kSignMagnitude);
+        orig += c.original_bits();
+        comp += static_cast<double>(c.compressed_bits());
+    }
+    return static_cast<double>(orig) / comp;
+}
+
+}  // namespace
+
+int
+main()
+{
+    // ---- (a-d): layer-wise flip sensitivity ------------------------------
+    bench::banner("Fig. 6(a-d)", "layer-wise weight-flip sensitivity");
+    struct Probe { WorkloadId id; std::vector<const char *> layers; };
+    const Probe probes[] = {
+        {WorkloadId::kResNet18, {"l1.0.conv1", "l2.1.conv2", "l4.1.conv2"}},
+        {WorkloadId::kMobileNetV2, {"L.2.pw_proj", "L.27.pw_exp", "fc"}},
+        {WorkloadId::kCnnLstm, {"conv2", "LSTM.0", "LSTM.1"}},
+        {WorkloadId::kBertBase,
+         {"layer.1.ffn_in", "layer.6.ffn_in", "layer.11.ffn_in"}},
+    };
+    for (const auto &probe : probes) {
+        const auto &w = get_workload(probe.id);
+        AccuracyProxy proxy(w);
+        std::printf("%s (%s, base %.2f):\n", w.name.c_str(),
+                    w.metric_name.c_str(), w.base_metric);
+        Table t({"layer \\ zero columns", "z=2", "z=4", "z=6", "z=7"});
+        for (const char *name : probe.layers) {
+            const std::size_t idx = w.layer_index(name);
+            std::vector<std::string> row{name};
+            for (int z : {2, 4, 6, 7}) {
+                const auto flipped =
+                    bitflip_tensor(w.layers[idx].weights, 16, z);
+                row.push_back(
+                    fmt_double(proxy.metric_with_layer(idx, flipped)));
+            }
+            t.add_row(std::move(row));
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    std::printf("expected shape: early / weight-light layers lose more "
+                "metric at the same z than late / heavy layers.\n");
+
+    // ---- (e-h): CR vs accuracy Pareto ------------------------------------
+    bench::banner("Fig. 6(e-h)",
+                  "CR vs metric: Int8+PTQ vs Int8+SM vs Int8+SM+Bit-Flip");
+    for (auto id : kAllWorkloads) {
+        const auto &w = get_workload(id);
+        AccuracyProxy proxy(w);
+        std::printf("%s (%s, base %.2f):\n", w.name.c_str(),
+                    w.metric_name.c_str(), w.base_metric);
+        Table t({"scheme", "CR", w.metric_name});
+
+        // Lossless SM baseline.
+        std::vector<Int8Tensor> base_weights;
+        for (const auto &l : w.layers) {
+            base_weights.push_back(l.weights);
+        }
+        t.add_row({"Int8+SM (lossless)",
+                   fmt_ratio(workload_cr(w, base_weights)),
+                   fmt_double(w.base_metric)});
+
+        // PTQ baseline: cut LSBs across every tensor.
+        for (int bits : {6, 5, 4}) {
+            std::vector<Int8Tensor> ptq;
+            double weighted = 0.0;
+            for (std::size_t l = 0; l < w.layers.size(); ++l) {
+                ptq.push_back(
+                    requantize_to_bits(w.layers[l].weights, bits));
+                weighted += proxy.depth_weight(l) *
+                    proxy.layer_rel_error(l, ptq.back());
+            }
+            const double metric =
+                w.base_metric - w.error_sensitivity * weighted;
+            t.add_row({strprintf("Int8+PTQ (%db)", bits),
+                       fmt_ratio(ptq_compression_ratio(bits)),
+                       fmt_double(metric)});
+        }
+
+        // Bit-Flip on the heavy layers (paper protocol: ~70-80 % of the
+        // weights flipped to 4..6 zero columns).
+        for (int z : {4, 5, 6}) {
+            const auto flipped = bench::flip_heavy_layers(w, 0.75, 16, z);
+            double weighted = 0.0;
+            for (std::size_t l = 0; l < w.layers.size(); ++l) {
+                if (!(flipped[l] == w.layers[l].weights)) {
+                    weighted += proxy.depth_weight(l) *
+                        proxy.layer_rel_error(l, flipped[l]);
+                }
+            }
+            const double metric =
+                w.base_metric - w.error_sensitivity * weighted;
+            t.add_row({strprintf("Int8+SM+BF (z=%d)", z),
+                       fmt_ratio(workload_cr(w, flipped)),
+                       fmt_double(metric)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    std::printf("paper anchors: ResNet18 2.04x CR @ <0.5%% drop; "
+                "CNN-LSTM 3.45x @ ~0.5 PESQ; MobileNetV2 1.81x @ 0.8%%; "
+                "Bert 1.46x lossless-accuracy / 2.47x @ <0.5 F1. "
+                "Bit-Flip should dominate PTQ at matched CR.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 9 — PE utilization of fixed SU mappings (XY / CK / XFx) on the
+ * 4096-lane 1bx8b array and the 512-lane 8bx8b array, across the four
+ * workload cases (early / late / depthwise / pointwise), compared with
+ * BitWave's dynamic selection.
+ */
+#include "bench_util.hpp"
+#include "dataflow/su.hpp"
+
+using namespace bitwave;
+
+int
+main()
+{
+    bench::banner("Fig. 9", "PE utilization of fixed SUs vs layer shapes");
+    const LayerDesc cases[] = {
+        make_conv("early (ResNet18 conv1)", 64, 3, 112, 112, 7, 7, 2),
+        make_conv("late (ResNet18 last)", 512, 512, 7, 7, 3, 3),
+        make_depthwise("Dwcv (MobileNetV2)", 96, 56, 56, 3),
+        make_pointwise("Pwcv (MobileNetV2)", 96, 16, 112, 112),
+    };
+
+    for (std::int64_t lanes : {4096LL, 512LL}) {
+        std::printf("%lld-lane array (%s):\n", static_cast<long long>(lanes),
+                    lanes == 4096 ? "1b x 8b bit-serial"
+                                  : "8b x 8b bit-parallel");
+        Table t({"layer case", "XY", "CK", "XFx", "BitWave dynamic"});
+        for (const auto &layer : cases) {
+            std::vector<std::string> row{layer.name};
+            for (const auto &su : fixed_su_baselines(lanes)) {
+                row.push_back(fmt_percent(spatial_utilization(layer, su)));
+            }
+            const auto &best = select_su(layer, bitwave_sus());
+            row.push_back(strprintf(
+                "%s (%s)",
+                fmt_percent(spatial_utilization(layer, best)).c_str(),
+                best.name.c_str()));
+            t.add_row(std::move(row));
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    std::printf("expected shape: no fixed SU exceeds ~80%% on all four "
+                "cases; the larger array suffers more; dynamic selection "
+                "recovers utilization everywhere.\n");
+    return 0;
+}

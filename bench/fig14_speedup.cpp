@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 14 — speedup of every modeled accelerator, normalized to SCNN,
+ * per benchmark network.
+ */
+#include "bench_util.hpp"
+#include "model/performance.hpp"
+
+using namespace bitwave;
+
+int
+main()
+{
+    bench::banner("Fig. 14", "speedup normalized to SCNN (higher=better)");
+    Table t({"network", "SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA",
+             "BitWave"});
+    for (auto id : kAllWorkloads) {
+        const auto &w = get_workload(id);
+        const auto scnn = AcceleratorModel(make_scnn()).model_workload(w);
+        const auto flipped = bench::flip_heavy_layers(w, 0.8, 16, 5);
+        const double cycles[] = {
+            scnn.total_cycles,
+            AcceleratorModel(make_stripes()).model_workload(w).total_cycles,
+            AcceleratorModel(make_pragmatic())
+                .model_workload(w).total_cycles,
+            AcceleratorModel(make_bitlet()).model_workload(w).total_cycles,
+            AcceleratorModel(make_huaa()).model_workload(w).total_cycles,
+            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
+                .model_workload(w, &flipped).total_cycles,
+        };
+        std::vector<std::string> row{w.name};
+        for (double c : cycles) {
+            row.push_back(fmt_ratio(scnn.total_cycles / c));
+        }
+        t.add_row(std::move(row));
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\npaper anchors: BitWave 10.1x (CNN-LSTM) and 13.25x "
+                "(Bert-Base) over SCNN; BitWave > 2x Bitlet; Pragmatic "
+                "~1.4x; BitWave fastest everywhere.\n");
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fig. 16 — BitWave energy breakdown including off-chip DRAM, per
+ * benchmark network.
+ */
+#include "bench_util.hpp"
+#include "model/performance.hpp"
+
+using namespace bitwave;
+
+int
+main()
+{
+    bench::banner("Fig. 16",
+                  "BitWave energy breakdown incl. off-chip DRAM");
+    Table t({"network", "MAC", "SRAM", "register", "static/clock", "DRAM",
+             "total (mJ)"});
+    for (auto id : kAllWorkloads) {
+        const auto &w = get_workload(id);
+        const auto r =
+            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSm))
+                .model_workload(w);
+        const double total = r.total_energy_pj;
+        t.add_row({w.name, fmt_percent(r.energy_mac_pj / total),
+                   fmt_percent(r.energy_sram_pj / total),
+                   fmt_percent(r.energy_reg_pj / total),
+                   fmt_percent(r.energy_static_pj / total),
+                   fmt_percent(r.energy_dram_pj / total),
+                   fmt_double(total * 1e-9, 3)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\npaper: DRAM is the dominant factor, especially for "
+                "weight-intensive networks (all weights cross DRAM at "
+                "least once).\n");
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fig. 18 + Section V-D — BitWave area and power breakdown at the
+ * ResNet18 / 250 MHz / 0.8 V operating point.
+ */
+#include "bench_util.hpp"
+#include "energy/breakdown.hpp"
+
+using namespace bitwave;
+
+int
+main()
+{
+    bench::banner("Fig. 18", "BitWave area and power breakdown (16 nm)");
+    const auto budget = bitwave_chip_budget(default_tech());
+    Table t({"component", "area (mm^2)", "area %", "power (mW)",
+             "power %"});
+    for (const auto &c : budget.components) {
+        t.add_row({c.name, fmt_double(c.area_mm2(), 4),
+                   fmt_percent(c.area_mm2() / budget.total_area_mm2()),
+                   fmt_double(c.power_mw, 3),
+                   fmt_percent(c.power_mw / budget.total_power_mw())});
+    }
+    t.add_row({"TOTAL", fmt_double(budget.total_area_mm2(), 3), "100%",
+               fmt_double(budget.total_power_mw(), 2), "100%"});
+    std::printf("%s", t.render().c_str());
+    std::printf("\npaper: 1.138 mm^2 / 17.56 mW; SRAM 55.08%% of area, "
+                "PE array 57.6%% of power / 24.7%% of area, dispatcher "
+                "10.8%% area / 24.4%% power.\n");
+    return 0;
+}

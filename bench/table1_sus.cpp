@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table I — the seven BitWave spatial unrollings with their weight and
+ * activation bandwidth requirements.
+ */
+#include "bench_util.hpp"
+#include "dataflow/su.hpp"
+
+using namespace bitwave;
+
+int
+main()
+{
+    bench::banner("Table I", "BitWave SUs and per-cycle bandwidths");
+    Table t({"SU", "factors", "W BW (bit/cycle)", "Act BW (bit/cycle)",
+             "bit cols/cycle", "group size"});
+    for (const auto &su : bitwave_sus()) {
+        std::string factors;
+        for (const auto &[dim, f] : su.factors) {
+            factors += strprintf("%s%su=%lld", factors.empty() ? "" : ", ",
+                                 dim_name(dim),
+                                 static_cast<long long>(f));
+        }
+        if (su.depthwise_only) {
+            factors += " (depthwise)";
+        }
+        t.add_row({su.name, factors,
+                   std::to_string(su.weight_bandwidth_bits()),
+                   std::to_string(su.activation_bandwidth_bits()),
+                   std::to_string(su.bit_columns),
+                   std::to_string(su.group_size())});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\npaper Table I: W BW 256/512/1024/1024/1024/1024/64, "
+                "Act BW 1024/1024/1024/64/128/256/1024.\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Table IV — power/area of the three PE flavours (one 8x8 bit-parallel
+ * PE, eight 1x8 bit-serial PEs, eight 1x8 bit-column-serial PEs), plus a
+ * google-benchmark micro-benchmark of the corresponding functional
+ * models (throughput of the three multiply styles in this codebase).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "energy/tech.hpp"
+#include "nn/reference.hpp"
+#include "sim/bce.hpp"
+#include "sim/zcip.hpp"
+#include "sparsity/bitcolumn.hpp"
+
+using namespace bitwave;
+
+namespace {
+
+struct Operands
+{
+    std::vector<std::int8_t> weights;
+    std::vector<std::int8_t> acts;
+
+    Operands()
+    {
+        Rng rng(5);
+        weights.resize(8 * 1024);
+        acts.resize(8 * 1024);
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            weights[i] = static_cast<std::int8_t>(
+                std::clamp<int>(static_cast<int>(rng.laplacian(8.0)),
+                                -127, 127));
+            acts[i] = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+        }
+    }
+};
+
+const Operands &
+operands()
+{
+    static const Operands ops;
+    return ops;
+}
+
+/// 8x8 bit-parallel MAC reference.
+void
+BM_BitParallelPe(benchmark::State &state)
+{
+    const auto &ops = operands();
+    for (auto _ : state) {
+        std::int32_t acc = 0;
+        for (std::size_t i = 0; i + 8 <= ops.weights.size(); i += 8) {
+            acc += dot_int8(&ops.acts[i], &ops.weights[i], 8);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_BitParallelPe);
+
+/// Classic bit-serial: one bit of one weight per step, shift per bit.
+void
+BM_BitSerialPe(benchmark::State &state)
+{
+    const auto &ops = operands();
+    for (auto _ : state) {
+        std::int32_t acc = 0;
+        for (std::size_t i = 0; i + 8 <= ops.weights.size(); i += 8) {
+            for (int j = 0; j < 8; ++j) {
+                const auto sm = to_sign_magnitude(ops.weights[i +
+                    static_cast<std::size_t>(j)]);
+                const bool neg = (sm & 0x80) != 0;
+                for (int b = 0; b < 7; ++b) {
+                    if ((sm >> b) & 1) {
+                        const std::int32_t p =
+                            static_cast<std::int32_t>(
+                                ops.acts[i + static_cast<std::size_t>(j)])
+                            << b;
+                        acc += neg ? -p : p;
+                    }
+                }
+            }
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_BitSerialPe);
+
+/// Bit-column-serial: shared-significance add-then-shift through the BCE.
+void
+BM_BitColumnSerialPe(benchmark::State &state)
+{
+    const auto &ops = operands();
+    ZeroColumnIndexParser parser;
+    for (auto _ : state) {
+        std::int32_t acc = 0;
+        for (std::size_t i = 0; i + 8 <= ops.weights.size(); i += 8) {
+            const std::span<const std::int8_t> grp(&ops.weights[i], 8);
+            const auto decode = parser.parse(
+                column_index(grp, Representation::kSignMagnitude));
+            std::vector<std::uint64_t> cols;
+            for (int shift : decode.shifts) {
+                cols.push_back(column_bits(
+                    grp, shift, Representation::kSignMagnitude));
+            }
+            acc += bce_group_pass(
+                {&ops.acts[i], 8}, decode, {cols.data(), cols.size()},
+                column_bits(grp, 7, Representation::kSignMagnitude));
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_BitColumnSerialPe);
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Table IV", "area and power of the three PE types");
+    const auto &t = default_tech();
+    Table table({"PE type", "power (mW)", "area (um^2)",
+                 "vs bit-parallel"});
+    table.add_row({"one 8x8 bit-parallel PE",
+                   strprintf("%.3e", t.p_pe_bit_parallel_mw),
+                   fmt_double(t.a_pe_bit_parallel_um2, 3), "1.00x"});
+    table.add_row({"eight 1x8 bit-serial PE",
+                   strprintf("%.3e", t.p_pe_bit_serial_mw),
+                   fmt_double(t.a_pe_bit_serial_um2, 3),
+                   strprintf("%.2fx area, %.2fx power",
+                             t.a_pe_bit_serial_um2 /
+                                 t.a_pe_bit_parallel_um2,
+                             t.p_pe_bit_serial_mw /
+                                 t.p_pe_bit_parallel_mw)});
+    table.add_row({"eight 1x8 bit-column-serial PE",
+                   strprintf("%.3e", t.p_pe_bit_column_mw),
+                   fmt_double(t.a_pe_bit_column_um2, 3),
+                   strprintf("%.2fx area, %.2fx power",
+                             t.a_pe_bit_column_um2 /
+                                 t.a_pe_bit_parallel_um2,
+                             t.p_pe_bit_column_mw /
+                                 t.p_pe_bit_parallel_mw)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("functional-model throughput (google-benchmark):\n");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Section V-B validation — the paper cross-checks its analytical model
+ * against the BitWave RTL (< 6 % deviation). This bench reproduces that
+ * cross-check between our two independent implementations: the
+ * cycle-level simulator and the analytical model, per layer.
+ */
+#include "bench_util.hpp"
+#include "model/performance.hpp"
+#include "sim/npu.hpp"
+
+using namespace bitwave;
+
+int
+main()
+{
+    bench::banner("Validation",
+                  "cycle-level simulator vs analytical model "
+                  "(paper: < 6% RTL deviation)");
+    BitWaveNpu npu;
+    AcceleratorModel model(make_bitwave(BitWaveVariant::kDfSm));
+
+    Table t({"workload/layer", "SU", "sim cycles", "model cycles",
+             "deviation"});
+    double worst = 0.0;
+    struct Probe { WorkloadId id; const char *layer; };
+    const Probe probes[] = {
+        {WorkloadId::kCnnLstm, "fc_in"},
+        {WorkloadId::kCnnLstm, "LSTM.0"},
+        {WorkloadId::kCnnLstm, "LSTM.1"},
+        {WorkloadId::kCnnLstm, "fc_out"},
+        {WorkloadId::kResNet18, "l4.0.down"},
+        {WorkloadId::kResNet18, "fc"},
+        {WorkloadId::kBertBase, "layer.0.q"},
+        {WorkloadId::kMobileNetV2, "L.50.pw_proj"},
+    };
+    for (const auto &probe : probes) {
+        const auto &w = get_workload(probe.id);
+        const auto &layer = w.layers[w.layer_index(probe.layer)];
+        const auto sim =
+            npu.run_layer(layer, nullptr, nullptr, /*compute_output=*/false);
+        const auto mod = model.model_layer(layer);
+        const double dev =
+            sim.cycles_decoupled / mod.compute_cycles - 1.0;
+        worst = std::max(worst, std::abs(dev));
+        t.add_row({strprintf("%s/%s", w.name.c_str(), probe.layer),
+                   sim.su_name, fmt_double(sim.cycles_decoupled, 0),
+                   fmt_double(mod.compute_cycles, 0),
+                   fmt_percent(dev, 2)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nworst deviation: %.2f%% (target < ~10%% between "
+                "independent implementations)\n", worst * 100.0);
+    return worst < 0.15 ? 0 : 1;
+}

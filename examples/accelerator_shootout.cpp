@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Compare all six modeled accelerators on one benchmark network:
+ * cycles, runtime, energy and efficiency — a command-line view of the
+ * Figs. 14/15/17 data for a single workload.
+ *
+ * Run: ./accelerator_shootout [resnet18|mobilenetv2|cnnlstm|bert]
+ */
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bitflip/bitflip.hpp"
+#include "common/table.hpp"
+#include "model/performance.hpp"
+#include "nn/workloads.hpp"
+
+using namespace bitwave;
+
+int
+main(int argc, char **argv)
+{
+    WorkloadId id = WorkloadId::kCnnLstm;
+    if (argc > 1) {
+        if (std::strcmp(argv[1], "resnet18") == 0) {
+            id = WorkloadId::kResNet18;
+        } else if (std::strcmp(argv[1], "mobilenetv2") == 0) {
+            id = WorkloadId::kMobileNetV2;
+        } else if (std::strcmp(argv[1], "bert") == 0) {
+            id = WorkloadId::kBertBase;
+        } else if (std::strcmp(argv[1], "cnnlstm") == 0) {
+            id = WorkloadId::kCnnLstm;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [resnet18|mobilenetv2|cnnlstm|bert]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    const Workload &w = get_workload(id);
+    std::printf("workload: %s (%lld MACs, %lld weights)\n\n",
+                w.name.c_str(), static_cast<long long>(w.total_macs()),
+                static_cast<long long>(w.total_weights()));
+
+    // Bit-Flip the weights for the full BitWave configuration.
+    std::vector<Int8Tensor> flipped;
+    for (const auto &l : w.layers) {
+        flipped.push_back(bitflip_tensor(l.weights, 16, 4));
+    }
+
+    std::vector<WorkloadResult> results;
+    for (const auto &cfg : {make_scnn(), make_stripes(), make_pragmatic(),
+                            make_bitlet(), make_huaa()}) {
+        results.push_back(AcceleratorModel(cfg).model_workload(w));
+    }
+    results.push_back(
+        AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
+            .model_workload(w, &flipped));
+
+    const double scnn_cycles = results.front().total_cycles;
+    const double scnn_tops = results.front().tops_per_watt();
+    Table t({"accelerator", "cycles (M)", "runtime (ms)", "speedup",
+             "energy (mJ)", "TOPS/W", "eff. vs SCNN"});
+    for (const auto &r : results) {
+        t.add_row({r.accelerator, fmt_double(r.total_cycles / 1e6),
+                   fmt_double(r.runtime_ms()),
+                   fmt_ratio(scnn_cycles / r.total_cycles),
+                   fmt_double(r.total_energy_pj * 1e-9, 3),
+                   fmt_double(r.tops_per_watt(), 3),
+                   fmt_ratio(r.tops_per_watt() / scnn_tops)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,242 @@
+#include "bitflip/bitflip.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/logging.hpp"
+
+namespace bitwave {
+
+namespace {
+
+/**
+ * nearest_table[mask][m] = value closest to m using only bits of mask.
+ * Ties round up (away from zero), matching the paper's Fig. 4(c) example
+ * where -3 flips to -4 rather than -2.
+ */
+const std::array<std::array<std::uint8_t, 128>, 128> &
+nearest_table()
+{
+    static const auto table = [] {
+        std::array<std::array<std::uint8_t, 128>, 128> t{};
+        for (int mask = 0; mask < 128; ++mask) {
+            for (int m = 0; m < 128; ++m) {
+                int best = 0;
+                int best_dist = std::numeric_limits<int>::max();
+                for (int cand = 0; cand < 128; ++cand) {
+                    if ((cand & ~mask) != 0) {
+                        continue;
+                    }
+                    const int dist = std::abs(cand - m);
+                    if (dist < best_dist ||
+                        (dist == best_dist && cand > best)) {
+                        best_dist = dist;
+                        best = cand;
+                    }
+                }
+                t[static_cast<std::size_t>(mask)]
+                 [static_cast<std::size_t>(m)] =
+                    static_cast<std::uint8_t>(best);
+            }
+        }
+        return t;
+    }();
+    return table;
+}
+
+/// Re-round @p original under configuration (mask, sign_allowed).
+std::int8_t
+reround(std::int8_t original, int mask, bool sign_allowed)
+{
+    if (!sign_allowed && original < 0) {
+        // Nearest non-negative representable value to a negative weight is
+        // 0 (distance |v|; any positive candidate is at least |v| + 1).
+        return 0;
+    }
+    const int m = std::abs(static_cast<int>(original));
+    const int nm = nearest_table()[static_cast<std::size_t>(mask)]
+                                  [static_cast<std::size_t>(m)];
+    return static_cast<std::int8_t>(original < 0 ? -nm : nm);
+}
+
+/// Squared error of re-rounding @p originals under (mask, sign_allowed).
+double
+config_cost(std::span<const std::int8_t> originals, int mask,
+            bool sign_allowed)
+{
+    double cost = 0.0;
+    for (std::int8_t v : originals) {
+        const double d = static_cast<double>(v) -
+            static_cast<double>(reround(v, mask, sign_allowed));
+        cost += d * d;
+    }
+    return cost;
+}
+
+/// SM column-occupancy mask of @p group (bit7 = sign column).
+std::uint8_t
+occupancy(std::span<const std::int8_t> group)
+{
+    std::uint8_t idx = 0;
+    for (std::int8_t v : group) {
+        idx |= to_sign_magnitude(v);
+    }
+    return idx;
+}
+
+/// Materialize (mask, sign_allowed) into @p group from @p originals.
+void
+materialize(std::span<std::int8_t> group,
+            std::span<const std::int8_t> originals, int mask,
+            bool sign_allowed)
+{
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        group[i] = reround(originals[i], mask, sign_allowed);
+    }
+}
+
+}  // namespace
+
+int
+nearest_magnitude_under_mask(int magnitude, int allowed_mask)
+{
+    if (magnitude < 0 || magnitude > 127 || allowed_mask < 0 ||
+        allowed_mask > 127) {
+        fatal("nearest_magnitude_under_mask: arguments out of range");
+    }
+    return nearest_table()[static_cast<std::size_t>(allowed_mask)]
+                          [static_cast<std::size_t>(magnitude)];
+}
+
+GroupFlipResult
+bitflip_group(std::span<std::int8_t> group, int target_zero_columns)
+{
+    if (target_zero_columns < 0 || target_zero_columns > 8) {
+        fatal("bitflip_group: target %d out of [0, 8]", target_zero_columns);
+    }
+
+    const std::vector<std::int8_t> originals(group.begin(), group.end());
+    const std::span<const std::int8_t> orig{originals.data(),
+                                            originals.size()};
+
+    // Current configuration: allowed magnitude columns + sign permission.
+    int mask = occupancy(orig) & 0x7F;
+    bool sign_allowed = (occupancy(orig) & 0x80) != 0;
+
+    auto zero_cols_of = [&] {
+        return kWordBits - popcount8(occupancy({group.data(), group.size()}));
+    };
+
+    materialize(group, orig, mask, sign_allowed);  // identity initially
+
+    while (zero_cols_of() < target_zero_columns) {
+        // Greedy: drop the currently-occupied column whose removal costs
+        // the least when re-rounding the ORIGINAL weights. Evaluating
+        // against the originals (not the drifted values) keeps the total
+        // distance close to the per-group optimum.
+        const std::uint8_t occ = occupancy({group.data(), group.size()});
+        double best_cost = std::numeric_limits<double>::infinity();
+        int best_mask = mask;
+        bool best_sign = sign_allowed;
+
+        for (int b = 0; b < kMagnitudeBits; ++b) {
+            if (!((occ >> b) & 1)) {
+                continue;
+            }
+            const int cand_mask = mask & ~(1 << b);
+            const double cost = config_cost(orig, cand_mask, sign_allowed);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_mask = cand_mask;
+                best_sign = sign_allowed;
+            }
+        }
+        if (sign_allowed && (occ & 0x80) != 0) {
+            const double cost = config_cost(orig, mask, false);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_mask = mask;
+                best_sign = false;
+            }
+        }
+        if (best_mask == mask && best_sign == sign_allowed) {
+            panic("bitflip_group: no clearable column but target unmet");
+        }
+        mask = best_mask;
+        sign_allowed = best_sign;
+        materialize(group, orig, mask, sign_allowed);
+    }
+
+    GroupFlipResult result;
+    result.zero_columns = zero_cols_of();
+    result.squared_error = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        const double d = static_cast<double>(originals[i]) -
+            static_cast<double>(group[i]);
+        result.squared_error += d * d;
+    }
+    return result;
+}
+
+GroupFlipResult
+bitflip_group_exhaustive(std::span<std::int8_t> group,
+                         int target_zero_columns)
+{
+    if (target_zero_columns < 0 || target_zero_columns > 8) {
+        fatal("bitflip_group_exhaustive: target %d out of [0, 8]",
+              target_zero_columns);
+    }
+    const std::vector<std::int8_t> originals(group.begin(), group.end());
+    const std::span<const std::int8_t> orig{originals.data(),
+                                            originals.size()};
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    int best_mask = 0;
+    bool best_sign = false;
+
+    for (int mask = 0; mask < 128; ++mask) {
+        for (int sign_allowed = 0; sign_allowed <= 1; ++sign_allowed) {
+            const int used = popcount8(static_cast<std::uint8_t>(mask)) +
+                sign_allowed;
+            if (kWordBits - used < target_zero_columns) {
+                continue;
+            }
+            const double cost = config_cost(orig, mask, sign_allowed != 0);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_mask = mask;
+                best_sign = sign_allowed != 0;
+            }
+        }
+    }
+
+    materialize(group, orig, best_mask, best_sign);
+    GroupFlipResult result;
+    result.zero_columns = kWordBits -
+        popcount8(occupancy({group.data(), group.size()}));
+    result.squared_error = best_cost;
+    return result;
+}
+
+Int8Tensor
+bitflip_tensor(const Int8Tensor &tensor, int group_size,
+               int target_zero_columns)
+{
+    if (group_size < 1) {
+        fatal("bitflip_tensor: group_size must be >= 1");
+    }
+    Int8Tensor out = tensor;
+    const std::int64_t n = out.numel();
+    for (std::int64_t start = 0; start < n; start += group_size) {
+        const std::int64_t len = std::min<std::int64_t>(group_size, n - start);
+        bitflip_group({out.data() + start, static_cast<std::size_t>(len)},
+                      target_zero_columns);
+    }
+    return out;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Layer-wise Bit-Flip strategy search — Algorithm 1 of the paper.
+ *
+ * A strategy assigns each layer a (group size, zero-column target) pair.
+ * The greedy search starts from an initial strategy, then repeatedly
+ * tries incrementing the zero-column target of every (layer, group-size)
+ * combination, commits the move that keeps the highest estimated metric,
+ * and stops when no move stays above the minimum-accuracy constraint.
+ *
+ * The search uses the AccuracyProxy as its "Inference(M, D)" oracle
+ * (DESIGN.md substitution #2) and caches per-(layer, gs, z) flip results
+ * so the O(layers x group-sizes x steps) loop runs in seconds.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "nn/accuracy.hpp"
+#include "nn/workload.hpp"
+
+namespace bitwave {
+
+/// Per-layer flip configuration.
+struct LayerFlipConfig
+{
+    int group_size = 16;   ///< Hardware column size in {8, 16, 32}.
+    int zero_columns = 0;  ///< Target zero columns; 0 = leave untouched.
+
+    bool operator==(const LayerFlipConfig &) const = default;
+};
+
+/// A full-network strategy: one config per layer.
+using FlipStrategy = std::vector<LayerFlipConfig>;
+
+/// One point of the search trajectory (the Fig. 6(e)-(h) Pareto data).
+struct ParetoPoint
+{
+    FlipStrategy strategy;
+    double compression_ratio = 1.0;  ///< Weight CR under BCS.
+    double metric = 0.0;             ///< Estimated accuracy metric.
+};
+
+/// Options for the greedy search.
+struct GreedySearchOptions
+{
+    /// Stop when the best candidate move drops below this metric.
+    double min_metric = 0.0;
+    /// Upper bound on per-layer zero-column targets (paper uses 7).
+    int max_zero_columns = 7;
+    /// Group sizes explored per layer (hardware set by default).
+    std::vector<int> group_sizes = {8, 16, 32};
+};
+
+/**
+ * Caches flipped layer tensors, their BCS compression ratios and their
+ * proxy errors, and runs Algorithm 1 on top.
+ */
+class FlipSearch
+{
+  public:
+    /// @p workload and @p proxy are kept by reference.
+    FlipSearch(const Workload &workload, const AccuracyProxy &proxy);
+
+    /// Flipped weights of one layer under @p config (cached).
+    const Int8Tensor &flipped_layer(std::size_t layer_idx,
+                                    LayerFlipConfig config);
+
+    /// Relative output error of one flipped layer (cached).
+    double layer_error(std::size_t layer_idx, LayerFlipConfig config);
+
+    /// Whole-network BCS weight compression ratio under @p strategy.
+    double strategy_compression_ratio(const FlipStrategy &strategy);
+
+    /// Estimated metric under @p strategy (additive proxy composition).
+    double strategy_metric(const FlipStrategy &strategy);
+
+    /**
+     * Algorithm 1: greedy search from @p initial, recording a trajectory
+     * point after every committed move. The returned vector starts with
+     * the initial strategy and is ordered by increasing compression.
+     */
+    std::vector<ParetoPoint> greedy_search(const FlipStrategy &initial,
+                                           const GreedySearchOptions &opts);
+
+    /// An all-layers-untouched strategy sized for the workload.
+    FlipStrategy untouched_strategy() const;
+
+    /// Materialize per-layer weight tensors for @p strategy.
+    std::vector<Int8Tensor> apply_strategy(const FlipStrategy &strategy);
+
+  private:
+    using Key = std::tuple<std::size_t, int, int>;  // layer, gs, z
+
+    const Workload &workload_;
+    const AccuracyProxy &proxy_;
+    std::map<Key, Int8Tensor> flipped_;
+    std::map<Key, double> errors_;
+    std::map<Key, double> ratios_;  ///< per-layer CR contribution cache
+};
+
+}  // namespace bitwave

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-width bit manipulation utilities shared across the BitWave
+ * libraries.
+ *
+ * Everything in this file operates on 8-bit quantized operands (the paper's
+ * Int8 setting) in one of two binary representations:
+ *
+ *  - two's complement (the storage format of `int8_t`), and
+ *  - sign-magnitude, packed into a `uint8_t` with bit 7 the sign and
+ *    bits 6..0 the magnitude.
+ *
+ * The sign-magnitude encoding cannot represent -128 (7-bit magnitude
+ * limit); all producers in this repository clamp quantized weights to
+ * [-127, 127], matching the BitWave hardware assumption.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace bitwave {
+
+/// Number of bits in a quantized operand word.
+inline constexpr int kWordBits = 8;
+
+/// Number of magnitude bits in the sign-magnitude encoding.
+inline constexpr int kMagnitudeBits = 7;
+
+/// Most negative value representable in 8-bit sign-magnitude.
+inline constexpr int kSignMagMin = -127;
+
+/// Most positive value representable in 8-bit sign-magnitude.
+inline constexpr int kSignMagMax = 127;
+
+/**
+ * Encode a two's-complement int8 value into packed sign-magnitude.
+ *
+ * @param value Value in [-127, 127]. -128 is clamped to -127.
+ * @return Packed byte: bit7 = sign (1 = negative), bits6..0 = |value|.
+ */
+std::uint8_t to_sign_magnitude(std::int8_t value);
+
+/**
+ * Decode a packed sign-magnitude byte back to two's complement.
+ *
+ * Both encodings of zero (0x00 and 0x80) decode to 0.
+ */
+std::int8_t from_sign_magnitude(std::uint8_t sm);
+
+/// Test bit @p pos (0 = LSB) of @p word.
+constexpr bool test_bit(std::uint8_t word, int pos)
+{
+    return ((word >> pos) & 1u) != 0;
+}
+
+/// Number of set bits in @p word.
+int popcount8(std::uint8_t word);
+
+/// Number of set bits in the two's-complement encoding of @p value.
+int bit_count_twos_complement(std::int8_t value);
+
+/// Number of set bits in the sign-magnitude encoding of @p value.
+int bit_count_sign_magnitude(std::int8_t value);
+
+/**
+ * Render @p word as a binary literal string, MSB first ("10001100").
+ * Used by diagnostics and the bitgroup visualization bench.
+ */
+std::string to_binary_string(std::uint8_t word);
+
+/// Integer ceiling division for non-negative operands.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,96 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace bitwave {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed <= 0) {
+        return {};
+    }
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+}  // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::kInform) {
+        return;
+    }
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "info: %s\n", vformat(fmt, args).c_str());
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < LogLevel::kWarn) {
+        return;
+    }
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "warn: %s\n", vformat(fmt, args).c_str());
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "fatal: %s\n", vformat(fmt, args).c_str());
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "panic: %s\n", vformat(fmt, args).c_str());
+    va_end(args);
+    std::abort();
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal logging / fatal-error facilities in the spirit of gem5's
+ * logging.hh: `fatal` for user errors that make continuing impossible,
+ * `panic` for internal invariant violations, `warn`/`inform` for status.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace bitwave {
+
+/// Verbosity levels for status messages.
+enum class LogLevel { kSilent = 0, kWarn = 1, kInform = 2, kDebug = 3 };
+
+/// Set the global verbosity threshold (default kWarn).
+void set_log_level(LogLevel level);
+
+/// Current global verbosity threshold.
+LogLevel log_level();
+
+/// Print an informational message when verbosity allows (printf-style).
+void inform(const char *fmt, ...);
+
+/// Print a warning when verbosity allows (printf-style).
+void warn(const char *fmt, ...);
+
+/**
+ * Report an unrecoverable user-facing error (bad configuration, invalid
+ * arguments) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/// Printf-style formatting into a std::string.
+std::string strprintf(const char *fmt, ...);
+
+}  // namespace bitwave

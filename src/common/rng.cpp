@@ -1,0 +1,43 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace bitwave {
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+std::int64_t
+Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double
+Rng::gaussian(double sigma)
+{
+    return std::normal_distribution<double>(0.0, sigma)(engine_);
+}
+
+double
+Rng::laplacian(double b)
+{
+    // Inverse-CDF sampling: u in (-0.5, 0.5), x = -b * sgn(u) * ln(1-2|u|).
+    double u = uniform() - 0.5;
+    const double sign = u < 0 ? -1.0 : 1.0;
+    u = std::abs(u);
+    // Guard against log(0) when uniform() returned exactly 0.5.
+    const double t = std::max(1.0 - 2.0 * u, 1e-300);
+    return -b * sign * std::log(t);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+}  // namespace bitwave

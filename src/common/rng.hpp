@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All synthetic data in the repository (weights, activations, calibration
+ * inputs) flows through this generator so experiments are reproducible
+ * run-to-run and the benches regenerate identical tables.
+ */
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace bitwave {
+
+/**
+ * A seeded pseudo-random generator with the distribution helpers the
+ * workload synthesizer needs (Gaussian / Laplacian / uniform / Bernoulli).
+ */
+class Rng
+{
+  public:
+    /// Construct with an explicit seed; identical seeds yield identical streams.
+    explicit Rng(std::uint64_t seed = 0x5eedULL) : engine_(seed) {}
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Zero-mean Gaussian sample with standard deviation @p sigma.
+    double gaussian(double sigma);
+
+    /**
+     * Zero-mean Laplacian sample with scale @p b.
+     *
+     * Quantized DNN weights are well modeled as Laplacian: a sharp peak of
+     * small magnitudes with heavier tails than a Gaussian, the property the
+     * paper's Fig. 4(b) histogram shows and that drives sign-magnitude
+     * bit-column sparsity.
+     */
+    double laplacian(double b);
+
+    /// Bernoulli trial with probability @p p of returning true.
+    bool bernoulli(double p);
+
+    /// Access the underlying engine (e.g. for std::shuffle).
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace bitwave

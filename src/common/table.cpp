@@ -1,0 +1,81 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace bitwave {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    if (header_.empty()) {
+        panic("Table requires at least one column");
+    }
+}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    if (row.size() != header_.size()) {
+        panic("Table row arity %zu does not match header arity %zu",
+              row.size(), header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size()) {
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+            }
+        }
+        out << '\n';
+    };
+
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+std::string
+fmt_double(double value, int digits)
+{
+    return strprintf("%.*f", digits, value);
+}
+
+std::string
+fmt_percent(double fraction, int digits)
+{
+    return strprintf("%.*f%%", digits, fraction * 100.0);
+}
+
+std::string
+fmt_ratio(double value, int digits)
+{
+    return strprintf("%.*fx", digits, value);
+}
+
+}  // namespace bitwave

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harness to print the
+ * rows/series of each paper table and figure in a uniform format.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bitwave {
+
+/**
+ * A simple column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"network", "value sparsity", "bit sparsity"});
+ *   t.add_row({"ResNet18", "3.1%", "54.2%"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /// Construct with one header cell per column.
+    explicit Table(std::vector<std::string> header);
+
+    /// Append a data row; must have the same arity as the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Render with aligned columns and a header separator line.
+    std::string render() const;
+
+    /// Number of data rows added so far.
+    std::size_t row_count() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with @p digits fractional digits ("12.34").
+std::string fmt_double(double value, int digits = 2);
+
+/// Format a ratio as a percentage string ("12.3%").
+std::string fmt_percent(double fraction, int digits = 1);
+
+/// Format a speedup/ratio with a trailing 'x' ("3.41x").
+std::string fmt_ratio(double value, int digits = 2);
+
+}  // namespace bitwave

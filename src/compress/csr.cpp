@@ -1,0 +1,105 @@
+#include "compress/csr.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/logging.hpp"
+
+namespace bitwave {
+
+int
+CsrCompressed::col_index_bits() const
+{
+    if (cols <= 1) {
+        return 1;
+    }
+    int bits = 0;
+    std::int64_t span = 1;
+    while (span < cols) {
+        span <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+std::int64_t
+CsrCompressed::compressed_bits() const
+{
+    const std::int64_t nnz = static_cast<std::int64_t>(values.size());
+    return nnz * kWordBits + nnz * col_index_bits() +
+        static_cast<std::int64_t>(row_ptr.size()) * 32;
+}
+
+std::int64_t
+CsrCompressed::payload_bits() const
+{
+    return static_cast<std::int64_t>(values.size()) * kWordBits;
+}
+
+std::int64_t
+CsrCompressed::original_bits() const
+{
+    return rows * cols * kWordBits;
+}
+
+double
+CsrCompressed::compression_ratio() const
+{
+    const std::int64_t c = compressed_bits();
+    return c > 0 ? static_cast<double>(original_bits()) /
+                       static_cast<double>(c)
+                 : static_cast<double>(original_bits());
+}
+
+double
+CsrCompressed::ideal_compression_ratio() const
+{
+    const std::int64_t p = payload_bits();
+    return p > 0 ? static_cast<double>(original_bits()) /
+                       static_cast<double>(p)
+                 : static_cast<double>(original_bits());
+}
+
+CsrCompressed
+csr_compress(const Int8Tensor &tensor, std::int64_t rows)
+{
+    if (rows <= 0 || tensor.numel() % rows != 0) {
+        fatal("csr_compress: rows=%lld must divide numel=%lld",
+              static_cast<long long>(rows),
+              static_cast<long long>(tensor.numel()));
+    }
+    CsrCompressed out;
+    out.shape = tensor.shape();
+    out.rows = rows;
+    out.cols = tensor.numel() / rows;
+    out.row_ptr.reserve(static_cast<std::size_t>(rows) + 1);
+    out.row_ptr.push_back(0);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t c = 0; c < out.cols; ++c) {
+            const std::int8_t v = tensor[r * out.cols + c];
+            if (v != 0) {
+                out.values.push_back(v);
+                out.col_indices.push_back(static_cast<std::int32_t>(c));
+            }
+        }
+        out.row_ptr.push_back(static_cast<std::int64_t>(out.values.size()));
+    }
+    return out;
+}
+
+Int8Tensor
+csr_decompress(const CsrCompressed &compressed)
+{
+    Int8Tensor out(compressed.shape);
+    for (std::int64_t r = 0; r < compressed.rows; ++r) {
+        for (std::int64_t k = compressed.row_ptr[static_cast<std::size_t>(r)];
+             k < compressed.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+            const auto idx = static_cast<std::size_t>(k);
+            out[r * compressed.cols + compressed.col_indices[idx]] =
+                compressed.values[idx];
+        }
+    }
+    return out;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Compressed Sparse Row (CSR) encoding baseline for Fig. 5.
+ *
+ * The tensor is viewed as a matrix of `rows` x `cols` (callers typically
+ * pass rows = output channels). Storage cost:
+ *   - 8 bits per non-zero value,
+ *   - ceil(log2(cols)) bits per column index,
+ *   - 32 bits per row pointer (rows + 1 of them).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bitwave {
+
+/// A CSR-compressed matrix view of a tensor.
+struct CsrCompressed
+{
+    Shape shape;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::vector<std::int8_t> values;        ///< Non-zero values, row-major.
+    std::vector<std::int32_t> col_indices;  ///< Column of each value.
+    std::vector<std::int64_t> row_ptr;      ///< Size rows + 1.
+
+    /// Bits per column index for this matrix width.
+    int col_index_bits() const;
+    std::int64_t compressed_bits() const;
+    /// Value payload only — "ideal" CR numerator.
+    std::int64_t payload_bits() const;
+    std::int64_t original_bits() const;
+    double compression_ratio() const;
+    double ideal_compression_ratio() const;
+};
+
+/**
+ * Encode @p tensor as CSR with @p rows rows. @p rows must divide the
+ * element count; pass the output-channel count for weight tensors.
+ */
+CsrCompressed csr_compress(const Int8Tensor &tensor, std::int64_t rows);
+
+/// Invert csr_compress exactly.
+Int8Tensor csr_decompress(const CsrCompressed &compressed);
+
+}  // namespace bitwave

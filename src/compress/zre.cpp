@@ -1,0 +1,91 @@
+#include "compress/zre.hpp"
+
+#include "common/bits.hpp"
+#include "common/logging.hpp"
+
+namespace bitwave {
+
+std::int64_t
+ZreCompressed::compressed_bits() const
+{
+    return static_cast<std::int64_t>(entries.size()) * kEntryBits;
+}
+
+std::int64_t
+ZreCompressed::payload_bits() const
+{
+    return static_cast<std::int64_t>(entries.size()) * kWordBits;
+}
+
+std::int64_t
+ZreCompressed::original_bits() const
+{
+    return element_count * kWordBits;
+}
+
+double
+ZreCompressed::compression_ratio() const
+{
+    const std::int64_t c = compressed_bits();
+    return c > 0 ? static_cast<double>(original_bits()) /
+                       static_cast<double>(c)
+                 : static_cast<double>(original_bits());
+}
+
+double
+ZreCompressed::ideal_compression_ratio() const
+{
+    const std::int64_t p = payload_bits();
+    return p > 0 ? static_cast<double>(original_bits()) /
+                       static_cast<double>(p)
+                 : static_cast<double>(original_bits());
+}
+
+ZreCompressed
+zre_compress(const Int8Tensor &tensor)
+{
+    ZreCompressed out;
+    out.shape = tensor.shape();
+    out.element_count = tensor.numel();
+
+    int run = 0;
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+        const std::int8_t v = tensor[i];
+        if (v == 0) {
+            ++run;
+            if (run == 16) {
+                // Run counter saturates at 15: emit a padding zero entry.
+                out.entries.push_back({15, 0});
+                run = 0;
+            }
+            continue;
+        }
+        out.entries.push_back({static_cast<std::uint8_t>(run), v});
+        run = 0;
+    }
+    if (run > 0) {
+        // Close a trailing zero run so decode can restore the exact length.
+        out.entries.push_back({static_cast<std::uint8_t>(run - 1), 0});
+    }
+    return out;
+}
+
+Int8Tensor
+zre_decompress(const ZreCompressed &compressed)
+{
+    Int8Tensor out(compressed.shape);
+    std::int64_t pos = 0;
+    for (const auto &e : compressed.entries) {
+        pos += e.zero_run;  // zeros are already present from initialization
+        if (pos >= compressed.element_count && e.value != 0) {
+            fatal("zre_decompress: stream overruns tensor size");
+        }
+        if (pos < compressed.element_count) {
+            out[pos] = e.value;
+        }
+        ++pos;
+    }
+    return out;
+}
+
+}  // namespace bitwave

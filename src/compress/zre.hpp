@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Zero Run-Length Encoding (ZRE) — the value-sparsity compression SCNN
+ * uses, implemented as a baseline for Fig. 5 and the SCNN model.
+ *
+ * Stream format: a sequence of entries, each holding a 4-bit count of
+ * zeros preceding the value and the 8-bit non-zero value itself. Runs of
+ * more than 15 zeros insert padding entries with value 0 and run 15, and
+ * a trailing run of zeros is closed with a single (run, 0) entry — the
+ * same convention as SCNN's (value, zero-count) pairs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bitwave {
+
+/// One ZRE stream entry.
+struct ZreEntry
+{
+    std::uint8_t zero_run = 0;  ///< Zeros preceding `value` (0..15).
+    std::int8_t value = 0;      ///< The encoded value (may be 0 for padding).
+};
+
+/// A ZRE-compressed tensor.
+struct ZreCompressed
+{
+    Shape shape;
+    std::int64_t element_count = 0;
+    std::vector<ZreEntry> entries;
+
+    /// Bits per entry: 4 run bits + 8 value bits.
+    static constexpr int kEntryBits = 12;
+
+    std::int64_t compressed_bits() const;
+    /// Value payload only (8 bits per entry) — "ideal" CR numerator.
+    std::int64_t payload_bits() const;
+    std::int64_t original_bits() const;
+    double compression_ratio() const;
+    double ideal_compression_ratio() const;
+};
+
+/// Encode @p tensor (flat order) into a ZRE stream.
+ZreCompressed zre_compress(const Int8Tensor &tensor);
+
+/// Invert zre_compress exactly.
+Int8Tensor zre_decompress(const ZreCompressed &compressed);
+
+}  // namespace bitwave

@@ -1,0 +1,100 @@
+#include "core/pipeline.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+#include "compress/bcs.hpp"
+#include "nn/accuracy.hpp"
+
+namespace bitwave {
+
+std::string
+PipelineReport::to_string() const
+{
+    std::ostringstream out;
+    out << "BitWave deployment: " << workload << "\n";
+    Table t({"layer", "SU", "util", "CR", "nz cols", "speedup"});
+    for (const auto &l : layers) {
+        t.add_row({l.name, l.su, fmt_percent(l.utilization),
+                   fmt_ratio(l.compression_ratio),
+                   fmt_double(l.mean_nonzero_columns),
+                   fmt_ratio(l.speedup_vs_dense)});
+    }
+    out << t.render();
+    out << "weight CR " << fmt_ratio(weight_compression_ratio)
+        << ", speedup vs dense " << fmt_ratio(speedup_vs_dense)
+        << ", energy gain " << fmt_ratio(energy_ratio_vs_dense)
+        << ", metric " << fmt_double(estimated_metric) << " (base "
+        << fmt_double(base_metric) << "), runtime "
+        << fmt_double(runtime_ms) << " ms, energy "
+        << fmt_double(energy_mj, 3) << " mJ\n";
+    return out.str();
+}
+
+PipelineReport
+deploy(const Workload &workload, const PipelineOptions &options)
+{
+    PipelineReport report;
+    report.workload = workload.name;
+    report.base_metric = workload.base_metric;
+    report.estimated_metric = workload.base_metric;
+
+    // Optional Bit-Flip under the metric budget.
+    std::vector<Int8Tensor> weights;
+    if (options.use_bitflip) {
+        AccuracyProxy proxy(workload);
+        FlipSearch search(workload, proxy);
+        GreedySearchOptions opts;
+        opts.min_metric = workload.base_metric - options.max_metric_drop;
+        opts.group_sizes = options.group_sizes;
+        const auto trajectory =
+            search.greedy_search(search.untouched_strategy(), opts);
+        const auto &best = trajectory.back();
+        weights = search.apply_strategy(best.strategy);
+        report.estimated_metric = best.metric;
+    } else {
+        for (const auto &l : workload.layers) {
+            weights.push_back(l.weights);
+        }
+    }
+
+    // Model BitWave and the dense baseline.
+    AcceleratorModel bitwave_model(
+        make_bitwave(options.use_bitflip ? BitWaveVariant::kDfSmBf
+                                         : BitWaveVariant::kDfSm));
+    AcceleratorModel dense_model(make_bitwave(BitWaveVariant::kDenseSu));
+    const auto bw = bitwave_model.model_workload(workload, &weights);
+    const auto dense = dense_model.model_workload(workload);
+
+    report.speedup_vs_dense = dense.total_cycles / bw.total_cycles;
+    report.energy_ratio_vs_dense = dense.total_energy_pj / bw.total_energy_pj;
+    report.runtime_ms = bw.runtime_ms();
+    report.energy_mj = bw.total_energy_pj * 1e-9;
+
+    std::int64_t original_bits = 0;
+    double compressed_bits = 0.0;
+    for (std::size_t l = 0; l < workload.layers.size(); ++l) {
+        const auto &layer = workload.layers[l];
+        const auto compressed = bcs_compress(
+            weights[l], best_hardware_group_size(
+                            weights[l], Representation::kSignMagnitude),
+            Representation::kSignMagnitude);
+        PipelineLayerReport lr;
+        lr.name = layer.desc.name;
+        lr.su = bw.layers[l].su_name;
+        lr.utilization = bw.layers[l].utilization;
+        lr.compression_ratio = compressed.compression_ratio();
+        lr.mean_nonzero_columns = bw.layers[l].cycles_per_group;
+        lr.speedup_vs_dense =
+            dense.layers[l].total_cycles / bw.layers[l].total_cycles;
+        report.layers.push_back(std::move(lr));
+        original_bits += compressed.original_bits();
+        compressed_bits += static_cast<double>(compressed.compressed_bits());
+    }
+    report.weight_compression_ratio =
+        compressed_bits > 0
+        ? static_cast<double>(original_bits) / compressed_bits : 1.0;
+    return report;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Public facade: the end-to-end BitWave deployment pipeline a downstream
+ * user calls — compress (sign-magnitude BCS), optionally Bit-Flip under an
+ * accuracy budget, map every layer onto the Table I dataflows, and model
+ * performance/energy against the dense baseline.
+ *
+ * Everything here is a thin composition of the lower layers (sparsity,
+ * compress, bitflip, dataflow, model); all knobs of the full API remain
+ * reachable for advanced use.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitflip/strategy.hpp"
+#include "model/performance.hpp"
+#include "nn/workloads.hpp"
+
+namespace bitwave {
+
+/// Options of the deployment pipeline.
+struct PipelineOptions
+{
+    /// Apply Bit-Flip before deployment.
+    bool use_bitflip = false;
+    /// Metric budget for the Bit-Flip greedy search, in metric units
+    /// (e.g. 0.5 = accept up to 0.5 points of top-1/F1/PESQ loss).
+    double max_metric_drop = 0.5;
+    /// Group sizes the search may pick per layer.
+    std::vector<int> group_sizes = {8, 16, 32};
+};
+
+/// Per-layer summary of the deployed network.
+struct PipelineLayerReport
+{
+    std::string name;
+    std::string su;                   ///< Selected dataflow.
+    double utilization = 0.0;
+    double compression_ratio = 1.0;   ///< BCS weight CR.
+    double mean_nonzero_columns = 8.0;
+    double speedup_vs_dense = 1.0;
+};
+
+/// Whole-network summary.
+struct PipelineReport
+{
+    std::string workload;
+    std::vector<PipelineLayerReport> layers;
+
+    double weight_compression_ratio = 1.0;
+    double speedup_vs_dense = 1.0;
+    double energy_ratio_vs_dense = 1.0;  ///< dense / bitwave (higher=better).
+    double estimated_metric = 0.0;       ///< Proxy metric after Bit-Flip.
+    double base_metric = 0.0;
+    double runtime_ms = 0.0;
+    double energy_mj = 0.0;
+
+    /// Render a human-readable summary table.
+    std::string to_string() const;
+};
+
+/**
+ * Run the deployment pipeline on @p workload.
+ *
+ * When `options.use_bitflip` is set, Algorithm 1 (greedy layer-wise
+ * search) trades accuracy for zero columns within `max_metric_drop`;
+ * otherwise the weights are used as-is (lossless SM BCS only).
+ */
+PipelineReport deploy(const Workload &workload,
+                      const PipelineOptions &options = {});
+
+}  // namespace bitwave

@@ -1,0 +1,109 @@
+#include "energy/breakdown.hpp"
+
+#include "common/logging.hpp"
+
+namespace bitwave {
+
+namespace {
+
+// Per-BCE constants beyond the bare SMM slice of Table IV: partial-sum
+// accumulator, single-shift stage and output register (Fig. 8 steps 3-5).
+constexpr double kBceAccumAreaUm2 = 425.6;
+constexpr double kBceAccumPowerMw = 0.0026;
+
+// Flexible data dispatcher: per-BCE input casting registers (Section V-D
+// attributes 10.8 % area / 24.4 % power to it).
+constexpr double kDispatcherAreaPerBceUm2 = 240.0;
+constexpr double kDispatcherPowerPerBceMw = 0.008369;
+
+// ZCIP: one 8b-wide parser slice (Fig. 7) per 8 index bits.
+constexpr double kZcipAreaPerParserUm2 = 330.0;
+constexpr double kZcipPowerPerParserMw = 0.0047;
+
+// Act./W. fetcher and the top controller (instruction memory included).
+constexpr double kFetcherAreaUm2 = 34000.0;
+constexpr double kFetcherPowerMw = 0.40;
+constexpr double kControllerAreaUm2 = 22000.0;
+constexpr double kControllerPowerMw = 0.32;
+
+// SRAM dynamic+leakage power per KB at the ResNet18 operating point.
+constexpr double kSramPowerPerKbMw = 0.00352;
+
+}  // namespace
+
+double
+ChipBudget::total_area_mm2() const
+{
+    double a = 0.0;
+    for (const auto &c : components) {
+        a += c.area_mm2();
+    }
+    return a;
+}
+
+double
+ChipBudget::total_power_mw() const
+{
+    double p = 0.0;
+    for (const auto &c : components) {
+        p += c.power_mw;
+    }
+    return p;
+}
+
+const ComponentBudget &
+ChipBudget::component(const std::string &name) const
+{
+    for (const auto &c : components) {
+        if (c.name == name) {
+            return c;
+        }
+    }
+    fatal("ChipBudget: no component named %s", name.c_str());
+}
+
+double
+ChipBudget::area_share(const std::string &name) const
+{
+    return component(name).area_mm2() / total_area_mm2();
+}
+
+double
+ChipBudget::power_share(const std::string &name) const
+{
+    return component(name).power_mw / total_power_mw();
+}
+
+ChipBudget
+bitwave_chip_budget(const TechParams &tech, const BitWaveConfig &config,
+                    double pe_activity)
+{
+    ChipBudget budget;
+    const double n_bce = static_cast<double>(config.bce_count);
+    const double sram_bytes = static_cast<double>(
+        config.weight_sram_bytes + config.act_sram_bytes);
+
+    budget.components.push_back(
+        {"PE array",
+         n_bce * (tech.a_pe_bit_column_um2 + kBceAccumAreaUm2),
+         n_bce * (tech.p_pe_bit_column_mw + kBceAccumPowerMw) *
+             pe_activity});
+    budget.components.push_back(
+        {"SRAM", sram_bytes * tech.a_sram_per_byte_um2,
+         sram_bytes / 1024.0 * kSramPowerPerKbMw});
+    budget.components.push_back(
+        {"Data dispatcher", n_bce * kDispatcherAreaPerBceUm2,
+         n_bce * kDispatcherPowerPerBceMw * pe_activity});
+    budget.components.push_back(
+        {"ZCIP",
+         static_cast<double>(config.zcip_parsers) * kZcipAreaPerParserUm2,
+         static_cast<double>(config.zcip_parsers) * kZcipPowerPerParserMw *
+             pe_activity});
+    budget.components.push_back(
+        {"Fetcher", kFetcherAreaUm2, kFetcherPowerMw});
+    budget.components.push_back(
+        {"Controller", kControllerAreaUm2, kControllerPowerMw});
+    return budget;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * BitWave chip area/power budget — the Fig. 18 breakdown and the totals
+ * of Section V-D (1.138 mm^2, 17.56 mW at 250 MHz on ResNet18), composed
+ * bottom-up from per-component unit constants.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/tech.hpp"
+
+namespace bitwave {
+
+/// One architectural component's silicon budget.
+struct ComponentBudget
+{
+    std::string name;
+    double area_um2 = 0.0;
+    double power_mw = 0.0;
+
+    double area_mm2() const { return area_um2 * 1e-6; }
+};
+
+/// Whole-chip budget with helpers for breakdown shares.
+struct ChipBudget
+{
+    std::vector<ComponentBudget> components;
+
+    double total_area_mm2() const;
+    double total_power_mw() const;
+    /// Share of total area held by component @p name (0..1).
+    double area_share(const std::string &name) const;
+    /// Share of total power held by component @p name (0..1).
+    double power_share(const std::string &name) const;
+    const ComponentBudget &component(const std::string &name) const;
+};
+
+/// Structural parameters of the BitWave instance (Section V-A).
+struct BitWaveConfig
+{
+    int bce_count = 512;           ///< 512 BCEs = 4096 1bx8b SMMs.
+    int zcip_parsers = 128;        ///< 1024 index bits in parallel.
+    std::int64_t weight_sram_bytes = 256 * 1024;
+    std::int64_t act_sram_bytes = 256 * 1024;
+};
+
+/**
+ * Compose the BitWave chip budget.
+ *
+ * @param pe_activity Average fraction of cycles the PE array toggles
+ *        (1.0 reproduces the paper's ResNet18 operating point).
+ */
+ChipBudget bitwave_chip_budget(const TechParams &tech,
+                               const BitWaveConfig &config = {},
+                               double pe_activity = 1.0);
+
+}  // namespace bitwave

@@ -1,0 +1,27 @@
+#include "energy/dram.hpp"
+
+#include <cmath>
+
+namespace bitwave {
+
+double
+DramModel::transfer_energy_pj(double bits) const
+{
+    const double bursts = std::ceil(bits / static_cast<double>(burst_bits));
+    return bits * energy_per_bit_pj + bursts * activate_energy_per_burst_pj;
+}
+
+double
+DramModel::transfer_cycles(double bits) const
+{
+    return bits / static_cast<double>(bits_per_accel_cycle);
+}
+
+const DramModel &
+default_dram()
+{
+    static const DramModel model;
+    return model;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * DDR3 DRAM energy/bandwidth model — stand-in for the DRAMPower tool the
+ * paper uses (DESIGN.md substitution #3). Energy is charged per bit moved
+ * plus a per-burst activation overhead; bandwidth limits the transfer
+ * cycle count the latency model (Eq. 5) sees.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace bitwave {
+
+/// DDR3-1600-class channel parameters.
+struct DramModel
+{
+    double energy_per_bit_pj = 20.0;  ///< Access + I/O energy.
+    double activate_energy_per_burst_pj = 120.0;
+    std::int64_t burst_bits = 512;    ///< 64B burst.
+    std::int64_t bits_per_accel_cycle = 64;  ///< Effective BW at 250 MHz.
+
+    /// Energy to move @p bits (reads and writes priced identically).
+    double transfer_energy_pj(double bits) const;
+
+    /// Accelerator cycles the transfer of @p bits occupies the channel.
+    double transfer_cycles(double bits) const;
+};
+
+/// Default DDR3 model used across the benches.
+const DramModel &default_dram();
+
+}  // namespace bitwave

@@ -1,0 +1,27 @@
+#include "energy/tech.hpp"
+
+namespace bitwave {
+
+const TechParams &
+default_tech()
+{
+    static const TechParams params;
+    return params;
+}
+
+double
+scale_efficiency(double tops_per_w, double from_nm, double to_nm)
+{
+    // First-order: switching energy scales ~linearly with the node, so
+    // TOPS/W scales inversely.
+    return tops_per_w * (from_nm / to_nm);
+}
+
+double
+scale_area(double mm2, double from_nm, double to_nm)
+{
+    const double s = to_nm / from_nm;
+    return mm2 * s * s;
+}
+
+}  // namespace bitwave

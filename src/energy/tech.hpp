@@ -1,0 +1,71 @@
+/**
+ * @file
+ * 16 nm technology calibration (DESIGN.md substitution #3).
+ *
+ * The paper derives unit energies/areas from Synopsys DC synthesis in a
+ * 16 nm FinFET node and DRAM energy from DRAMPower's DDR3 model. We encode
+ * the published component-level results (Table IV PE figures, the 250 MHz
+ * / 0.8 V operating point, Fig. 18 breakdown shares) as per-unit constants
+ * and compose every system-level number bottom-up from them.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace bitwave {
+
+/// Energy and area unit costs of the modeled 16 nm node.
+struct TechParams
+{
+    // --- Operating point -------------------------------------------------
+    double frequency_hz = 250e6;  ///< BitWave clock (Section V-A).
+    double voltage = 0.8;
+
+    // --- MAC energies, pJ per 8b x 8b MAC-equivalent ----------------------
+    // Derived from Table IV power at 250 MHz: P / f.
+    // One 8x8 bit-parallel PE: 2.13e-2 mW -> 0.0852 pJ/MAC.
+    double e_mac_bit_parallel_pj = 0.0852;
+    // Eight 1x8 bit-serial PEs produce one 8x8 MAC per cycle:
+    // 5.71e-2 mW -> 0.2284 pJ/MAC-equivalent.
+    double e_mac_bit_serial_pj = 0.2284;
+    // Eight 1x8 bit-column-serial PEs (one BCE slice): 1.71e-2 mW
+    // -> 0.0684 pJ/MAC-equivalent (the add-then-shift saving).
+    double e_mac_bit_column_pj = 0.0684;
+
+    // --- Memory energies --------------------------------------------------
+    double e_sram_read_per_bit_pj = 0.04;    ///< 256 KB macro + H-tree.
+    double e_sram_write_per_bit_pj = 0.045;
+    double e_reg_per_word_pj = 0.006;        ///< Operand register access.
+    double e_dram_per_bit_pj = 6.0;          ///< DDR3L/LPDDR3 class.
+    /// Clock tree + leakage charged per active cycle (17.56 mW class
+    /// chip at 250 MHz carries a few mW of non-datapath power).
+    double e_static_per_cycle_pj = 14.0;
+
+    // --- Areas, um^2 ------------------------------------------------------
+    // Table IV PE areas.
+    double a_pe_bit_parallel_um2 = 98.029;
+    double a_pe_bit_serial_um2 = 443.284;
+    double a_pe_bit_column_um2 = 123.431;
+    // SRAM macro density: 512 KB occupying 55.08 % of 1.138 mm^2.
+    double a_sram_per_byte_um2 = 1.196;
+
+    // --- Table IV PE powers, mW (for the PE-comparison bench) -------------
+    double p_pe_bit_parallel_mw = 2.13e-2;
+    double p_pe_bit_serial_mw = 5.71e-2;
+    double p_pe_bit_column_mw = 1.71e-2;
+};
+
+/// The default calibration used across the repository.
+const TechParams &default_tech();
+
+/**
+ * Scaling helper for the Table III cross-technology comparison: scale an
+ * energy-efficiency figure from @p from_nm to @p to_nm using the standard
+ * first-order rule (efficiency ~ 1/node, area ~ node^2).
+ */
+double scale_efficiency(double tops_per_w, double from_nm, double to_nm);
+
+/// Area scaling companion to scale_efficiency.
+double scale_area(double mm2, double from_nm, double to_nm);
+
+}  // namespace bitwave

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Accelerator baseline configurations — the benchmark set of Fig. 12
+ * (right): SCNN, Stripes, Pragmatic, Bitlet, HUAA, a dense bit-parallel
+ * reference, and BitWave itself in its incremental variants
+ * (Dense SU / +DF / +SM / +SM+BF for the Fig. 13 breakdown).
+ *
+ * All systems are normalized to an equivalent compute budget (512 8bx8b
+ * MAC/cycle; bit-serial arrays hold 4096 1bx8b lanes) and the same
+ * 256 KB + 256 KB SRAM / DDR3 hierarchy, as the paper's methodology
+ * requires for a fair comparison.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/mapping.hpp"
+#include "dataflow/su.hpp"
+#include "sparsity/stats.hpp"
+
+namespace bitwave {
+
+/// How the datapath consumes operand bits.
+enum class ComputeStyle {
+    kBitParallel,      ///< 8b x 8b MACs (HUAA, SCNN, dense).
+    kBitSerial,        ///< 1b x 8b lanes, weight bits serialized.
+    kBitColumnSerial,  ///< BitWave BCEs: shared-significance columns.
+};
+
+/// Which sparsity the accelerator can skip.
+enum class SparsityMode {
+    kNone,           ///< Dense execution.
+    kValue,          ///< Zero-value skipping of W and A (SCNN).
+    kWeightBit,      ///< Zero weight-bit skipping (Pragmatic).
+    kWeightBitInterleaved,  ///< Bitlet's significance interleaving.
+    kWeightBitColumn,       ///< BitWave's BCS skipping.
+};
+
+/// Full configuration of one modeled accelerator.
+struct AcceleratorConfig
+{
+    std::string name;
+    ComputeStyle style = ComputeStyle::kBitParallel;
+    SparsityMode sparsity = SparsityMode::kNone;
+    /// Representation whose zero bits/columns are skippable.
+    Representation weight_repr = Representation::kTwosComplement;
+    /// Candidate dataflows; more than one = runtime-reconfigurable.
+    std::vector<SpatialUnrolling> dataflows;
+    MemoryHierarchy memory;
+
+    /// Lanes that advance in lockstep (Pragmatic sync, BitWave Ku).
+    std::int64_t sync_lanes = 16;
+    /// Bitlet interleaving window in weights.
+    std::int64_t interleave_window = 64;
+    /// Bitlet online bit-scheduling overhead (index extraction and
+    /// significance sorting happen at runtime — Section II-B).
+    double interleave_overhead = 1.0;
+    /// Weight compression between DRAM/SRAM and the array.
+    bool compress_weights = false;
+    /// Activation compression (SCNN's ZRE on feature maps).
+    bool compress_acts = false;
+    /// Load-imbalance inflation for value-sparse PEs (SCNN).
+    double value_imbalance = 1.2;
+    /// Whether the dataflow can treat the token/timestep batch of matmul
+    /// layers as a spatial OX dimension (im2col); conv-specialized SCNN
+    /// cannot.
+    bool map_batch_to_ox = true;
+
+    /// MAC/cycle at full utilization (8b x 8b equivalents).
+    std::int64_t peak_macs_per_cycle() const;
+};
+
+/// --- Baseline builders -------------------------------------------------
+
+/// Dense bit-parallel reference with the common [Ku=64, Cu=64] SU.
+AcceleratorConfig make_dense_reference();
+
+/// HUAA: bit-parallel, dynamic dataflow, no sparsity handling.
+AcceleratorConfig make_huaa();
+
+/// Stripes: bit-serial, fixed SU, no bit skipping.
+AcceleratorConfig make_stripes();
+
+/// Pragmatic: bit-serial, skips zero weight bits, lane-synchronized.
+AcceleratorConfig make_pragmatic();
+
+/// Bitlet: bit-interleaved weight-bit sparsity.
+AcceleratorConfig make_bitlet();
+
+/// SCNN: value-sparsity aware with ZRE-compressed tensors.
+AcceleratorConfig make_scnn();
+
+/// BitWave variants for the Fig. 13 breakdown.
+enum class BitWaveVariant {
+    kDenseSu,      ///< Fixed dense SU, dense bits (the Fig. 13 baseline).
+    kDynamicDf,    ///< + dynamic dataflow (DF).
+    kDfSm,         ///< + sign-magnitude BCSeC skipping & compression.
+    kDfSmBf,       ///< + Bit-Flip (weights must be pre-flipped).
+};
+
+/// Build a BitWave configuration for @p variant.
+AcceleratorConfig make_bitwave(BitWaveVariant variant);
+
+/// Display name of a variant ("Dense", "+DF", ...).
+const char *bitwave_variant_name(BitWaveVariant variant);
+
+/// The HUAA-style bit-parallel dynamic SU set (512 lanes).
+std::vector<SpatialUnrolling> huaa_sus();
+
+}  // namespace bitwave

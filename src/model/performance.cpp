@@ -1,0 +1,256 @@
+#include "model/performance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/logging.hpp"
+#include "compress/bcs.hpp"
+#include "compress/zre.hpp"
+#include "sparsity/stats.hpp"
+
+namespace bitwave {
+
+double
+WorkloadResult::runtime_ms(const TechParams &tech) const
+{
+    return total_cycles / tech.frequency_hz * 1e3;
+}
+
+double
+WorkloadResult::gops(const TechParams &tech) const
+{
+    const double seconds = total_cycles / tech.frequency_hz;
+    return seconds > 0
+        ? static_cast<double>(nominal_macs) * 2.0 / seconds / 1e9 : 0.0;
+}
+
+double
+WorkloadResult::tops_per_watt() const
+{
+    return total_energy_pj > 0
+        ? static_cast<double>(nominal_macs) * 2.0 / total_energy_pj : 0.0;
+}
+
+AcceleratorModel::AcceleratorModel(AcceleratorConfig config,
+                                   const TechParams &tech,
+                                   const DramModel &dram)
+    : config_(std::move(config)), tech_(tech), dram_(dram)
+{
+    if (config_.dataflows.empty()) {
+        fatal("AcceleratorModel: %s has no dataflows",
+              config_.name.c_str());
+    }
+}
+
+LayerResult
+AcceleratorModel::model_layer(const WorkloadLayer &layer,
+                              const Int8Tensor *weights,
+                              LayerContext ctx) const
+{
+    const Int8Tensor &w = weights != nullptr ? *weights : layer.weights;
+    // Matmul layers map their token batch onto OX (im2col view) on
+    // machines whose dataflow supports it (SCNN's planar-tiled conv
+    // dataflow does not, which is what sinks it on LSTM/BERT).
+    const LayerDesc desc = config_.map_batch_to_ox
+        ? normalized_for_mapping(layer.desc) : layer.desc;
+
+    LayerResult r;
+    r.layer_name = desc.name;
+
+    // ---- STEP1: dataflow selection & dense activity ----------------------
+    const SpatialUnrolling &su = select_su(desc, config_.dataflows);
+    r.su_name = su.name;
+    r.utilization = spatial_utilization(desc, su);
+    const double macs = static_cast<double>(desc.macs());
+    const std::int64_t iterations = temporal_iterations(desc, su);
+
+    // ---- STEP2: sparsity statistics --------------------------------------
+    const SparsityStats wstats = compute_sparsity(w);
+    const double sw = wstats.value_sparsity();
+    const double sa = layer.activation_sparsity;
+
+    // ---- STEP3: effective compute ----------------------------------------
+    // Cycles each spatial tile occupies the array, by compute style.
+    double cycles_per_pass = 1.0;     // bit-parallel default
+    double mac_energy_scale = 1.0;    // fraction of bit work actually done
+    double e_mac_pj = tech_.e_mac_bit_parallel_pj;
+
+    switch (config_.style) {
+      case ComputeStyle::kBitParallel:
+        cycles_per_pass = 1.0;
+        break;
+      case ComputeStyle::kBitSerial:
+        e_mac_pj = tech_.e_mac_bit_serial_pj;
+        if (config_.sparsity == SparsityMode::kWeightBit) {
+            cycles_per_pass = bit_serial_sync_cycles(
+                w, config_.sync_lanes, config_.weight_repr);
+            mac_energy_scale =
+                1.0 - wstats.bit_sparsity(config_.weight_repr);
+        } else if (config_.sparsity ==
+                   SparsityMode::kWeightBitInterleaved) {
+            // Bitlet: cycles bounded by the worst-loaded significance of
+            // each interleaving window.
+            const double window_cycles = bit_interleave_cycles(
+                w, config_.interleave_window, config_.weight_repr);
+            cycles_per_pass = window_cycles * 8.0 /
+                static_cast<double>(config_.interleave_window) *
+                config_.interleave_overhead;
+            mac_energy_scale =
+                1.0 - wstats.bit_sparsity(config_.weight_repr);
+        } else {
+            cycles_per_pass = 8.0;  // Stripes: all bits, every time.
+        }
+        break;
+      case ComputeStyle::kBitColumnSerial:
+        e_mac_pj = tech_.e_mac_bit_column_pj;
+        if (config_.sparsity == SparsityMode::kWeightBitColumn) {
+            // Compressed columns stream directly into the array; the
+            // fetcher's double buffering decouples group boundaries, so
+            // throughput follows the MEAN occupancy (the sync-limited
+            // variant is exercised by the ablation bench).
+            const ColumnCycleStats cc = column_cycle_stats(
+                w, desc, static_cast<int>(su.group_size()),
+                su.factor(Dim::kK), config_.weight_repr);
+            cycles_per_pass = cc.mean_ceil_cycles(su.bit_columns);
+            mac_energy_scale = cc.mean_cycles_per_group / 8.0;
+        } else {
+            // Dense mode: all 8 columns, bit_columns per cycle.
+            cycles_per_pass =
+                8.0 / static_cast<double>(su.bit_columns);
+        }
+        break;
+    }
+
+    double compute_cycles =
+        static_cast<double>(iterations) * cycles_per_pass;
+    double value_skip = 1.0;
+    if (config_.sparsity == SparsityMode::kValue) {
+        // Eq. (1) with the load-imbalance adjustment of STEP2.
+        value_skip = (1.0 - sw) * (1.0 - sa) * config_.value_imbalance;
+        value_skip = std::min(value_skip, 1.0);
+        compute_cycles *= value_skip;
+    }
+    r.compute_cycles = compute_cycles;
+    r.cycles_per_group = cycles_per_pass;
+
+    // Effective MACs (Eq. 1) for energy pricing.
+    double effective_macs = macs;
+    if (config_.sparsity == SparsityMode::kValue) {
+        effective_macs = macs * (1.0 - sw) * (1.0 - sa);
+    }
+    r.effective_macs = effective_macs;
+
+    // ---- Compression factors ---------------------------------------------
+    CompressionFactors cf;
+    if (config_.compress_weights) {
+        if (config_.sparsity == SparsityMode::kWeightBitColumn) {
+            const auto compressed = bcs_compress(
+                w, static_cast<int>(su.group_size()), config_.weight_repr);
+            cf.weight_fetch_ratio = 1.0 / compressed.compression_ratio();
+            // BCS fetch savings come from skipped column cycles; the
+            // remaining on-chip overhead is the 8b index per group.
+            cf.weight_sram_overhead = 1.0 +
+                static_cast<double>(kWordBits) /
+                    (cycles_per_pass *
+                     static_cast<double>(su.group_size()));
+        } else if (config_.sparsity == SparsityMode::kValue) {
+            const auto compressed = zre_compress(w);
+            cf.weight_fetch_ratio = 1.0 / compressed.compression_ratio();
+            // 12-bit ZRE entries for the (1 - Sw) surviving weights.
+            cf.weight_sram_overhead = (1.0 - sw) * 12.0 / 8.0;
+        }
+    }
+    if (config_.compress_acts) {
+        // Analytic ZRE on activations: (1 - Sa) entries of 12 bits each,
+        // plus closing entries for long zero runs.
+        const double entries = (1.0 - sa) + sa / 15.0;
+        cf.act_fetch_ratio = std::max(entries * 12.0 / 8.0, 0.05);
+        cf.act_store_ratio = cf.act_fetch_ratio;
+        cf.act_sram_overhead = cf.act_fetch_ratio;
+    }
+    r.weight_fetch_ratio = cf.weight_fetch_ratio;
+
+    // ---- Memory activity & Eq. (5) latency --------------------------------
+    ExecutionProfile exec;
+    exec.utilization = r.utilization;
+    exec.compute_cycles = r.compute_cycles;
+    // Active fetch rate is bounded by the physical weight port (Table I:
+    // every BitWave SU keeps W BW <= 1024 bits/cycle).
+    exec.weight_port_active_bits = std::min(
+        static_cast<double>(su.weight_bandwidth_bits()) *
+            static_cast<double>(su.bit_columns),
+        static_cast<double>(config_.memory.weight_port_bits));
+    exec.weight_stationary = config_.style == ComputeStyle::kBitParallel;
+    exec.c_tiles = ceil_div(desc.c, su.factor(Dim::kC));
+    // Intermediate feature maps stay on chip (halo tiling); only the
+    // network input and output cross DRAM.
+    exec.input_from_dram = ctx.first_layer;
+    exec.output_to_dram = ctx.last_layer;
+
+    const AccessCounts ac =
+        compute_access_counts(desc, su, config_.memory, cf, exec);
+    r.dram_cycles = dram_.transfer_cycles(ac.dram_total_bits());
+
+    const double sram_read_w_cycles = ac.sram_read_weight_bits /
+        static_cast<double>(config_.memory.weight_port_bits);
+    const double sram_read_a_cycles = ac.sram_read_act_bits /
+        static_cast<double>(config_.memory.act_port_bits);
+    const double sram_write_out_cycles =
+        static_cast<double>(desc.output_count()) * kWordBits /
+        static_cast<double>(config_.memory.act_port_bits);
+
+    r.total_cycles = r.dram_cycles + sram_write_out_cycles +
+        std::max({sram_read_a_cycles, sram_read_w_cycles,
+                  r.compute_cycles});
+
+    // ---- STEP4: energy (Eq. 4) --------------------------------------------
+    r.energy_mac_pj = effective_macs * mac_energy_scale * e_mac_pj;
+    r.energy_sram_pj =
+        (ac.sram_read_weight_bits + ac.sram_read_act_bits) *
+            tech_.e_sram_read_per_bit_pj +
+        (ac.sram_write_act_bits + ac.sram_write_weight_bits) *
+            tech_.e_sram_write_per_bit_pj;
+    r.energy_reg_pj = (ac.reg_read_words + ac.reg_write_words) *
+        tech_.e_reg_per_word_pj;
+    r.energy_dram_pj = dram_.transfer_energy_pj(ac.dram_total_bits());
+    // Static/clock-tree energy accrues with runtime: slow mappings pay.
+    r.energy_static_pj = r.total_cycles * tech_.e_static_per_cycle_pj;
+    r.energy_total_pj = r.energy_mac_pj + r.energy_sram_pj +
+        r.energy_reg_pj + r.energy_dram_pj + r.energy_static_pj;
+    return r;
+}
+
+WorkloadResult
+AcceleratorModel::model_workload(const Workload &workload,
+                                 const std::vector<Int8Tensor> *weights)
+    const
+{
+    if (weights != nullptr && weights->size() != workload.layers.size()) {
+        fatal("model_workload: %zu weight tensors for %zu layers",
+              weights->size(), workload.layers.size());
+    }
+    WorkloadResult out;
+    out.accelerator = config_.name;
+    out.workload = workload.name;
+    out.nominal_macs = workload.total_macs();
+    for (std::size_t l = 0; l < workload.layers.size(); ++l) {
+        LayerContext ctx;
+        ctx.first_layer = l == 0;
+        ctx.last_layer = l + 1 == workload.layers.size();
+        LayerResult lr = model_layer(
+            workload.layers[l],
+            weights != nullptr ? &(*weights)[l] : nullptr, ctx);
+        out.total_cycles += lr.total_cycles;
+        out.total_energy_pj += lr.energy_total_pj;
+        out.energy_mac_pj += lr.energy_mac_pj;
+        out.energy_sram_pj += lr.energy_sram_pj;
+        out.energy_reg_pj += lr.energy_reg_pj;
+        out.energy_dram_pj += lr.energy_dram_pj;
+        out.energy_static_pj += lr.energy_static_pj;
+        out.layers.push_back(std::move(lr));
+    }
+    return out;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Sparseloop-inspired analytical performance model — Section V-B,
+ * STEP1-STEP4 and Eqs. (1)-(5).
+ *
+ * For one (accelerator, workload) pair the model:
+ *   STEP1  maps each layer onto the accelerator's best supported dataflow
+ *          (ZigZag-lite: spatial utilization + temporal iterations) and
+ *          extracts the Table II activity counts;
+ *   STEP2  derives the workload's sparsity statistics (value, bit, and
+ *          bit-column level) from the actual weight tensors, with load
+ *          imbalance applied for runtime-scheduled machines;
+ *   STEP3  combines both into effective MAC counts / compute cycles
+ *          (Eqs. 1-2) and effective memory accesses (Eq. 3);
+ *   STEP4  prices the activity with the 16 nm technology parameters and
+ *          the DDR3 model (Eq. 4) and assembles latency per Eq. (5).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/dram.hpp"
+#include "energy/tech.hpp"
+#include "model/accelerator.hpp"
+#include "nn/workloads.hpp"
+
+namespace bitwave {
+
+/// Modeled execution of one layer on one accelerator.
+struct LayerResult
+{
+    std::string layer_name;
+    std::string su_name;        ///< Selected dataflow.
+    double utilization = 0.0;   ///< Spatial PE utilization.
+    double effective_macs = 0.0;   ///< Nmac,e (Eq. 1).
+    double compute_cycles = 0.0;   ///< CCmac,e (Eq. 2).
+    double dram_cycles = 0.0;      ///< Channel occupancy.
+    double total_cycles = 0.0;     ///< Eq. (5).
+
+    // Energy components (pJ) and their sum (Eq. 4).
+    double energy_mac_pj = 0.0;
+    double energy_sram_pj = 0.0;
+    double energy_reg_pj = 0.0;
+    double energy_dram_pj = 0.0;
+    double energy_static_pj = 0.0;  ///< Clock tree + leakage over runtime.
+    double energy_total_pj = 0.0;
+
+    // Bookkeeping for the compression-oriented figures.
+    double weight_fetch_ratio = 1.0;   ///< Compressed/raw weight bits.
+    double cycles_per_group = 8.0;     ///< Effective bit cycles per pass.
+};
+
+/// Modeled execution of a whole workload.
+struct WorkloadResult
+{
+    std::string accelerator;
+    std::string workload;
+    std::vector<LayerResult> layers;
+
+    double total_cycles = 0.0;
+    double total_energy_pj = 0.0;
+    double energy_mac_pj = 0.0;
+    double energy_sram_pj = 0.0;
+    double energy_reg_pj = 0.0;
+    double energy_dram_pj = 0.0;
+    double energy_static_pj = 0.0;
+    std::int64_t nominal_macs = 0;  ///< Dense MAC count of the workload.
+
+    /// Wall-clock at the tech frequency, in ms.
+    double runtime_ms(const TechParams &tech = default_tech()) const;
+    /// Effective throughput in GOPS (2 ops per MAC).
+    double gops(const TechParams &tech = default_tech()) const;
+    /// Energy efficiency in TOPS/W over nominal (useful) operations.
+    double tops_per_watt() const;
+};
+
+/// Position flags controlling off-chip activation traffic: only the
+/// network input and output cross DRAM (intermediate feature maps are
+/// kept or halo-tiled on chip, the assumption behind Fig. 16's
+/// "DRAM energy is dominated by weight loading").
+struct LayerContext
+{
+    bool first_layer = false;
+    bool last_layer = false;
+};
+
+/**
+ * The analytical model for one accelerator configuration.
+ */
+class AcceleratorModel
+{
+  public:
+    explicit AcceleratorModel(AcceleratorConfig config,
+                              const TechParams &tech = default_tech(),
+                              const DramModel &dram = default_dram());
+
+    /**
+     * Model one layer.
+     *
+     * @param layer     Layer descriptor + weights + activation sparsity.
+     * @param weights   Optional replacement weights (e.g. Bit-Flipped);
+     *                  defaults to the layer's own tensor.
+     * @param ctx       Position of the layer in the network.
+     */
+    LayerResult model_layer(const WorkloadLayer &layer,
+                            const Int8Tensor *weights = nullptr,
+                            LayerContext ctx = {}) const;
+
+    /**
+     * Model a workload; @p weights optionally overrides every layer's
+     * tensor (must then match the layer count).
+     */
+    WorkloadResult model_workload(const Workload &workload,
+                                  const std::vector<Int8Tensor> *weights =
+                                      nullptr) const;
+
+    const AcceleratorConfig &config() const { return config_; }
+
+  private:
+    AcceleratorConfig config_;
+    const TechParams &tech_;
+    const DramModel &dram_;
+};
+
+}  // namespace bitwave

@@ -1,0 +1,111 @@
+#include "nn/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "nn/reference.hpp"
+#include "nn/synthesis.hpp"
+
+namespace bitwave {
+
+AccuracyProxy::AccuracyProxy(const Workload &workload,
+                             AccuracyProxyOptions options)
+    : workload_(workload), options_(options)
+{
+    Rng rng(options_.seed);
+    descs_.reserve(workload_.layers.size());
+    inputs_.reserve(workload_.layers.size());
+    golden_.reserve(workload_.layers.size());
+    golden_norm_.reserve(workload_.layers.size());
+
+    for (const auto &layer : workload_.layers) {
+        LayerDesc capped = capped_desc(layer.desc);
+        // Calibration activations mirror the layer's modeled input
+        // statistics (ReLU-positive for CNN layers with sparsity, signed
+        // dense for transformer/LSTM inputs).
+        const bool relu_like = layer.activation_sparsity > 0.2;
+        Int8Tensor input = synthesize_activations(
+            layer_input_shape(capped), layer.activation_sparsity, 16.0,
+            relu_like, rng);
+        Int32Tensor out = layer_forward_int8(capped, input, layer.weights);
+        double norm = 0.0;
+        for (std::int64_t i = 0; i < out.numel(); ++i) {
+            norm += static_cast<double>(out[i]) * static_cast<double>(out[i]);
+        }
+        golden_norm_.push_back(std::sqrt(
+            std::max(norm, 1.0)));
+        descs_.push_back(std::move(capped));
+        inputs_.push_back(std::move(input));
+        golden_.push_back(std::move(out));
+    }
+}
+
+LayerDesc
+AccuracyProxy::capped_desc(const LayerDesc &desc) const
+{
+    LayerDesc capped = desc;
+    capped.oy = std::min(capped.oy, options_.spatial_cap);
+    capped.ox = std::min(capped.ox, options_.spatial_cap);
+    capped.batch = std::min(capped.batch, options_.batch_cap);
+    return capped;
+}
+
+double
+AccuracyProxy::layer_rel_error(std::size_t layer_idx,
+                               const Int8Tensor &new_weights) const
+{
+    if (layer_idx >= workload_.layers.size()) {
+        fatal("layer_rel_error: index %zu out of range", layer_idx);
+    }
+    const auto &golden = golden_[layer_idx];
+    const Int32Tensor out = layer_forward_int8(
+        descs_[layer_idx], inputs_[layer_idx], new_weights);
+    double err = 0.0;
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        const double d = static_cast<double>(out[i]) -
+            static_cast<double>(golden[i]);
+        err += d * d;
+    }
+    return std::sqrt(err) / golden_norm_[layer_idx];
+}
+
+double
+AccuracyProxy::depth_weight(std::size_t layer_idx) const
+{
+    const double l = static_cast<double>(layer_idx);
+    const double total = static_cast<double>(workload_.layers.size());
+    // Distortion injected at depth l propagates through the remaining
+    // (total - l) layers; weight decays toward the output.
+    const double remaining = (total - l) / total;
+    return 0.15 + 0.85 * remaining * remaining;
+}
+
+double
+AccuracyProxy::metric_with_layer(std::size_t layer_idx,
+                                 const Int8Tensor &new_weights) const
+{
+    const double e = layer_rel_error(layer_idx, new_weights);
+    return workload_.base_metric -
+        workload_.error_sensitivity * depth_weight(layer_idx) * e;
+}
+
+double
+AccuracyProxy::metric_for(const std::vector<Int8Tensor> &new_weights) const
+{
+    if (new_weights.size() != workload_.layers.size()) {
+        fatal("metric_for: expected %zu weight tensors, got %zu",
+              workload_.layers.size(), new_weights.size());
+    }
+    double weighted = 0.0;
+    for (std::size_t l = 0; l < new_weights.size(); ++l) {
+        // Unchanged layers contribute no error; skip the forward pass.
+        if (new_weights[l] == workload_.layers[l].weights) {
+            continue;
+        }
+        weighted += depth_weight(l) * layer_rel_error(l, new_weights[l]);
+    }
+    return workload_.base_metric - workload_.error_sensitivity * weighted;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Accuracy proxy (DESIGN.md substitution #2).
+ *
+ * The paper evaluates Bit-Flip against real datasets (ImageNet top-1,
+ * PESQ, SQuAD F1). Without those datasets, we estimate metric loss from
+ * the *output distortion* each layer's modified weights cause:
+ *
+ *   1. per layer, run the reference kernel on calibration activations
+ *      with original and modified weights and compute the relative RMS
+ *      output error e_l;
+ *   2. weight e_l by a depth factor d_l — distortion injected early in a
+ *      network is amplified by every downstream layer, the reason the
+ *      paper finds early (weight-light) layers flip-sensitive;
+ *   3. metric_estimate = base_metric - sensitivity * sum_l d_l * e_l.
+ *
+ * The proxy is monotone in weight distortion (all Algorithm 1 needs) and
+ * reproduces the paper's qualitative sensitivity ordering. Layers are
+ * evaluated on spatially-capped shapes so a full sensitivity sweep runs
+ * in seconds on a laptop.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/workload.hpp"
+
+namespace bitwave {
+
+/// Calibration-evaluation settings.
+struct AccuracyProxyOptions
+{
+    /// Cap on OY/OX (conv) and batch/tokens during calibration runs.
+    std::int64_t spatial_cap = 8;
+    std::int64_t batch_cap = 4;
+    std::uint64_t seed = 0xACC;
+};
+
+/**
+ * Evaluates metric estimates for modified weight sets of one workload.
+ *
+ * The evaluator caches the calibration inputs and the original layer
+ * outputs, so repeated queries (the inner loop of Algorithm 1) only pay
+ * for the layers whose weights changed.
+ */
+class AccuracyProxy
+{
+  public:
+    /// Build calibration data for @p workload (kept by reference).
+    AccuracyProxy(const Workload &workload,
+                  AccuracyProxyOptions options = {});
+
+    /**
+     * Relative RMS output error of layer @p layer_idx if its weights were
+     * @p new_weights (same shape as the original).
+     */
+    double layer_rel_error(std::size_t layer_idx,
+                           const Int8Tensor &new_weights) const;
+
+    /**
+     * Metric estimate when layer @p layer_idx uses @p new_weights and all
+     * other layers keep their original weights.
+     */
+    double metric_with_layer(std::size_t layer_idx,
+                             const Int8Tensor &new_weights) const;
+
+    /**
+     * Metric estimate for a full set of per-layer weights.
+     * @p new_weights must have one entry per layer.
+     */
+    double metric_for(const std::vector<Int8Tensor> &new_weights) const;
+
+    /// Metric of the unmodified workload (== workload.base_metric).
+    double base_metric() const { return workload_.base_metric; }
+
+    /// Depth weight d_l used for layer @p layer_idx.
+    double depth_weight(std::size_t layer_idx) const;
+
+    const Workload &workload() const { return workload_; }
+
+  private:
+    /// Calibration shape for one layer (spatially capped copy).
+    LayerDesc capped_desc(const LayerDesc &desc) const;
+
+    const Workload &workload_;
+    AccuracyProxyOptions options_;
+    /// Per-layer capped descriptors, calibration inputs, golden outputs.
+    std::vector<LayerDesc> descs_;
+    std::vector<Int8Tensor> inputs_;
+    std::vector<Int32Tensor> golden_;
+    std::vector<double> golden_norm_;
+};
+
+}  // namespace bitwave

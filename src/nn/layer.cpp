@@ -1,0 +1,131 @@
+#include "nn/layer.hpp"
+
+#include "common/logging.hpp"
+
+namespace bitwave {
+
+const char *
+layer_kind_name(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::kConv: return "conv";
+      case LayerKind::kDepthwiseConv: return "dwconv";
+      case LayerKind::kPointwiseConv: return "pwconv";
+      case LayerKind::kLinear: return "linear";
+      case LayerKind::kLstm: return "lstm";
+    }
+    return "?";
+}
+
+std::int64_t
+LayerDesc::macs() const
+{
+    return batch * k * c * oy * ox * fy * fx;
+}
+
+std::int64_t
+LayerDesc::weight_count() const
+{
+    return k * c * fy * fx;
+}
+
+std::int64_t
+LayerDesc::input_count() const
+{
+    const std::int64_t channels =
+        kind == LayerKind::kDepthwiseConv ? k : c;
+    return batch * channels * iy() * ix();
+}
+
+std::int64_t
+LayerDesc::output_count() const
+{
+    return batch * k * oy * ox;
+}
+
+std::string
+LayerDesc::to_string() const
+{
+    return strprintf(
+        "%s(%s K=%lld C=%lld OY=%lld OX=%lld F=%lldx%lld s=%lld B=%lld)",
+        name.c_str(), layer_kind_name(kind), static_cast<long long>(k),
+        static_cast<long long>(c), static_cast<long long>(oy),
+        static_cast<long long>(ox), static_cast<long long>(fy),
+        static_cast<long long>(fx), static_cast<long long>(stride),
+        static_cast<long long>(batch));
+}
+
+LayerDesc
+make_conv(std::string name, std::int64_t k, std::int64_t c, std::int64_t oy,
+          std::int64_t ox, std::int64_t fy, std::int64_t fx,
+          std::int64_t stride, std::int64_t batch)
+{
+    LayerDesc d;
+    d.name = std::move(name);
+    d.kind = LayerKind::kConv;
+    d.batch = batch;
+    d.k = k;
+    d.c = c;
+    d.oy = oy;
+    d.ox = ox;
+    d.fy = fy;
+    d.fx = fx;
+    d.stride = stride;
+    return d;
+}
+
+LayerDesc
+make_depthwise(std::string name, std::int64_t channels, std::int64_t oy,
+               std::int64_t ox, std::int64_t f, std::int64_t stride,
+               std::int64_t batch)
+{
+    LayerDesc d;
+    d.name = std::move(name);
+    d.kind = LayerKind::kDepthwiseConv;
+    d.batch = batch;
+    d.k = channels;
+    d.c = 1;
+    d.oy = oy;
+    d.ox = ox;
+    d.fy = f;
+    d.fx = f;
+    d.stride = stride;
+    return d;
+}
+
+LayerDesc
+make_pointwise(std::string name, std::int64_t k, std::int64_t c,
+               std::int64_t oy, std::int64_t ox, std::int64_t batch)
+{
+    LayerDesc d = make_conv(std::move(name), k, c, oy, ox, 1, 1, 1, batch);
+    d.kind = LayerKind::kPointwiseConv;
+    return d;
+}
+
+LayerDesc
+make_linear(std::string name, std::int64_t out, std::int64_t in,
+            std::int64_t tokens)
+{
+    LayerDesc d;
+    d.name = std::move(name);
+    d.kind = LayerKind::kLinear;
+    d.batch = tokens;
+    d.k = out;
+    d.c = in;
+    return d;
+}
+
+LayerDesc
+make_lstm(std::string name, std::int64_t hidden, std::int64_t input,
+          std::int64_t timesteps)
+{
+    LayerDesc d;
+    d.name = std::move(name);
+    d.kind = LayerKind::kLstm;
+    d.batch = timesteps;
+    d.k = 4 * hidden;
+    d.c = input + hidden;
+    return d;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Neural-network layer descriptors.
+ *
+ * Every layer is normalized to the paper's seven-dimensional loop nest
+ * (Fig. 2): batch B, output channels K, input channels C, output spatial
+ * OY/OX, kernel FY/FX. Linear / LSTM / attention projections map onto the
+ * same nest with the spatial and kernel dims collapsed to 1, which is what
+ * lets one dataflow model (and one accelerator model) cover all four
+ * benchmark networks.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bitwave {
+
+/// Layer operator types appearing in the benchmark workloads.
+enum class LayerKind {
+    kConv,           ///< Standard convolution.
+    kDepthwiseConv,  ///< One filter per channel (MobileNetV2 Dwcv).
+    kPointwiseConv,  ///< 1x1 convolution (MobileNetV2 Pwcv).
+    kLinear,         ///< Fully connected / transformer projection.
+    kLstm,           ///< LSTM layer: 4 gate matrices over T timesteps.
+};
+
+/// Human-readable kind name.
+const char *layer_kind_name(LayerKind kind);
+
+/**
+ * Shape and bookkeeping of one layer.
+ *
+ * For kLinear, B carries the token/sample count and K/C the matrix dims.
+ * For kLstm, K = 4 * hidden (stacked gates), C = input + hidden and
+ * B = timesteps; this models the LSTM's weight matmuls exactly, which is
+ * what the accelerator executes (elementwise gate math is negligible).
+ * For kDepthwiseConv, K counts channels and C = 1 (each output channel
+ * sees a single input channel).
+ */
+struct LayerDesc
+{
+    std::string name;
+    LayerKind kind = LayerKind::kConv;
+
+    std::int64_t batch = 1;  ///< B (or tokens / timesteps).
+    std::int64_t k = 1;      ///< Output channels.
+    std::int64_t c = 1;      ///< Input channels (1 for depthwise).
+    std::int64_t oy = 1;     ///< Output rows.
+    std::int64_t ox = 1;     ///< Output cols.
+    std::int64_t fy = 1;     ///< Kernel rows.
+    std::int64_t fx = 1;     ///< Kernel cols.
+    std::int64_t stride = 1;
+
+    /// Number of MAC operations.
+    std::int64_t macs() const;
+    /// Number of weight words.
+    std::int64_t weight_count() const;
+    /// Number of input activation words (exact for stride-sized windows).
+    std::int64_t input_count() const;
+    /// Number of output activation words.
+    std::int64_t output_count() const;
+
+    /// Input spatial extent implied by output size, kernel, and stride.
+    std::int64_t ix() const { return (ox - 1) * stride + fx; }
+    std::int64_t iy() const { return (oy - 1) * stride + fy; }
+
+    /// One-line summary for logs and tables.
+    std::string to_string() const;
+};
+
+/// Convenience builders -----------------------------------------------
+
+/// Standard convolution layer descriptor.
+LayerDesc make_conv(std::string name, std::int64_t k, std::int64_t c,
+                    std::int64_t oy, std::int64_t ox, std::int64_t fy,
+                    std::int64_t fx, std::int64_t stride = 1,
+                    std::int64_t batch = 1);
+
+/// Depthwise convolution over @p channels.
+LayerDesc make_depthwise(std::string name, std::int64_t channels,
+                         std::int64_t oy, std::int64_t ox, std::int64_t f,
+                         std::int64_t stride = 1, std::int64_t batch = 1);
+
+/// Pointwise (1x1) convolution.
+LayerDesc make_pointwise(std::string name, std::int64_t k, std::int64_t c,
+                         std::int64_t oy, std::int64_t ox,
+                         std::int64_t batch = 1);
+
+/// Fully connected layer over @p tokens rows.
+LayerDesc make_linear(std::string name, std::int64_t out, std::int64_t in,
+                      std::int64_t tokens = 1);
+
+/// LSTM layer: weights for 4 gates of @p hidden units over @p timesteps.
+LayerDesc make_lstm(std::string name, std::int64_t hidden, std::int64_t input,
+                    std::int64_t timesteps);
+
+}  // namespace bitwave

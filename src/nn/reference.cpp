@@ -1,0 +1,190 @@
+#include "nn/reference.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "nn/workload.hpp"
+
+namespace bitwave {
+
+Int32Tensor
+conv2d_int8(const LayerDesc &desc, const Int8Tensor &input,
+            const Int8Tensor &weights)
+{
+    const std::int64_t b_n = desc.batch, k_n = desc.k, c_n = desc.c;
+    const std::int64_t oy_n = desc.oy, ox_n = desc.ox;
+    const std::int64_t fy_n = desc.fy, fx_n = desc.fx;
+    const std::int64_t iy_n = desc.iy(), ix_n = desc.ix();
+
+    if (input.shape() != Shape{b_n, c_n, iy_n, ix_n}) {
+        fatal("conv2d_int8: input shape %s does not match layer %s",
+              shape_to_string(input.shape()).c_str(),
+              desc.to_string().c_str());
+    }
+    if (weights.shape() != Shape{k_n, fy_n, fx_n, c_n}) {
+        fatal("conv2d_int8: weight shape %s does not match layer %s",
+              shape_to_string(weights.shape()).c_str(),
+              desc.to_string().c_str());
+    }
+
+    Int32Tensor out({b_n, k_n, oy_n, ox_n});
+    for (std::int64_t b = 0; b < b_n; ++b) {
+        for (std::int64_t k = 0; k < k_n; ++k) {
+            for (std::int64_t oy = 0; oy < oy_n; ++oy) {
+                for (std::int64_t ox = 0; ox < ox_n; ++ox) {
+                    std::int32_t acc = 0;
+                    for (std::int64_t fy = 0; fy < fy_n; ++fy) {
+                        const std::int64_t iy = oy * desc.stride + fy;
+                        for (std::int64_t fx = 0; fx < fx_n; ++fx) {
+                            const std::int64_t ix = ox * desc.stride + fx;
+                            const std::int8_t *in_row = input.data() +
+                                ((b * c_n) * iy_n + iy) * ix_n + ix;
+                            const std::int8_t *w_row = weights.data() +
+                                ((k * fy_n + fy) * fx_n + fx) * c_n;
+                            for (std::int64_t c = 0; c < c_n; ++c) {
+                                acc += static_cast<std::int32_t>(
+                                           in_row[c * iy_n * ix_n]) *
+                                    static_cast<std::int32_t>(w_row[c]);
+                            }
+                        }
+                    }
+                    out[((b * k_n + k) * oy_n + oy) * ox_n + ox] = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Int32Tensor
+depthwise_conv2d_int8(const LayerDesc &desc, const Int8Tensor &input,
+                      const Int8Tensor &weights)
+{
+    const std::int64_t b_n = desc.batch, k_n = desc.k;
+    const std::int64_t oy_n = desc.oy, ox_n = desc.ox;
+    const std::int64_t fy_n = desc.fy, fx_n = desc.fx;
+    const std::int64_t iy_n = desc.iy(), ix_n = desc.ix();
+
+    if (input.shape() != Shape{b_n, k_n, iy_n, ix_n}) {
+        fatal("depthwise_conv2d_int8: input shape %s does not match %s",
+              shape_to_string(input.shape()).c_str(),
+              desc.to_string().c_str());
+    }
+    if (weights.shape() != Shape{k_n, fy_n, fx_n}) {
+        fatal("depthwise_conv2d_int8: weight shape %s does not match %s",
+              shape_to_string(weights.shape()).c_str(),
+              desc.to_string().c_str());
+    }
+
+    Int32Tensor out({b_n, k_n, oy_n, ox_n});
+    for (std::int64_t b = 0; b < b_n; ++b) {
+        for (std::int64_t k = 0; k < k_n; ++k) {
+            for (std::int64_t oy = 0; oy < oy_n; ++oy) {
+                for (std::int64_t ox = 0; ox < ox_n; ++ox) {
+                    std::int32_t acc = 0;
+                    for (std::int64_t fy = 0; fy < fy_n; ++fy) {
+                        for (std::int64_t fx = 0; fx < fx_n; ++fx) {
+                            const std::int64_t iy = oy * desc.stride + fy;
+                            const std::int64_t ix = ox * desc.stride + fx;
+                            acc += static_cast<std::int32_t>(
+                                       input[((b * k_n + k) * iy_n + iy) *
+                                                 ix_n +
+                                             ix]) *
+                                static_cast<std::int32_t>(
+                                    weights[(k * fy_n + fy) * fx_n + fx]);
+                        }
+                    }
+                    out[((b * k_n + k) * oy_n + oy) * ox_n + ox] = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Int32Tensor
+linear_int8(const LayerDesc &desc, const Int8Tensor &input,
+            const Int8Tensor &weights)
+{
+    const std::int64_t b_n = desc.batch, k_n = desc.k, c_n = desc.c;
+    if (input.shape() != Shape{b_n, c_n}) {
+        fatal("linear_int8: input shape %s does not match layer %s",
+              shape_to_string(input.shape()).c_str(),
+              desc.to_string().c_str());
+    }
+    if (weights.shape() != Shape{k_n, c_n}) {
+        fatal("linear_int8: weight shape %s does not match layer %s",
+              shape_to_string(weights.shape()).c_str(),
+              desc.to_string().c_str());
+    }
+    Int32Tensor out({b_n, k_n});
+    for (std::int64_t b = 0; b < b_n; ++b) {
+        for (std::int64_t k = 0; k < k_n; ++k) {
+            out[b * k_n + k] =
+                dot_int8(input.data() + b * c_n, weights.data() + k * c_n,
+                         c_n);
+        }
+    }
+    return out;
+}
+
+Int32Tensor
+layer_forward_int8(const LayerDesc &desc, const Int8Tensor &input,
+                   const Int8Tensor &weights)
+{
+    switch (desc.kind) {
+      case LayerKind::kConv:
+      case LayerKind::kPointwiseConv:
+        return conv2d_int8(desc, input, weights);
+      case LayerKind::kDepthwiseConv:
+        return depthwise_conv2d_int8(desc, input, weights);
+      case LayerKind::kLinear:
+      case LayerKind::kLstm:
+        return linear_int8(desc, input, weights);
+    }
+    fatal("layer_forward_int8: unknown layer kind");
+}
+
+Shape
+layer_input_shape(const LayerDesc &desc)
+{
+    switch (desc.kind) {
+      case LayerKind::kConv:
+      case LayerKind::kPointwiseConv:
+        return {desc.batch, desc.c, desc.iy(), desc.ix()};
+      case LayerKind::kDepthwiseConv:
+        return {desc.batch, desc.k, desc.iy(), desc.ix()};
+      case LayerKind::kLinear:
+      case LayerKind::kLstm:
+        return {desc.batch, desc.c};
+    }
+    fatal("layer_input_shape: unknown layer kind");
+}
+
+Int8Tensor
+requantize_accumulators(const Int32Tensor &acc, int shift)
+{
+    if (shift < 0 || shift > 31) {
+        fatal("requantize_accumulators: shift %d out of range", shift);
+    }
+    Int8Tensor out(acc.shape());
+    for (std::int64_t i = 0; i < acc.numel(); ++i) {
+        const std::int32_t shifted = acc[i] >> shift;
+        out[i] = static_cast<std::int8_t>(
+            std::clamp<std::int32_t>(shifted, -127, 127));
+    }
+    return out;
+}
+
+std::int32_t
+dot_int8(const std::int8_t *a, const std::int8_t *b, std::int64_t n)
+{
+    std::int32_t acc = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        acc += static_cast<std::int32_t>(a[i]) *
+            static_cast<std::int32_t>(b[i]);
+    }
+    return acc;
+}
+
+}  // namespace bitwave

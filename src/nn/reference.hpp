@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reference integer inference kernels.
+ *
+ * These are the golden models: the BitWave functional simulator's outputs
+ * are verified bit-exactly against them, and the accuracy proxy uses them
+ * to measure the output distortion that Bit-Flip introduces.
+ *
+ * Conventions: activations are NCHW ([B, C, IY, IX]); weights are
+ * C-innermost ([K, FY, FX, C], see workload.hpp); accumulators are int32
+ * (8b x 8b products cannot overflow 32 bits at the layer sizes used here).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitwave {
+
+/**
+ * Standard / pointwise convolution.
+ *
+ * @param desc    Layer descriptor (kConv or kPointwiseConv).
+ * @param input   [B, C, IY, IX] activations.
+ * @param weights [K, FY, FX, C] weights.
+ * @return        [B, K, OY, OX] int32 accumulator outputs.
+ */
+Int32Tensor conv2d_int8(const LayerDesc &desc, const Int8Tensor &input,
+                        const Int8Tensor &weights);
+
+/**
+ * Depthwise convolution: weights [K, FY, FX], input [B, K, IY, IX].
+ */
+Int32Tensor depthwise_conv2d_int8(const LayerDesc &desc,
+                                  const Int8Tensor &input,
+                                  const Int8Tensor &weights);
+
+/**
+ * Linear layer (also used for LSTM gate matmuls): input [B, C],
+ * weights [K, C], output [B, K].
+ */
+Int32Tensor linear_int8(const LayerDesc &desc, const Int8Tensor &input,
+                        const Int8Tensor &weights);
+
+/**
+ * Dispatch on desc.kind to the appropriate kernel. LSTM layers run as
+ * their gate matmul ([B=T, C] x [4H, C]).
+ */
+Int32Tensor layer_forward_int8(const LayerDesc &desc, const Int8Tensor &input,
+                               const Int8Tensor &weights);
+
+/// Shape of the activation input expected by layer_forward_int8.
+Shape layer_input_shape(const LayerDesc &desc);
+
+/**
+ * Requantize an int32 accumulator tensor back to int8 with a power-of-two
+ * right shift and saturation — the cheap output stage edge accelerators
+ * use between layers.
+ */
+Int8Tensor requantize_accumulators(const Int32Tensor &acc, int shift);
+
+/// Plain int8 dot product with int32 accumulation (test primitive).
+std::int32_t dot_int8(const std::int8_t *a, const std::int8_t *b,
+                      std::int64_t n);
+
+}  // namespace bitwave

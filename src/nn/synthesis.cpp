@@ -1,0 +1,63 @@
+#include "nn/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+
+namespace bitwave {
+
+Int8Tensor
+synthesize_weights(const LayerDesc &desc, const WeightProfile &profile,
+                   Rng &rng)
+{
+    Int8Tensor out(WorkloadLayer::weight_shape(desc));
+    const std::int64_t kernels = out.rank() > 0 ? out.dim(0) : 1;
+    const std::int64_t per_kernel =
+        kernels > 0 ? out.numel() / kernels : out.numel();
+
+    std::int64_t i = 0;
+    for (std::int64_t k = 0; k < kernels; ++k) {
+        const double gain =
+            std::exp(rng.gaussian(profile.kernel_gain_sigma));
+        const double scale = profile.scale * gain;
+        for (std::int64_t j = 0; j < per_kernel; ++j, ++i) {
+            if (rng.bernoulli(profile.zero_probability)) {
+                out[i] = 0;
+                continue;
+            }
+            const double x =
+                profile.distribution == WeightDistribution::kLaplacian
+                ? rng.laplacian(scale) : rng.gaussian(scale);
+            int code = static_cast<int>(std::lround(x));
+            if (code == 0 && rng.bernoulli(profile.zero_avoidance)) {
+                code = rng.bernoulli(0.5) ? 1 : -1;
+            }
+            out[i] = static_cast<std::int8_t>(
+                std::clamp(code, kSignMagMin, kSignMagMax));
+        }
+    }
+    return out;
+}
+
+Int8Tensor
+synthesize_activations(const Shape &shape, double value_sparsity,
+                       double scale, bool relu, Rng &rng)
+{
+    Int8Tensor out(shape);
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        if (rng.bernoulli(value_sparsity)) {
+            out[i] = 0;
+            continue;
+        }
+        double x = rng.laplacian(scale);
+        if (relu) {
+            x = std::abs(x);
+        }
+        out[i] = static_cast<std::int8_t>(std::clamp<int>(
+            static_cast<int>(std::lround(x)), kSignMagMin, kSignMagMax));
+    }
+    return out;
+}
+
+}  // namespace bitwave

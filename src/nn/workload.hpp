@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Workload = a named network with per-layer descriptors and quantized
+ * weights, the unit of evaluation for every experiment in the paper.
+ *
+ * Weight layout convention: the input-channel dimension C is innermost
+ * ([K, FY, FX, C] for convolutions, [K, C] for linear/LSTM weights), so
+ * grouping consecutive elements — what the BCS analysis and compressor do —
+ * groups along C, matching the BitWave dataflow's Cu spatial unrolling.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitwave {
+
+/// One layer of a workload: shape plus synthesized Int8 weights.
+struct WorkloadLayer
+{
+    LayerDesc desc;
+    Int8Tensor weights;       ///< C-innermost layout, see file comment.
+    float weight_scale = 1.f; ///< Dequantization scale of the weights.
+    /**
+     * Modeled value sparsity of this layer's *input* activations
+     * (post-ReLU layers have substantial activation sparsity; GeLU/tanh
+     * layers very little). Consumed by the analytical accelerator models.
+     */
+    double activation_sparsity = 0.0;
+
+    /// Expected weight tensor shape for a layer descriptor.
+    static Shape weight_shape(const LayerDesc &desc);
+};
+
+/// A complete benchmark network.
+struct Workload
+{
+    std::string name;
+    std::string metric_name;   ///< "top-1", "PESQ", "F1".
+    double base_metric = 0.0;  ///< Metric of the unmodified Int8 model.
+    /**
+     * Scale factor converting mean weighted relative output error into
+     * metric loss; calibrated per network so the Bit-Flip experiments
+     * reproduce the paper's accuracy/CR trade-off bands (see DESIGN.md
+     * substitution #2).
+     */
+    double error_sensitivity = 40.0;
+    std::vector<WorkloadLayer> layers;
+
+    std::int64_t total_macs() const;
+    std::int64_t total_weights() const;
+    std::int64_t total_activations() const;
+
+    /// Index of a layer by name; fatal() if absent.
+    std::size_t layer_index(const std::string &layer_name) const;
+};
+
+}  // namespace bitwave

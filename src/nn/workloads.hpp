@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The four benchmark networks of the paper's evaluation (Fig. 12 left):
+ * ResNet18, MobileNetV2, CNN-LSTM (audio denoising), and BERT-Base.
+ *
+ * Layer shapes are the real published architectures (ImageNet variants for
+ * the CNNs, hidden-768 BERT-Base with input token size 4 as in Fig. 13).
+ * Weights are synthesized per DESIGN.md substitution #1; the CNN-LSTM
+ * topology follows substitution #6 (the paper's in-house NXP model is
+ * private) and is sized so the two LSTM layers hold ~85 % of the weights,
+ * matching the paper's "LSTM.0 and LSTM.1 (~80 % weights)" statement.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "nn/workload.hpp"
+
+namespace bitwave {
+
+/// Identifiers for the benchmark networks.
+enum class WorkloadId {
+    kResNet18,
+    kMobileNetV2,
+    kCnnLstm,
+    kBertBase,
+};
+
+/// All benchmark ids, in the order the paper's figures list them.
+inline constexpr WorkloadId kAllWorkloads[] = {
+    WorkloadId::kResNet18,
+    WorkloadId::kMobileNetV2,
+    WorkloadId::kCnnLstm,
+    WorkloadId::kBertBase,
+};
+
+/// Display name ("ResNet18", ...).
+const char *workload_name(WorkloadId id);
+
+/// Build a workload with freshly synthesized weights.
+Workload build_workload(WorkloadId id, std::uint64_t seed = 0x5eed);
+
+/**
+ * Cached singleton per workload (seed 0x5eed). BERT-Base synthesizes
+ * ~85M weights, so benches and tests share one instance.
+ */
+const Workload &get_workload(WorkloadId id);
+
+/// Individual builders -------------------------------------------------
+
+/// ResNet18 for 224x224 ImageNet input (paper baseline top-1 69.8 %).
+Workload build_resnet18(std::uint64_t seed);
+
+/// MobileNetV2 for 224x224 ImageNet input (top-1 71.9 %).
+Workload build_mobilenet_v2(std::uint64_t seed);
+
+/// CNN-LSTM audio denoiser: conv front-end + 2 LSTM layers + FC (PESQ).
+Workload build_cnn_lstm(std::uint64_t seed, std::int64_t timesteps = 100);
+
+/// BERT-Base encoder stack, 12 layers, hidden 768, token size 4 (F1).
+Workload build_bert_base(std::uint64_t seed, std::int64_t tokens = 4);
+
+}  // namespace bitwave

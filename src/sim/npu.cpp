@@ -1,0 +1,324 @@
+#include "sim/npu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "nn/reference.hpp"
+#include "nn/synthesis.hpp"
+#include "sparsity/bitcolumn.hpp"
+
+namespace bitwave {
+
+NpuConfig::NpuConfig() : dataflows(bitwave_sus()) {}
+
+double
+LayerSimResult::mean_columns_per_group() const
+{
+    return group_passes > 0
+        ? static_cast<double>(nonzero_columns_streamed) /
+              static_cast<double>(group_passes)
+        : 0.0;
+}
+
+BitWaveNpu::BitWaveNpu(NpuConfig config, const TechParams &tech,
+                       const DramModel &dram)
+    : config_(std::move(config)), tech_(tech), dram_(dram)
+{
+    if (config_.dataflows.empty()) {
+        fatal("BitWaveNpu: no dataflows configured");
+    }
+}
+
+namespace {
+
+/// Row geometry of a weight tensor: (rows, row length, rows per kernel).
+struct RowGeometry
+{
+    std::int64_t rows = 0;
+    std::int64_t row_len = 0;
+    std::int64_t rows_per_kernel = 1;
+};
+
+RowGeometry
+row_geometry(const LayerDesc &desc)
+{
+    RowGeometry g;
+    switch (desc.kind) {
+      case LayerKind::kConv:
+      case LayerKind::kPointwiseConv:
+        g.rows = desc.k * desc.fy * desc.fx;
+        g.row_len = desc.c;
+        g.rows_per_kernel = desc.fy * desc.fx;
+        break;
+      case LayerKind::kDepthwiseConv:
+        g.rows = desc.k;
+        g.row_len = desc.fy * desc.fx;
+        g.rows_per_kernel = 1;
+        break;
+      case LayerKind::kLinear:
+      case LayerKind::kLstm:
+        g.rows = desc.k;
+        g.row_len = desc.c;
+        g.rows_per_kernel = 1;
+        break;
+    }
+    return g;
+}
+
+}  // namespace
+
+std::vector<BitWaveNpu::CompressedRow>
+BitWaveNpu::compress_rows(const Int8Tensor &weights, const LayerDesc &desc,
+                          int group_size) const
+{
+    const RowGeometry geom = row_geometry(desc);
+    if (geom.rows * geom.row_len != weights.numel()) {
+        fatal("compress_rows: weight tensor does not match layer %s",
+              desc.to_string().c_str());
+    }
+    ZeroColumnIndexParser parser;
+    std::vector<CompressedRow> rows(static_cast<std::size_t>(geom.rows));
+    for (std::int64_t r = 0; r < geom.rows; ++r) {
+        CompressedRow &row = rows[static_cast<std::size_t>(r)];
+        for (std::int64_t c0 = 0; c0 < geom.row_len; c0 += group_size) {
+            const std::int64_t len =
+                std::min<std::int64_t>(group_size, geom.row_len - c0);
+            const std::span<const std::int8_t> grp(
+                weights.data() + r * geom.row_len + c0,
+                static_cast<std::size_t>(len));
+            ZcipDecode decode = config_.dense_mode
+                ? parser.parse_dense(kWordBits)
+                : parser.parse(column_index(grp, config_.repr));
+            std::vector<std::uint64_t> cols;
+            cols.reserve(decode.shifts.size());
+            for (int shift : decode.shifts) {
+                cols.push_back(column_bits(grp, shift, config_.repr));
+            }
+            row.sign_columns.push_back(
+                column_bits(grp, kWordBits - 1, config_.repr));
+            row.data_columns.push_back(std::move(cols));
+            row.decodes.push_back(std::move(decode));
+        }
+    }
+    return rows;
+}
+
+LayerSimResult
+BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
+                      const Int8Tensor *weights, bool compute_output) const
+{
+    if (compute_output && config_.repr != Representation::kSignMagnitude) {
+        fatal("BitWaveNpu: functional execution requires sign-magnitude");
+    }
+    const Int8Tensor &w = weights != nullptr ? *weights : layer.weights;
+    const LayerDesc &desc = layer.desc;
+    const LayerDesc mapped = normalized_for_mapping(desc);
+    const SpatialUnrolling &su = select_su(mapped, config_.dataflows);
+
+    // Group size: the SU's C unrolling for standard layers; the BCE width
+    // for layouts without a C axis (depthwise taps).
+    int group_size = static_cast<int>(su.group_size());
+    if (desc.kind == LayerKind::kDepthwiseConv) {
+        group_size = 8;
+    }
+    group_size = std::clamp(group_size, 1, 64);
+
+    LayerSimResult result;
+    result.layer_name = desc.name;
+    result.su_name = su.name;
+    result.group_size = group_size;
+
+    const auto rows = compress_rows(w, desc, group_size);
+    const RowGeometry geom = row_geometry(desc);
+    const double bc = static_cast<double>(su.bit_columns);
+
+    // ---- Cycle accounting over the temporal tile schedule ---------------
+    const std::int64_t revisits = ceil_div(mapped.ox, su.factor(Dim::kOX)) *
+        ceil_div(mapped.oy, su.factor(Dim::kOY)) * mapped.batch;
+    const std::int64_t ku = su.factor(Dim::kK);
+    const std::int64_t k_total = mapped.k;
+
+    double decoupled = 0.0;
+    double lockstep = 0.0;
+    std::int64_t group_passes_once = 0;     // per single revisit
+    std::int64_t nz_streamed_once = 0;
+    std::int64_t weight_bits_once = 0;
+
+    for (std::int64_t k0 = 0; k0 < k_total; k0 += ku) {
+        const std::int64_t k1 = std::min<std::int64_t>(k0 + ku, k_total);
+        double tile_work = 0.0;
+        // All kernels in the tile share row structure (same layer), so
+        // lockstep cost maxes over kernels per (row-in-kernel, group).
+        const std::size_t groups_per_row =
+            rows.empty() ? 0 : rows.front().decodes.size();
+        for (std::int64_t f = 0; f < geom.rows_per_kernel; ++f) {
+            for (std::size_t g = 0; g < groups_per_row; ++g) {
+                double worst = 0.0;
+                for (std::int64_t k = k0; k < k1; ++k) {
+                    const auto &row = rows[static_cast<std::size_t>(
+                        k * geom.rows_per_kernel + f)];
+                    const int nz = row.decodes[g].nonzero_columns;
+                    const double cycles = std::max(
+                        1.0, std::ceil(static_cast<double>(nz) / bc));
+                    tile_work += cycles;
+                    worst = std::max(worst, cycles);
+                    ++group_passes_once;
+                    nz_streamed_once += nz;
+                    weight_bits_once += kWordBits +
+                        static_cast<std::int64_t>(nz) * group_size;
+                }
+                lockstep += worst;
+            }
+        }
+        decoupled += tile_work / static_cast<double>(k1 - k0);
+    }
+
+    const double rev = static_cast<double>(revisits);
+    result.cycles_decoupled = decoupled * rev;
+    result.cycles_lockstep = lockstep * rev;
+    result.group_passes = group_passes_once * revisits;
+    result.nonzero_columns_streamed = nz_streamed_once * revisits;
+    result.weight_bits_fetched = weight_bits_once * revisits;
+    result.weight_bits_dram = weight_bits_once;
+    result.output_words = desc.output_count();
+
+    // Activation fetches: one group-wide activation vector per k-tile
+    // group pass, covering OXu output positions, re-fetched per revisit.
+    const std::int64_t k_tiles = ceil_div(k_total, ku);
+    const std::size_t groups_per_row =
+        rows.empty() ? 0 : rows.front().decodes.size();
+    result.act_bits_fetched = k_tiles * geom.rows_per_kernel *
+        static_cast<std::int64_t>(groups_per_row) * group_size *
+        su.factor(Dim::kOX) * kWordBits * revisits;
+
+    // ---- SRAM / DRAM composition (Eq. 5) ---------------------------------
+    BankedSram act_sram(config_.act_sram_bytes, config_.act_sram_banks,
+                        config_.sram_word_bits);
+    act_sram.read(result.act_bits_fetched);
+    act_sram.write(result.output_words * kWordBits);
+    result.act_fetch_cycles =
+        static_cast<double>(result.act_bits_fetched) /
+        static_cast<double>(config_.act_sram_banks *
+                            config_.sram_word_bits);
+    const double out_write_cycles =
+        static_cast<double>(result.output_words) * kWordBits /
+        static_cast<double>(config_.act_sram_banks *
+                            config_.sram_word_bits);
+    result.dram_cycles = dram_.transfer_cycles(
+        static_cast<double>(result.weight_bits_dram));
+    result.total_cycles = result.dram_cycles + out_write_cycles +
+        std::max(result.cycles_decoupled, result.act_fetch_cycles);
+
+    // ---- Energy -----------------------------------------------------------
+    result.energy_mac_pj =
+        static_cast<double>(result.nonzero_columns_streamed) *
+        static_cast<double>(group_size) / 8.0 *
+        (tech_.e_mac_bit_column_pj / 8.0) *
+        static_cast<double>(su.factor(Dim::kOX));
+    result.energy_sram_pj =
+        static_cast<double>(result.weight_bits_fetched +
+                            result.act_bits_fetched) *
+            tech_.e_sram_read_per_bit_pj +
+        static_cast<double>(result.output_words) * kWordBits *
+            tech_.e_sram_write_per_bit_pj;
+    result.energy_dram_pj = dram_.transfer_energy_pj(
+        static_cast<double>(result.weight_bits_dram));
+    result.energy_static_pj =
+        result.total_cycles * tech_.e_static_per_cycle_pj;
+    result.energy_total_pj = result.energy_mac_pj + result.energy_sram_pj +
+        result.energy_dram_pj + result.energy_static_pj;
+
+    // ---- Functional execution through the BCE datapath -------------------
+    if (compute_output) {
+        Int8Tensor synthesized;
+        const Int8Tensor *in = input;
+        if (in == nullptr) {
+            Rng rng(0xFEED);
+            synthesized = synthesize_activations(
+                layer_input_shape(desc), layer.activation_sparsity, 12.0,
+                layer.activation_sparsity > 0.2, rng);
+            in = &synthesized;
+        }
+        const std::int64_t iy_n = desc.iy(), ix_n = desc.ix();
+        Int32Tensor out({desc.batch, desc.k, desc.oy, desc.ox});
+        std::vector<std::int8_t> acts(static_cast<std::size_t>(group_size));
+
+        for (std::int64_t b = 0; b < desc.batch; ++b) {
+            for (std::int64_t k = 0; k < desc.k; ++k) {
+                for (std::int64_t oy = 0; oy < desc.oy; ++oy) {
+                    for (std::int64_t ox = 0; ox < desc.ox; ++ox) {
+                        std::int32_t acc = 0;
+                        for (std::int64_t f = 0; f < geom.rows_per_kernel;
+                             ++f) {
+                            const auto &row = rows[static_cast<std::size_t>(
+                                k * geom.rows_per_kernel + f)];
+                            for (std::size_t g = 0;
+                                 g < row.decodes.size(); ++g) {
+                                const std::int64_t c0 =
+                                    static_cast<std::int64_t>(g) *
+                                    group_size;
+                                const std::int64_t len =
+                                    std::min<std::int64_t>(
+                                        group_size, geom.row_len - c0);
+                                // Gather the group's activations.
+                                for (std::int64_t j = 0; j < len; ++j) {
+                                    std::int64_t idx = 0;
+                                    switch (desc.kind) {
+                                      case LayerKind::kConv:
+                                      case LayerKind::kPointwiseConv: {
+                                        const std::int64_t fy = f / desc.fx;
+                                        const std::int64_t fx = f % desc.fx;
+                                        const std::int64_t iy =
+                                            oy * desc.stride + fy;
+                                        const std::int64_t ix =
+                                            ox * desc.stride + fx;
+                                        idx = ((b * desc.c + c0 + j) * iy_n +
+                                               iy) * ix_n + ix;
+                                        break;
+                                      }
+                                      case LayerKind::kDepthwiseConv: {
+                                        const std::int64_t tap = c0 + j;
+                                        const std::int64_t fy =
+                                            tap / desc.fx;
+                                        const std::int64_t fx =
+                                            tap % desc.fx;
+                                        const std::int64_t iy =
+                                            oy * desc.stride + fy;
+                                        const std::int64_t ix =
+                                            ox * desc.stride + fx;
+                                        idx = ((b * desc.k + k) * iy_n + iy) *
+                                            ix_n + ix;
+                                        break;
+                                      }
+                                      case LayerKind::kLinear:
+                                      case LayerKind::kLstm:
+                                        idx = b * desc.c + c0 + j;
+                                        break;
+                                    }
+                                    acts[static_cast<std::size_t>(j)] =
+                                        (*in)[idx];
+                                }
+                                acc += bce_group_pass(
+                                    {acts.data(),
+                                     static_cast<std::size_t>(len)},
+                                    row.decodes[g],
+                                    {row.data_columns[g].data(),
+                                     row.data_columns[g].size()},
+                                    row.sign_columns[g]);
+                            }
+                        }
+                        out[((b * desc.k + k) * desc.oy + oy) * desc.ox +
+                            ox] = acc;
+                    }
+                }
+            }
+        }
+        result.output = std::move(out);
+    }
+    return result;
+}
+
+}  // namespace bitwave

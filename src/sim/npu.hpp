@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cycle-level BitWave NPU simulator — the Fig. 11 system: data fetcher,
+ * ZCIP bank, 512 BCEs, data dispatcher, banked SRAMs and a top
+ * controller applying the per-layer spatial unrolling.
+ *
+ * The simulator is *functional* (its outputs are bit-exact against the
+ * reference int8 kernels) and *cycle-level*: it walks the temporal tile
+ * schedule of the selected SU and charges per-group column cycles from
+ * the actual compressed weight stream. Two cycle counts are reported:
+ *
+ *  - `cycles_decoupled`: lanes drain their group streams independently
+ *    through the fetcher's double buffering (throughput = mean group
+ *    occupancy; this is the paper's operating assumption and what the
+ *    analytical model uses);
+ *  - `cycles_lockstep`: all Ku kernel lanes synchronize per group pass
+ *    (throughput = max occupancy; this is what Bit-Flip's workload
+ *    balancing eliminates, and what the sync ablation bench shows).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/su.hpp"
+#include "sparsity/stats.hpp"
+#include "energy/dram.hpp"
+#include "energy/tech.hpp"
+#include "nn/workload.hpp"
+#include "sim/bce.hpp"
+#include "sim/sram.hpp"
+#include "sim/zcip.hpp"
+
+namespace bitwave {
+
+/// Static configuration of the simulated NPU instance (Section V-A).
+struct NpuConfig
+{
+    std::vector<SpatialUnrolling> dataflows;  ///< Defaults to Table I.
+    std::int64_t weight_sram_bytes = 256 * 1024;
+    std::int64_t act_sram_bytes = 256 * 1024;
+    int act_sram_banks = 16;
+    int sram_word_bits = 64;
+    bool dense_mode = false;  ///< ZCIP dense mode: no skipping/index.
+    /// Representation for zero-column skipping.
+    Representation repr = Representation::kSignMagnitude;
+
+    NpuConfig();
+};
+
+/// Result of simulating one layer.
+struct LayerSimResult
+{
+    std::string layer_name;
+    std::string su_name;
+    int group_size = 0;
+
+    std::optional<Int32Tensor> output;  ///< Present when compute_output.
+
+    double cycles_decoupled = 0.0;
+    double cycles_lockstep = 0.0;
+    double dram_cycles = 0.0;
+    double act_fetch_cycles = 0.0;
+    double total_cycles = 0.0;  ///< Eq. (5) composition with decoupled.
+
+    std::int64_t group_passes = 0;
+    std::int64_t nonzero_columns_streamed = 0;
+    std::int64_t weight_bits_fetched = 0;  ///< Compressed incl. index.
+    std::int64_t weight_bits_dram = 0;
+    std::int64_t act_bits_fetched = 0;
+    std::int64_t output_words = 0;
+
+    double energy_mac_pj = 0.0;
+    double energy_sram_pj = 0.0;
+    double energy_dram_pj = 0.0;
+    double energy_static_pj = 0.0;
+    double energy_total_pj = 0.0;
+
+    /// Mean non-zero columns per group (includes the sign column).
+    double mean_columns_per_group() const;
+};
+
+/**
+ * The BitWave NPU.
+ */
+class BitWaveNpu
+{
+  public:
+    explicit BitWaveNpu(NpuConfig config = {},
+                        const TechParams &tech = default_tech(),
+                        const DramModel &dram = default_dram());
+
+    /**
+     * Simulate one layer.
+     *
+     * @param layer          Shape + weights + activation statistics.
+     * @param input          Input activations; when null a deterministic
+     *                       synthetic input is generated from the layer's
+     *                       statistics.
+     * @param weights        Optional weight override (e.g. Bit-Flipped).
+     * @param compute_output Functional execution of every MAC through the
+     *                       BCE datapath (bit-exact, slower); cycle and
+     *                       energy accounting is identical either way.
+     */
+    LayerSimResult run_layer(const WorkloadLayer &layer,
+                             const Int8Tensor *input = nullptr,
+                             const Int8Tensor *weights = nullptr,
+                             bool compute_output = true) const;
+
+    const NpuConfig &config() const { return config_; }
+
+  private:
+    /// One compressed weight row (all groups along the reduction axis).
+    struct CompressedRow
+    {
+        std::vector<ZcipDecode> decodes;
+        std::vector<std::vector<std::uint64_t>> data_columns;
+        std::vector<std::uint64_t> sign_columns;
+    };
+
+    /// Row-aligned BCS compression of a weight tensor.
+    std::vector<CompressedRow> compress_rows(const Int8Tensor &weights,
+                                             const LayerDesc &desc,
+                                             int group_size) const;
+
+    NpuConfig config_;
+    const TechParams &tech_;
+    const DramModel &dram_;
+};
+
+}  // namespace bitwave

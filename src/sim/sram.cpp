@@ -1,0 +1,99 @@
+#include "sim/sram.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bitwave {
+
+BankedSram::BankedSram(std::int64_t total_bytes, int banks, int word_bits)
+    : total_bytes_(total_bytes), word_bits_(word_bits)
+{
+    if (total_bytes <= 0 || banks <= 0 || word_bits <= 0) {
+        fatal("BankedSram: all parameters must be positive");
+    }
+    reads_.assign(static_cast<std::size_t>(banks), 0);
+    writes_.assign(static_cast<std::size_t>(banks), 0);
+}
+
+void
+BankedSram::read(std::int64_t bits, int bank)
+{
+    if (bits < 0) {
+        fatal("BankedSram::read: negative bits");
+    }
+    // Round-robin the traffic across banks starting at `bank`.
+    const int n = banks();
+    const std::int64_t per_bank = bits / n;
+    const std::int64_t rem = bits % n;
+    for (int b = 0; b < n; ++b) {
+        reads_[static_cast<std::size_t>((bank + b) % n)] +=
+            per_bank + (b == 0 ? rem : 0);
+    }
+}
+
+void
+BankedSram::write(std::int64_t bits, int bank)
+{
+    if (bits < 0) {
+        fatal("BankedSram::write: negative bits");
+    }
+    const int n = banks();
+    const std::int64_t per_bank = bits / n;
+    const std::int64_t rem = bits % n;
+    for (int b = 0; b < n; ++b) {
+        writes_[static_cast<std::size_t>((bank + b) % n)] +=
+            per_bank + (b == 0 ? rem : 0);
+    }
+}
+
+std::int64_t
+BankedSram::total_read_bits() const
+{
+    std::int64_t sum = 0;
+    for (auto r : reads_) {
+        sum += r;
+    }
+    return sum;
+}
+
+std::int64_t
+BankedSram::total_write_bits() const
+{
+    std::int64_t sum = 0;
+    for (auto w : writes_) {
+        sum += w;
+    }
+    return sum;
+}
+
+std::int64_t
+BankedSram::bank_read_bits(int bank) const
+{
+    return reads_.at(static_cast<std::size_t>(bank));
+}
+
+std::int64_t
+BankedSram::bank_write_bits(int bank) const
+{
+    return writes_.at(static_cast<std::size_t>(bank));
+}
+
+double
+BankedSram::access_cycles() const
+{
+    std::int64_t busiest = 0;
+    for (std::size_t b = 0; b < reads_.size(); ++b) {
+        busiest = std::max(busiest, reads_[b] + writes_[b]);
+    }
+    return static_cast<double>(busiest) / static_cast<double>(word_bits_);
+}
+
+void
+BankedSram::reset()
+{
+    std::fill(reads_.begin(), reads_.end(), 0);
+    std::fill(writes_.begin(), writes_.end(), 0);
+}
+
+}  // namespace bitwave

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Banked on-chip SRAM activity model.
+ *
+ * The simulator does not store actual bytes in the SRAM model (operands
+ * live in the workload tensors); it tracks capacity and counts accesses
+ * per bank so the energy model can price on-chip traffic and tests can
+ * assert banking invariants (BitWave: 16-bank activation SRAM, 64-bit
+ * segments, Section IV-C).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bitwave {
+
+/// A multi-banked SRAM with access accounting.
+class BankedSram
+{
+  public:
+    /**
+     * @param total_bytes Capacity across all banks.
+     * @param banks       Number of equally-sized banks.
+     * @param word_bits   Access word width in bits.
+     */
+    BankedSram(std::int64_t total_bytes, int banks, int word_bits);
+
+    /// Record @p bits of reads starting at bank @p bank (round-robin).
+    void read(std::int64_t bits, int bank = 0);
+
+    /// Record @p bits of writes starting at bank @p bank (round-robin).
+    void write(std::int64_t bits, int bank = 0);
+
+    std::int64_t total_bytes() const { return total_bytes_; }
+    int banks() const { return static_cast<int>(reads_.size()); }
+    int word_bits() const { return word_bits_; }
+
+    std::int64_t total_read_bits() const;
+    std::int64_t total_write_bits() const;
+    std::int64_t bank_read_bits(int bank) const;
+    std::int64_t bank_write_bits(int bank) const;
+
+    /// Cycles to move all recorded reads+writes at one word per bank
+    /// per cycle (i.e. bounded by the busiest bank).
+    double access_cycles() const;
+
+    /// Does a tensor of @p bytes fit?
+    bool fits(std::int64_t bytes) const { return bytes <= total_bytes_; }
+
+    /// Clear all counters.
+    void reset();
+
+  private:
+    std::int64_t total_bytes_;
+    int word_bits_;
+    std::vector<std::int64_t> reads_;   ///< Bits read per bank.
+    std::vector<std::int64_t> writes_;  ///< Bits written per bank.
+};
+
+}  // namespace bitwave

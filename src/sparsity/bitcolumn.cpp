@@ -1,0 +1,130 @@
+#include "sparsity/bitcolumn.hpp"
+
+#include "common/bits.hpp"
+
+namespace bitwave {
+
+namespace {
+
+std::uint8_t
+encode(std::int8_t value, Representation repr)
+{
+    return repr == Representation::kTwosComplement
+        ? static_cast<std::uint8_t>(value) : to_sign_magnitude(value);
+}
+
+}  // namespace
+
+std::uint8_t
+column_index(std::span<const std::int8_t> group, Representation repr)
+{
+    std::uint8_t mask = 0;
+    for (std::int8_t v : group) {
+        mask |= encode(v, repr);
+    }
+    return mask;
+}
+
+int
+zero_column_count(std::span<const std::int8_t> group, Representation repr)
+{
+    return kWordBits - popcount8(column_index(group, repr));
+}
+
+double
+BitColumnStats::column_sparsity() const
+{
+    return columns > 0
+        ? static_cast<double>(zero_columns) / static_cast<double>(columns)
+        : 0.0;
+}
+
+double
+BitColumnStats::mean_nonzero_columns() const
+{
+    return groups > 0
+        ? static_cast<double>(columns - zero_columns) /
+              static_cast<double>(groups)
+        : 0.0;
+}
+
+void
+BitColumnStats::merge(const BitColumnStats &other)
+{
+    groups += other.groups;
+    columns += other.columns;
+    zero_columns += other.zero_columns;
+    for (int k = 0; k <= kWordBits; ++k) {
+        zero_column_hist[k] += other.zero_column_hist[k];
+    }
+}
+
+BitColumnStats
+analyze_bit_columns(const Int8Tensor &tensor, int group_size,
+                    Representation repr)
+{
+    if (group_size < 1) {
+        fatal("analyze_bit_columns: group_size must be >= 1, got %d",
+              group_size);
+    }
+    BitColumnStats stats;
+    stats.group_size = group_size;
+    stats.repr = repr;
+
+    const std::int64_t n = tensor.numel();
+    for (std::int64_t start = 0; start < n; start += group_size) {
+        const std::int64_t len = std::min<std::int64_t>(group_size, n - start);
+        // The tail group is implicitly zero-padded: padding contributes no
+        // 1 bits, so the index over the real elements is already correct.
+        const std::uint8_t idx = column_index(
+            std::span<const std::int8_t>(tensor.data() + start,
+                                         static_cast<std::size_t>(len)),
+            repr);
+        const int zeros = kWordBits - popcount8(idx);
+        ++stats.groups;
+        stats.columns += kWordBits;
+        stats.zero_columns += zeros;
+        ++stats.zero_column_hist[zeros];
+    }
+    return stats;
+}
+
+std::vector<std::uint8_t>
+column_indexes(const Int8Tensor &tensor, int group_size, Representation repr)
+{
+    if (group_size < 1) {
+        fatal("column_indexes: group_size must be >= 1, got %d", group_size);
+    }
+    std::vector<std::uint8_t> out;
+    const std::int64_t n = tensor.numel();
+    out.reserve(static_cast<std::size_t>(ceil_div(n, group_size)));
+    for (std::int64_t start = 0; start < n; start += group_size) {
+        const std::int64_t len = std::min<std::int64_t>(group_size, n - start);
+        out.push_back(column_index(
+            std::span<const std::int8_t>(tensor.data() + start,
+                                         static_cast<std::size_t>(len)),
+            repr));
+    }
+    return out;
+}
+
+std::uint64_t
+column_bits(std::span<const std::int8_t> group, int column,
+            Representation repr)
+{
+    if (column < 0 || column >= kWordBits) {
+        fatal("column_bits: column %d out of range", column);
+    }
+    if (group.size() > 64) {
+        fatal("column_bits: group size %zu exceeds 64", group.size());
+    }
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < group.size(); ++j) {
+        if (test_bit(encode(group[j], repr), column)) {
+            bits |= 1ULL << j;
+        }
+    }
+    return bits;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bit-column sparsity (BCS) analysis — Section III-A/B of the paper.
+ *
+ * BCS groups G consecutive weights (along the input-channel dimension in
+ * the BitWave dataflow) and inspects their binary encodings column-wise:
+ * bit position b forms a *zero column* when bit b is zero in every word of
+ * the group. Zero columns can be skipped by the bit-column-serial datapath
+ * and elided from storage by the BCS compressor.
+ *
+ * The column index of a group is an 8-bit mask with bit b set when column
+ * b is NON-zero (the convention of the Zero-Column Index Parser, Fig. 7:
+ * "1" columns must be streamed, "0" columns are skipped).
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparsity/stats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitwave {
+
+/// Group sizes the BitWave hardware supports layer-wise (Section III-C).
+inline constexpr int kHardwareGroupSizes[] = {8, 16, 32};
+
+/**
+ * Compute the non-zero-column index of one weight group.
+ *
+ * @param group Weight words (any size >= 1).
+ * @param repr  Binary representation to analyze.
+ * @return 8-bit mask; bit b set means column b holds at least one 1.
+ */
+std::uint8_t column_index(std::span<const std::int8_t> group,
+                          Representation repr);
+
+/// Number of zero columns (out of 8) for one group.
+int zero_column_count(std::span<const std::int8_t> group,
+                      Representation repr);
+
+/// Aggregate bit-column sparsity statistics of a tensor.
+struct BitColumnStats
+{
+    int group_size = 0;
+    Representation repr = Representation::kSignMagnitude;
+    std::int64_t groups = 0;        ///< Number of groups analyzed.
+    std::int64_t columns = 0;       ///< Total columns (= 8 * groups).
+    std::int64_t zero_columns = 0;  ///< Columns that are all-zero.
+    /// Histogram: count of groups having exactly k zero columns, k in 0..8.
+    std::int64_t zero_column_hist[9] = {};
+
+    /// Fraction of all-zero columns — the paper's "bit column sparsity".
+    double column_sparsity() const;
+    /// Mean number of non-zero columns per group (compute cycles/group).
+    double mean_nonzero_columns() const;
+    /// Merge the counts of @p other into this.
+    void merge(const BitColumnStats &other);
+};
+
+/**
+ * Analyze bit-column sparsity of @p tensor with groups of @p group_size
+ * consecutive elements in memory order.
+ *
+ * For weight tensors in [K, C, FY, FX] layout this groups along the
+ * innermost dims; the BitWave dataflow groups along C, which callers
+ * arrange by passing weights in [K, FY, FX, C] order when layout matters.
+ * A final partial group is padded with zeros (padding cannot destroy a
+ * zero column, and the hardware pads the same way).
+ */
+BitColumnStats analyze_bit_columns(const Int8Tensor &tensor, int group_size,
+                                   Representation repr);
+
+/**
+ * Per-group column indexes for @p tensor (one uint8 per group, in order).
+ * This is exactly the index stream the ZCIP consumes.
+ */
+std::vector<std::uint8_t> column_indexes(const Int8Tensor &tensor,
+                                         int group_size, Representation repr);
+
+/**
+ * Bit-plane view of a group: column b (0..7) as a G-bit vector packed into
+ * a uint64 (weight j at bit j). Requires group.size() <= 64. This is the
+ * data layout the BitWave compute engine streams: one bit column per cycle.
+ */
+std::uint64_t column_bits(std::span<const std::int8_t> group, int column,
+                          Representation repr);
+
+}  // namespace bitwave

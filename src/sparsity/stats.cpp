@@ -1,0 +1,71 @@
+#include "sparsity/stats.hpp"
+
+#include <limits>
+
+#include "common/bits.hpp"
+
+namespace bitwave {
+
+const char *
+representation_name(Representation repr)
+{
+    return repr == Representation::kTwosComplement ? "2C" : "SM";
+}
+
+double
+SparsityStats::value_sparsity() const
+{
+    return words > 0
+        ? static_cast<double>(zero_words) / static_cast<double>(words) : 0.0;
+}
+
+double
+SparsityStats::bit_sparsity(Representation repr) const
+{
+    if (bits == 0) {
+        return 0.0;
+    }
+    const std::int64_t zeros = repr == Representation::kTwosComplement
+        ? zero_bits_2c : zero_bits_sm;
+    return static_cast<double>(zeros) / static_cast<double>(bits);
+}
+
+double
+SparsityStats::sparsity_ratio(Representation repr) const
+{
+    const double vs = value_sparsity();
+    const double bs = bit_sparsity(repr);
+    if (vs <= 0.0) {
+        return bs > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+    }
+    return bs / vs;
+}
+
+void
+SparsityStats::merge(const SparsityStats &other)
+{
+    words += other.words;
+    zero_words += other.zero_words;
+    bits += other.bits;
+    zero_bits_2c += other.zero_bits_2c;
+    zero_bits_sm += other.zero_bits_sm;
+}
+
+SparsityStats
+compute_sparsity(const Int8Tensor &tensor)
+{
+    SparsityStats stats;
+    stats.words = tensor.numel();
+    stats.bits = tensor.numel() * kWordBits;
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+        const std::int8_t v = tensor[i];
+        if (v == 0) {
+            ++stats.zero_words;
+        }
+        stats.zero_bits_2c += kWordBits - bit_count_twos_complement(v);
+        stats.zero_bits_sm += kWordBits - bit_count_sign_magnitude(v);
+    }
+    return stats;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,148 @@
+#include "tensor/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+
+namespace bitwave {
+
+namespace {
+
+std::int8_t
+quantize_value(float x, float scale)
+{
+    if (scale <= 0.f) {
+        return 0;
+    }
+    const float q = std::round(x / scale);
+    const float clamped = std::clamp(
+        q, static_cast<float>(kSignMagMin), static_cast<float>(kSignMagMax));
+    return static_cast<std::int8_t>(clamped);
+}
+
+}  // namespace
+
+float
+QuantizedTensor::scale_for(std::int64_t i) const
+{
+    if (!per_channel) {
+        return scales.empty() ? 1.f : scales[0];
+    }
+    const std::int64_t channels = values.dim(0);
+    const std::int64_t per_chan = values.numel() / std::max<std::int64_t>(
+        channels, 1);
+    const std::int64_t k = per_chan > 0 ? i / per_chan : 0;
+    return scales[static_cast<std::size_t>(
+        std::min<std::int64_t>(k, channels - 1))];
+}
+
+float
+QuantizedTensor::dequantize(std::int64_t i) const
+{
+    return static_cast<float>(values[i]) * scale_for(i);
+}
+
+QuantizedTensor
+quantize_per_tensor(const FloatTensor &input)
+{
+    float max_abs = 0.f;
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+        max_abs = std::max(max_abs, std::abs(input[i]));
+    }
+    const float scale = max_abs > 0.f
+        ? max_abs / static_cast<float>(kSignMagMax) : 1.f;
+
+    QuantizedTensor out;
+    out.values = Int8Tensor(input.shape());
+    out.scales = {scale};
+    out.per_channel = false;
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+        out.values[i] = quantize_value(input[i], scale);
+    }
+    return out;
+}
+
+QuantizedTensor
+quantize_per_channel(const FloatTensor &input)
+{
+    if (input.rank() == 0 || input.dim(0) == 0) {
+        fatal("per-channel quantization requires a non-empty dim 0");
+    }
+    const std::int64_t channels = input.dim(0);
+    const std::int64_t per_chan = input.numel() / channels;
+
+    QuantizedTensor out;
+    out.values = Int8Tensor(input.shape());
+    out.scales.resize(static_cast<std::size_t>(channels));
+    out.per_channel = true;
+
+    for (std::int64_t k = 0; k < channels; ++k) {
+        float max_abs = 0.f;
+        for (std::int64_t j = 0; j < per_chan; ++j) {
+            max_abs = std::max(max_abs, std::abs(input[k * per_chan + j]));
+        }
+        const float scale = max_abs > 0.f
+            ? max_abs / static_cast<float>(kSignMagMax) : 1.f;
+        out.scales[static_cast<std::size_t>(k)] = scale;
+        for (std::int64_t j = 0; j < per_chan; ++j) {
+            out.values[k * per_chan + j] =
+                quantize_value(input[k * per_chan + j], scale);
+        }
+    }
+    return out;
+}
+
+Int8Tensor
+requantize_to_bits(const Int8Tensor &input, int bits)
+{
+    if (bits < 2 || bits > 8) {
+        fatal("requantize_to_bits: bits must be in [2, 8], got %d", bits);
+    }
+    Int8Tensor out(input.shape());
+    if (bits == 8) {
+        out = input;
+        return out;
+    }
+    const int shift = 8 - bits;
+    const int step = 1 << shift;
+    const int max_code = kSignMagMax / step * step;
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+        const int v = input[i];
+        // Round-to-nearest multiple of `step`, ties away from zero.
+        int q = (std::abs(v) + step / 2) / step * step;
+        q = std::min(q, max_code);
+        out[i] = static_cast<std::int8_t>(v < 0 ? -q : q);
+    }
+    return out;
+}
+
+double
+ptq_compression_ratio(int bits)
+{
+    if (bits <= 0) {
+        fatal("ptq_compression_ratio: bits must be positive");
+    }
+    return 8.0 / static_cast<double>(bits);
+}
+
+double
+rms_error(const Int8Tensor &a, const Int8Tensor &b)
+{
+    if (a.shape() != b.shape()) {
+        fatal("rms_error: shape mismatch %s vs %s",
+              shape_to_string(a.shape()).c_str(),
+              shape_to_string(b.shape()).c_str());
+    }
+    if (a.numel() == 0) {
+        return 0.0;
+    }
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.numel()));
+}
+
+}  // namespace bitwave

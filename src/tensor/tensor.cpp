@@ -1,0 +1,36 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+
+namespace bitwave {
+
+std::int64_t
+shape_numel(const Shape &shape)
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : shape) {
+        if (d < 0) {
+            panic("negative dimension %lld in shape",
+                  static_cast<long long>(d));
+        }
+        n *= d;
+    }
+    return n;
+}
+
+std::string
+shape_to_string(const Shape &shape)
+{
+    std::ostringstream out;
+    out << '[';
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i != 0) {
+            out << ", ";
+        }
+        out << shape[i];
+    }
+    out << ']';
+    return out.str();
+}
+
+}  // namespace bitwave

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the Bit-Flip group transform and the Algorithm 1 greedy
+ * search, including the paper's Fig. 4(c) worked example.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bitflip/bitflip.hpp"
+#include "bitflip/strategy.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "nn/workloads.hpp"
+#include "sparsity/bitcolumn.hpp"
+
+namespace bitwave {
+namespace {
+
+int
+sm_zero_cols(std::span<const std::int8_t> group)
+{
+    return zero_column_count(group, Representation::kSignMagnitude);
+}
+
+TEST(NearestMagnitude, FullMaskIsIdentity)
+{
+    for (int m = 0; m < 128; ++m) {
+        EXPECT_EQ(nearest_magnitude_under_mask(m, 0x7F), m);
+    }
+}
+
+TEST(NearestMagnitude, EmptyMaskMapsToZero)
+{
+    EXPECT_EQ(nearest_magnitude_under_mask(100, 0), 0);
+    EXPECT_EQ(nearest_magnitude_under_mask(0, 0), 0);
+}
+
+TEST(NearestMagnitude, SingleBitMask)
+{
+    // Only bit 2 (value 4) available: nearest to 3 is 4, to 1 is 0.
+    EXPECT_EQ(nearest_magnitude_under_mask(3, 0b0000100), 4);
+    EXPECT_EQ(nearest_magnitude_under_mask(1, 0b0000100), 0);
+    EXPECT_EQ(nearest_magnitude_under_mask(127, 0b0000100), 4);
+}
+
+TEST(NearestMagnitude, ResultAlwaysRepresentable)
+{
+    for (int mask = 0; mask < 128; mask += 7) {
+        for (int m = 0; m < 128; m += 3) {
+            const int nm = nearest_magnitude_under_mask(m, mask);
+            EXPECT_EQ(nm & ~mask, 0);
+        }
+    }
+}
+
+TEST(BitflipGroup, Fig4cExampleMinusThreeBecomesMinusFour)
+{
+    // Fig. 4(c): targeting five zero columns turns -3 into -4
+    // (1000'0011 -> 1000'0100), distance 1.
+    std::vector<std::int8_t> group = {-3, 4, -4, 4};
+    const auto result = bitflip_group({group.data(), group.size()}, 5);
+    EXPECT_GE(result.zero_columns, 5);
+    EXPECT_EQ(group[0], -4);
+    EXPECT_EQ(group[1], 4);
+    EXPECT_EQ(group[2], -4);
+    EXPECT_EQ(group[3], 4);
+    EXPECT_DOUBLE_EQ(result.squared_error, 1.0);
+}
+
+TEST(BitflipGroup, AlreadySatisfiedIsNoOp)
+{
+    std::vector<std::int8_t> group = {1, 1, 1, 1};  // 7 zero columns
+    const auto before = group;
+    const auto result = bitflip_group({group.data(), group.size()}, 7);
+    EXPECT_EQ(group, before);
+    EXPECT_DOUBLE_EQ(result.squared_error, 0.0);
+}
+
+TEST(BitflipGroup, TargetEightZeroesEverything)
+{
+    std::vector<std::int8_t> group = {17, -99, 3, 127};
+    bitflip_group({group.data(), group.size()}, 8);
+    for (auto v : group) {
+        EXPECT_EQ(v, 0);
+    }
+}
+
+TEST(BitflipGroup, TargetZeroNeverModifies)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::int8_t> group(16);
+        for (auto &v : group) {
+            v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+        }
+        const auto before = group;
+        bitflip_group({group.data(), group.size()}, 0);
+        EXPECT_EQ(group, before);
+    }
+}
+
+TEST(BitflipGroup, SignColumnClearedWhenCheapest)
+{
+    // A single small negative among positives: clearing the sign column
+    // (cost 1) beats clearing the heavily-used bit0 column.
+    std::vector<std::int8_t> group = {-1, 1, 1, 1, 1, 1, 1, 1};
+    EXPECT_EQ(sm_zero_cols({group.data(), group.size()}), 6);
+    const auto result = bitflip_group({group.data(), group.size()}, 7);
+    EXPECT_GE(result.zero_columns, 7);
+    EXPECT_DOUBLE_EQ(result.squared_error, 1.0);
+    EXPECT_EQ(group[0], 0);
+}
+
+class BitflipProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(BitflipProperty, AlwaysReachesTargetWithBoundedError)
+{
+    const auto [g_size, target] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(g_size * 100 + target));
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<std::int8_t> group(static_cast<std::size_t>(g_size));
+        for (auto &v : group) {
+            v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+        }
+        const auto before = group;
+        const auto result = bitflip_group({group.data(), group.size()},
+                                          target);
+        // Constraint met.
+        EXPECT_GE(result.zero_columns, target);
+        EXPECT_GE(sm_zero_cols({group.data(), group.size()}), target);
+        // Worst case is zeroing everything.
+        double zero_cost = 0.0;
+        for (auto v : before) {
+            zero_cost += static_cast<double>(v) * static_cast<double>(v);
+        }
+        EXPECT_LE(result.squared_error, zero_cost + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitflipProperty,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32),
+                       ::testing::Values(1, 3, 5, 7, 8)));
+
+TEST(BitflipGroup, GreedyCloseToExhaustive)
+{
+    // The greedy column choice should rarely be far from the exhaustive
+    // optimum; verify the gap on random groups.
+    Rng rng(77);
+    double greedy_total = 0.0, best_total = 0.0;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::int8_t> g1(8), g2(8);
+        for (std::size_t i = 0; i < 8; ++i) {
+            g1[i] = g2[i] =
+                static_cast<std::int8_t>(rng.uniform_int(-60, 60));
+        }
+        const auto r1 = bitflip_group({g1.data(), g1.size()}, 5);
+        const auto r2 = bitflip_group_exhaustive({g2.data(), g2.size()}, 5);
+        EXPECT_GE(r1.squared_error, r2.squared_error - 1e-9);
+        greedy_total += r1.squared_error;
+        best_total += r2.squared_error;
+    }
+    EXPECT_LT(greedy_total, best_total * 1.5);
+}
+
+TEST(BitflipTensor, EveryGroupMeetsTarget)
+{
+    Rng rng(5);
+    Int8Tensor t({1000});
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        t[i] = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    }
+    const auto flipped = bitflip_tensor(t, 16, 4);
+    for (std::int64_t start = 0; start < t.numel(); start += 16) {
+        const auto len = std::min<std::int64_t>(16, t.numel() - start);
+        EXPECT_GE(sm_zero_cols({flipped.data() + start,
+                                static_cast<std::size_t>(len)}),
+                  4);
+    }
+}
+
+TEST(BitflipTensor, IncreasingTargetIncreasesCompression)
+{
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    const auto &weights = w.layers[w.layer_index("LSTM.0")].weights;
+    double prev_sparsity = -1.0;
+    for (int z : {0, 2, 4, 6}) {
+        const auto flipped = z == 0 ? weights : bitflip_tensor(weights, 16, z);
+        const double cs =
+            analyze_bit_columns(flipped, 16, Representation::kSignMagnitude)
+                .column_sparsity();
+        EXPECT_GT(cs, prev_sparsity) << "z=" << z;
+        prev_sparsity = cs;
+    }
+}
+
+// ------------------------------------------------------------ search ---
+
+TEST(FlipSearch, UntouchedStrategyKeepsBaseMetric)
+{
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    AccuracyProxy proxy(w);
+    FlipSearch search(w, proxy);
+    const auto s = search.untouched_strategy();
+    EXPECT_DOUBLE_EQ(search.strategy_metric(s), w.base_metric);
+    EXPECT_GT(search.strategy_compression_ratio(s), 1.0);
+}
+
+TEST(FlipSearch, MetricDecreasesWithAggressiveFlips)
+{
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    AccuracyProxy proxy(w);
+    FlipSearch search(w, proxy);
+    auto mild = search.untouched_strategy();
+    auto aggressive = search.untouched_strategy();
+    for (auto &cfg : aggressive) {
+        cfg.zero_columns = 7;
+    }
+    for (auto &cfg : mild) {
+        cfg.zero_columns = 2;
+    }
+    const double m_mild = search.strategy_metric(mild);
+    const double m_aggr = search.strategy_metric(aggressive);
+    EXPECT_LT(m_aggr, m_mild);
+    EXPECT_LE(m_mild, w.base_metric);
+    EXPECT_GT(search.strategy_compression_ratio(aggressive),
+              search.strategy_compression_ratio(mild));
+}
+
+TEST(FlipSearch, GreedySearchTrajectoryIsMonotoneInCompression)
+{
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    AccuracyProxy proxy(w);
+    FlipSearch search(w, proxy);
+    GreedySearchOptions opts;
+    opts.min_metric = w.base_metric - 0.1;  // small budget => short search
+    opts.group_sizes = {16};
+    const auto traj = search.greedy_search(search.untouched_strategy(),
+                                           opts);
+    ASSERT_GE(traj.size(), 2u);
+    for (std::size_t i = 1; i < traj.size(); ++i) {
+        EXPECT_GE(traj[i].compression_ratio,
+                  traj[i - 1].compression_ratio - 1e-6);
+        EXPECT_GE(traj[i].metric, opts.min_metric);
+    }
+}
+
+TEST(FlipSearch, AppliedStrategyMatchesConfiguredTargets)
+{
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    AccuracyProxy proxy(w);
+    FlipSearch search(w, proxy);
+    auto strategy = search.untouched_strategy();
+    strategy[w.layer_index("LSTM.1")] = {16, 5};
+    const auto weights = search.apply_strategy(strategy);
+    const auto &flipped = weights[w.layer_index("LSTM.1")];
+    for (std::int64_t start = 0; start + 16 <= flipped.numel();
+         start += 16) {
+        EXPECT_GE(sm_zero_cols({flipped.data() + start, 16}), 5);
+    }
+    // Untouched layers are bit-identical.
+    EXPECT_EQ(weights[0], w.layers[0].weights);
+}
+
+}  // namespace
+}  // namespace bitwave

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the common utilities: sign-magnitude codec, bit helpers,
+ * RNG distributions, and the table renderer.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace bitwave {
+namespace {
+
+TEST(SignMagnitude, EncodesPositiveValuesUnchanged)
+{
+    for (int v = 0; v <= 127; ++v) {
+        EXPECT_EQ(to_sign_magnitude(static_cast<std::int8_t>(v)),
+                  static_cast<std::uint8_t>(v));
+    }
+}
+
+TEST(SignMagnitude, EncodesNegativeValuesWithSignBit)
+{
+    EXPECT_EQ(to_sign_magnitude(-1), 0x81);
+    EXPECT_EQ(to_sign_magnitude(-3), 0x83);
+    EXPECT_EQ(to_sign_magnitude(-127), 0xFF);
+}
+
+TEST(SignMagnitude, ClampsMinusOneTwentyEight)
+{
+    // -128 has no 7-bit magnitude; the codec clamps to -127 as the
+    // hardware does.
+    EXPECT_EQ(to_sign_magnitude(std::int8_t{-128}), 0xFF);
+}
+
+TEST(SignMagnitude, RoundTripsAllRepresentableValues)
+{
+    for (int v = -127; v <= 127; ++v) {
+        const auto sm = to_sign_magnitude(static_cast<std::int8_t>(v));
+        EXPECT_EQ(from_sign_magnitude(sm), v);
+    }
+}
+
+TEST(SignMagnitude, BothZeroEncodingsDecodeToZero)
+{
+    EXPECT_EQ(from_sign_magnitude(0x00), 0);
+    EXPECT_EQ(from_sign_magnitude(0x80), 0);
+}
+
+TEST(SignMagnitude, PaperExampleMinusThree)
+{
+    // Fig. 4(c): -3 in SM is 1000'0011.
+    EXPECT_EQ(to_binary_string(to_sign_magnitude(-3)), "10000011");
+}
+
+TEST(Bits, PopcountMatchesManualCount)
+{
+    EXPECT_EQ(popcount8(0x00), 0);
+    EXPECT_EQ(popcount8(0xFF), 8);
+    EXPECT_EQ(popcount8(0xA5), 4);
+}
+
+TEST(Bits, TwosComplementBitCountOfNegatives)
+{
+    // -1 = 0xFF has 8 ones; small negative values have many leading ones,
+    // the effect that ruins 2C bit-column sparsity (Section III-A).
+    EXPECT_EQ(bit_count_twos_complement(-1), 8);
+    EXPECT_EQ(bit_count_twos_complement(-2), 7);
+    EXPECT_EQ(bit_count_sign_magnitude(-1), 2);
+    EXPECT_EQ(bit_count_sign_magnitude(-2), 2);
+}
+
+TEST(Bits, SmallNegativesSparserInSignMagnitude)
+{
+    // SM never needs more bits than 2C for negatives, and strictly fewer
+    // in aggregate over the small-magnitude range that dominates weights.
+    int sm_total = 0, tc_total = 0;
+    for (int v = -16; v < 0; ++v) {
+        const int sm = bit_count_sign_magnitude(static_cast<std::int8_t>(v));
+        const int tc = bit_count_twos_complement(static_cast<std::int8_t>(v));
+        EXPECT_LE(sm, tc) << "value " << v;
+        sm_total += sm;
+        tc_total += tc;
+    }
+    EXPECT_LT(sm_total, tc_total);
+}
+
+TEST(Bits, TestBitAndBinaryString)
+{
+    const std::uint8_t w = 0b10001100;
+    EXPECT_TRUE(test_bit(w, 7));
+    EXPECT_TRUE(test_bit(w, 3));
+    EXPECT_TRUE(test_bit(w, 2));
+    EXPECT_FALSE(test_bit(w, 0));
+    EXPECT_EQ(to_binary_string(w), "10001100");
+}
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(ceil_div(0, 8), 0);
+    EXPECT_EQ(ceil_div(1, 8), 1);
+    EXPECT_EQ(ceil_div(8, 8), 1);
+    EXPECT_EQ(ceil_div(9, 8), 2);
+}
+
+TEST(Rng, IsDeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    }
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, LaplacianHasHeavyPeakAtZero)
+{
+    Rng rng(11);
+    int small = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (std::abs(rng.laplacian(1.0)) < 0.7) {
+            ++small;
+        }
+    }
+    // P(|X| < 0.7) = 1 - exp(-0.7) ~ 0.503 for a unit Laplacian.
+    EXPECT_NEAR(static_cast<double>(small) / n, 0.503, 0.03);
+}
+
+TEST(Rng, GaussianMeanAndSigma)
+{
+    Rng rng(13);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.gaussian(2.0);
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.1);
+    EXPECT_NEAR(std::sqrt(sum2 / n), 2.0, 0.1);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmt_double(1.2345, 2), "1.23");
+    EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+    EXPECT_EQ(fmt_ratio(2.5, 2), "2.50x");
+}
+
+}  // namespace
+}  // namespace bitwave

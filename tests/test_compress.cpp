@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit and property tests for the three compression codecs: BCS, ZRE, CSR.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "compress/bcs.hpp"
+#include "compress/csr.hpp"
+#include "compress/zre.hpp"
+
+namespace bitwave {
+namespace {
+
+Int8Tensor
+random_tensor(std::int64_t n, double laplace_scale, double zero_prob,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    Int8Tensor t({n});
+    for (std::int64_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(zero_prob)) {
+            t[i] = 0;
+        } else {
+            t[i] = static_cast<std::int8_t>(std::clamp<int>(
+                static_cast<int>(rng.laplacian(laplace_scale)), -127, 127));
+        }
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------- BCS ---
+
+TEST(Bcs, RoundTripSmallExample)
+{
+    Int8Tensor t({8}, {2, 4, -3, 6, 0, 0, 0, 0});
+    for (auto repr : {Representation::kTwosComplement,
+                      Representation::kSignMagnitude}) {
+        const auto c = bcs_compress(t, 4, repr);
+        EXPECT_EQ(bcs_decompress(c), t);
+    }
+}
+
+TEST(Bcs, AllZeroTensorStoresNoColumns)
+{
+    Int8Tensor t({32});
+    const auto c = bcs_compress(t, 8, Representation::kSignMagnitude);
+    EXPECT_EQ(c.payload_bits(), 0);
+    EXPECT_EQ(c.index_bits(), 4 * 8);
+    EXPECT_EQ(bcs_decompress(c), t);
+}
+
+TEST(Bcs, DenseTensorHasNoCompression)
+{
+    // All columns populated: compressed size exceeds original by the index.
+    Int8Tensor t({16});
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        t[i] = static_cast<std::int8_t>((i % 2) ? -127 : 127);
+    }
+    const auto c = bcs_compress(t, 16, Representation::kSignMagnitude);
+    EXPECT_LT(c.compression_ratio(), 1.0);
+    EXPECT_EQ(bcs_decompress(c), t);
+}
+
+TEST(Bcs, CompressedBitsDecomposition)
+{
+    const auto t = random_tensor(1024, 11.0, 0.05, 3);
+    const auto c = bcs_compress(t, 16, Representation::kSignMagnitude);
+    EXPECT_EQ(c.compressed_bits(), c.index_bits() + c.payload_bits());
+    EXPECT_EQ(c.original_bits(), 1024 * 8);
+    EXPECT_GT(c.ideal_compression_ratio(), c.compression_ratio());
+}
+
+TEST(Bcs, PartialTailGroupRoundTrips)
+{
+    const auto t = random_tensor(1001, 9.0, 0.1, 5);  // not divisible by 16
+    const auto c = bcs_compress(t, 16, Representation::kSignMagnitude);
+    EXPECT_EQ(bcs_decompress(c), t);
+}
+
+TEST(Bcs, SignMagnitudeCompressesWeightsBetterThanTwosComplement)
+{
+    const auto t = random_tensor(1 << 15, 10.0, 0.05, 11);
+    for (int g : {8, 16, 32}) {
+        const double sm = bcs_compress(t, g, Representation::kSignMagnitude)
+                              .compression_ratio();
+        const double tc = bcs_compress(t, g, Representation::kTwosComplement)
+                              .compression_ratio();
+        EXPECT_GT(sm, tc) << "group " << g;
+    }
+}
+
+TEST(Bcs, BestHardwareGroupSizeIsSupported)
+{
+    const auto t = random_tensor(4096, 12.0, 0.05, 13);
+    const int g = best_hardware_group_size(
+        t, Representation::kSignMagnitude);
+    EXPECT_TRUE(g == 8 || g == 16 || g == 32);
+}
+
+class BcsRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double, double>>
+{
+};
+
+TEST_P(BcsRoundTrip, LosslessForAllGroupSizesAndDistributions)
+{
+    const auto [g_size, scale, zero_prob] = GetParam();
+    const auto t = random_tensor(
+        777, scale, zero_prob,
+        static_cast<std::uint64_t>(g_size * 1000 + scale));
+    for (auto repr : {Representation::kTwosComplement,
+                      Representation::kSignMagnitude}) {
+        const auto c = bcs_compress(t, g_size, repr);
+        EXPECT_EQ(bcs_decompress(c), t);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BcsRoundTrip,
+    ::testing::Combine(::testing::Values(1, 4, 8, 16, 32, 64),
+                       ::testing::Values(3.0, 12.0, 60.0),
+                       ::testing::Values(0.0, 0.1, 0.9)));
+
+// ---------------------------------------------------------------- ZRE ---
+
+TEST(Zre, RoundTripBasic)
+{
+    Int8Tensor t({10}, {0, 0, 5, 0, -3, 0, 0, 0, 0, 1});
+    const auto c = zre_compress(t);
+    EXPECT_EQ(zre_decompress(c), t);
+    EXPECT_EQ(c.entries.size(), 3u);
+}
+
+TEST(Zre, LongZeroRunsEmitPaddingEntries)
+{
+    Int8Tensor t({40});
+    t[39] = 9;  // 39 zeros then one value: needs two padding entries
+    const auto c = zre_compress(t);
+    EXPECT_EQ(zre_decompress(c), t);
+    EXPECT_EQ(c.entries.size(), 3u);
+    EXPECT_EQ(c.entries[0].zero_run, 15);
+    EXPECT_EQ(c.entries[0].value, 0);
+}
+
+TEST(Zre, TrailingZerosPreserved)
+{
+    Int8Tensor t({8}, {1, 0, 0, 0, 0, 0, 0, 0});
+    const auto c = zre_compress(t);
+    EXPECT_EQ(zre_decompress(c), t);
+}
+
+TEST(Zre, AllZerosCompressWell)
+{
+    Int8Tensor t({64});
+    const auto c = zre_compress(t);
+    EXPECT_EQ(zre_decompress(c), t);
+    EXPECT_GT(c.compression_ratio(), 8.0);
+}
+
+TEST(Zre, DenseDataExpands)
+{
+    Int8Tensor t({64});
+    t.fill(3);
+    const auto c = zre_compress(t);
+    // 12 bits per 8-bit value: CR = 8/12.
+    EXPECT_NEAR(c.compression_ratio(), 8.0 / 12.0, 1e-9);
+}
+
+TEST(Zre, RoundTripRandom)
+{
+    for (double zp : {0.0, 0.3, 0.7, 0.97}) {
+        const auto t = random_tensor(
+            997, 20.0, zp, static_cast<std::uint64_t>(zp * 100) + 1);
+        const auto c = zre_compress(t);
+        EXPECT_EQ(zre_decompress(c), t) << "zero prob " << zp;
+    }
+}
+
+// ---------------------------------------------------------------- CSR ---
+
+TEST(Csr, RoundTripBasic)
+{
+    Int8Tensor t({4, 4});
+    t.at({0, 1}) = 5;
+    t.at({2, 3}) = -7;
+    t.at({3, 0}) = 1;
+    const auto c = csr_compress(t, 4);
+    EXPECT_EQ(csr_decompress(c), t);
+    EXPECT_EQ(c.values.size(), 3u);
+    EXPECT_EQ(c.row_ptr.size(), 5u);
+}
+
+TEST(Csr, ColIndexBitsIsCeilLog2)
+{
+    Int8Tensor t({2, 16});
+    auto c = csr_compress(t, 2);
+    EXPECT_EQ(c.col_index_bits(), 4);
+    Int8Tensor t2({2, 17});
+    c = csr_compress(t2, 2);
+    EXPECT_EQ(c.col_index_bits(), 5);
+}
+
+TEST(Csr, CompressionOnlyWinsWhenSparse)
+{
+    auto dense = random_tensor(64 * 64, 30.0, 0.0, 21);
+    auto sparse = random_tensor(64 * 64, 30.0, 0.9, 22);
+    EXPECT_LT(csr_compress(dense, 64).compression_ratio(), 1.0);
+    EXPECT_GT(csr_compress(sparse, 64).compression_ratio(), 2.0);
+}
+
+TEST(Csr, RoundTripRandom)
+{
+    for (double zp : {0.0, 0.5, 0.95}) {
+        const auto t = random_tensor(
+            32 * 48, 25.0, zp, static_cast<std::uint64_t>(zp * 10) + 7);
+        const auto c = csr_compress(t, 32);
+        EXPECT_EQ(csr_decompress(c), t) << "zero prob " << zp;
+    }
+}
+
+// ------------------------------------------------- cross-codec shape ---
+
+TEST(CrossCodec, BcsBeatsValueCodecsAtLowValueSparsity)
+{
+    // The Fig. 5 headline: with scarce value sparsity, BCS (real CR,
+    // including index cost) outperforms ZRE and CSR.
+    const auto t = random_tensor(1 << 15, 10.0, 0.03, 42);
+    const double bcs_cr =
+        bcs_compress(t, 16, Representation::kSignMagnitude)
+            .compression_ratio();
+    const double zre_cr = zre_compress(t).compression_ratio();
+    const double csr_cr = csr_compress(t, 128).compression_ratio();
+    EXPECT_GT(bcs_cr, zre_cr);
+    EXPECT_GT(bcs_cr, csr_cr);
+    EXPECT_GT(bcs_cr, 1.0);
+}
+
+}  // namespace
+}  // namespace bitwave

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the technology calibration, DRAM model, and the Fig. 18 /
+ * Section V-D area & power budget.
+ */
+#include <gtest/gtest.h>
+
+#include "energy/breakdown.hpp"
+#include "energy/dram.hpp"
+#include "energy/tech.hpp"
+
+namespace bitwave {
+namespace {
+
+TEST(Tech, TableFourPowerOrdering)
+{
+    // Table IV: bit-serial costs the most power, bit-column-serial the
+    // least (the add-then-shift advantage); bit-parallel has the
+    // smallest area, bit-serial the largest.
+    const auto &t = default_tech();
+    EXPECT_GT(t.p_pe_bit_serial_mw, t.p_pe_bit_parallel_mw);
+    EXPECT_LT(t.p_pe_bit_column_mw, t.p_pe_bit_parallel_mw);
+    EXPECT_LT(t.a_pe_bit_parallel_um2, t.a_pe_bit_column_um2);
+    EXPECT_LT(t.a_pe_bit_column_um2, t.a_pe_bit_serial_um2);
+}
+
+TEST(Tech, TableFourRatios)
+{
+    // Section V-D: the BCS PE has ~1.26x the bit-parallel area and
+    // ~1.25x less power.
+    const auto &t = default_tech();
+    EXPECT_NEAR(t.a_pe_bit_column_um2 / t.a_pe_bit_parallel_um2, 1.26,
+                0.02);
+    EXPECT_NEAR(t.p_pe_bit_parallel_mw / t.p_pe_bit_column_mw, 1.25, 0.03);
+}
+
+TEST(Tech, MacEnergyDerivedFromPowerAtFrequency)
+{
+    // e = P / f: 2.13e-2 mW at 250 MHz = 0.0852 pJ.
+    const auto &t = default_tech();
+    EXPECT_NEAR(t.e_mac_bit_parallel_pj,
+                t.p_pe_bit_parallel_mw * 1e-3 / t.frequency_hz * 1e12,
+                1e-4);
+    EXPECT_NEAR(t.e_mac_bit_column_pj,
+                t.p_pe_bit_column_mw * 1e-3 / t.frequency_hz * 1e12, 1e-4);
+}
+
+TEST(Tech, EfficiencyScalingToTwentyEightNm)
+{
+    // Table III: 12.21 TOPS/W at 16 nm normalizes to ~7 at 28 nm under
+    // the first-order rule; area 1.138 mm^2 -> ~3.49 mm^2.
+    EXPECT_NEAR(scale_area(1.138, 16.0, 28.0), 3.49, 0.03);
+    EXPECT_LT(scale_efficiency(12.21, 16.0, 28.0), 12.21);
+}
+
+TEST(Dram, EnergyScalesWithBits)
+{
+    const auto &d = default_dram();
+    const double e1 = d.transfer_energy_pj(1024);
+    const double e2 = d.transfer_energy_pj(2048);
+    EXPECT_GT(e2, e1 * 1.9);
+    EXPECT_LT(e2, e1 * 2.1);
+}
+
+TEST(Dram, TransferCyclesAtChannelWidth)
+{
+    const auto &d = default_dram();
+    EXPECT_DOUBLE_EQ(d.transfer_cycles(6400),
+                     6400.0 / d.bits_per_accel_cycle);
+}
+
+TEST(Breakdown, TotalsMatchSectionVD)
+{
+    // 1.138 mm^2 and 17.56 mW at the ResNet18 operating point.
+    const auto budget = bitwave_chip_budget(default_tech());
+    EXPECT_NEAR(budget.total_area_mm2(), 1.138, 0.04);
+    EXPECT_NEAR(budget.total_power_mw(), 17.56, 0.6);
+}
+
+TEST(Breakdown, Fig18Shares)
+{
+    const auto budget = bitwave_chip_budget(default_tech());
+    // SRAM 55.08 % of area; PE array 24.7 % area and 57.6 % power;
+    // dispatcher 10.8 % area and 24.4 % power.
+    EXPECT_NEAR(budget.area_share("SRAM"), 0.5508, 0.03);
+    EXPECT_NEAR(budget.area_share("PE array"), 0.247, 0.03);
+    EXPECT_NEAR(budget.power_share("PE array"), 0.576, 0.04);
+    EXPECT_NEAR(budget.area_share("Data dispatcher"), 0.108, 0.02);
+    EXPECT_NEAR(budget.power_share("Data dispatcher"), 0.244, 0.03);
+}
+
+TEST(Breakdown, PowerScalesWithActivity)
+{
+    const auto busy = bitwave_chip_budget(default_tech(), {}, 1.0);
+    const auto idle = bitwave_chip_budget(default_tech(), {}, 0.25);
+    EXPECT_LT(idle.total_power_mw(), busy.total_power_mw());
+    // Fetcher/controller power is activity-independent.
+    EXPECT_DOUBLE_EQ(idle.component("Controller").power_mw,
+                     busy.component("Controller").power_mw);
+}
+
+TEST(Breakdown, SramAreaScalesWithCapacity)
+{
+    BitWaveConfig half;
+    half.weight_sram_bytes = 128 * 1024;
+    half.act_sram_bytes = 128 * 1024;
+    const auto full = bitwave_chip_budget(default_tech());
+    const auto small = bitwave_chip_budget(default_tech(), half);
+    EXPECT_NEAR(small.component("SRAM").area_um2,
+                full.component("SRAM").area_um2 / 2.0, 1.0);
+}
+
+}  // namespace
+}  // namespace bitwave

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests for layer descriptors, workload builders, synthesis statistics,
+ * reference kernels, and the accuracy proxy.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/accuracy.hpp"
+#include "nn/reference.hpp"
+#include "nn/synthesis.hpp"
+#include "nn/workloads.hpp"
+#include "sparsity/bitcolumn.hpp"
+#include "sparsity/stats.hpp"
+
+namespace bitwave {
+namespace {
+
+// ------------------------------------------------------------- layers ---
+
+TEST(Layer, ConvMacAndWeightCounts)
+{
+    const auto d = make_conv("c", 64, 32, 28, 28, 3, 3);
+    EXPECT_EQ(d.macs(), 64LL * 32 * 28 * 28 * 9);
+    EXPECT_EQ(d.weight_count(), 64LL * 32 * 9);
+    EXPECT_EQ(d.output_count(), 64LL * 28 * 28);
+    EXPECT_EQ(d.ix(), 30);
+}
+
+TEST(Layer, StridedConvInputExtent)
+{
+    const auto d = make_conv("c", 64, 3, 112, 112, 7, 7, 2);
+    EXPECT_EQ(d.ix(), 111 * 2 + 7);
+}
+
+TEST(Layer, DepthwiseHasUnitC)
+{
+    const auto d = make_depthwise("dw", 96, 56, 56, 3);
+    EXPECT_EQ(d.c, 1);
+    EXPECT_EQ(d.macs(), 96LL * 56 * 56 * 9);
+    EXPECT_EQ(d.weight_count(), 96LL * 9);
+}
+
+TEST(Layer, LinearAndLstmShapes)
+{
+    const auto fc = make_linear("fc", 1000, 512, 4);
+    EXPECT_EQ(fc.macs(), 4LL * 1000 * 512);
+    const auto lstm = make_lstm("l", 256, 128, 10);
+    EXPECT_EQ(lstm.k, 1024);
+    EXPECT_EQ(lstm.c, 384);
+    EXPECT_EQ(lstm.macs(), 10LL * 1024 * 384);
+}
+
+// ----------------------------------------------------------- workloads ---
+
+TEST(Workloads, ResNet18MatchesPublishedSize)
+{
+    const auto &w = get_workload(WorkloadId::kResNet18);
+    // 11.7M params / 1.8 GMACs for 224x224 (Fig. 12 left).
+    EXPECT_NEAR(static_cast<double>(w.total_weights()), 11.7e6, 0.2e6);
+    EXPECT_NEAR(static_cast<double>(w.total_macs()), 1.81e9, 0.05e9);
+    EXPECT_EQ(w.layers.size(), 21u);  // 17 convs + 3 downsamples + fc
+}
+
+TEST(Workloads, MobileNetV2MatchesPublishedSize)
+{
+    const auto &w = get_workload(WorkloadId::kMobileNetV2);
+    EXPECT_NEAR(static_cast<double>(w.total_weights()), 3.47e6, 0.1e6);
+    EXPECT_NEAR(static_cast<double>(w.total_macs()), 0.3e9, 0.02e9);
+}
+
+TEST(Workloads, MobileNetV2HasDepthwiseAndPointwise)
+{
+    const auto &w = get_workload(WorkloadId::kMobileNetV2);
+    int dw = 0, pw = 0;
+    for (const auto &l : w.layers) {
+        dw += l.desc.kind == LayerKind::kDepthwiseConv;
+        pw += l.desc.kind == LayerKind::kPointwiseConv;
+    }
+    EXPECT_EQ(dw, 17);  // 1 + 16 inverted-residual repeats
+    EXPECT_GE(pw, 33);
+}
+
+TEST(Workloads, CnnLstmIsLstmDominated)
+{
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    std::int64_t lstm_weights = 0;
+    for (const auto &l : w.layers) {
+        if (l.desc.kind == LayerKind::kLstm) {
+            lstm_weights += l.desc.weight_count();
+        }
+    }
+    // Paper: LSTM.0 + LSTM.1 hold ~80 % of the weights.
+    const double share = static_cast<double>(lstm_weights) /
+        static_cast<double>(w.total_weights());
+    EXPECT_GT(share, 0.75);
+    EXPECT_LT(share, 0.95);
+}
+
+TEST(Workloads, BertBaseMatchesPublishedSize)
+{
+    const auto &w = get_workload(WorkloadId::kBertBase);
+    // 12 x 7.08M encoder weights (embeddings excluded; not compute).
+    EXPECT_NEAR(static_cast<double>(w.total_weights()), 85e6, 1e6);
+    EXPECT_EQ(w.layers.size(), 72u);  // 12 layers x 6 projections
+    for (const auto &l : w.layers) {
+        EXPECT_EQ(l.desc.batch, 4) << "token size 4 per Fig. 13";
+    }
+}
+
+TEST(Workloads, WeightShapesMatchDescriptors)
+{
+    for (auto id : kAllWorkloads) {
+        const auto &w = get_workload(id);
+        for (const auto &l : w.layers) {
+            EXPECT_EQ(l.weights.shape(),
+                      WorkloadLayer::weight_shape(l.desc))
+                << w.name << "/" << l.desc.name;
+        }
+    }
+}
+
+TEST(Workloads, BuildersAreDeterministic)
+{
+    const auto a = build_cnn_lstm(123);
+    const auto b = build_cnn_lstm(123);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+        EXPECT_EQ(a.layers[i].weights, b.layers[i].weights);
+    }
+}
+
+TEST(Workloads, LayerIndexLookup)
+{
+    const auto &w = get_workload(WorkloadId::kResNet18);
+    EXPECT_EQ(w.layers[w.layer_index("fc")].desc.name, "fc");
+}
+
+// Fig. 1 band check: bit sparsity exceeds value sparsity by roughly an
+// order of magnitude, and SM beats 2C, on every benchmark network.
+class WorkloadSparsity : public ::testing::TestWithParam<WorkloadId>
+{
+};
+
+TEST_P(WorkloadSparsity, Fig1SparsityOrdering)
+{
+    const auto &w = get_workload(GetParam());
+    SparsityStats s;
+    for (const auto &l : w.layers) {
+        s.merge(compute_sparsity(l.weights));
+    }
+    EXPECT_LT(s.value_sparsity(), 0.15);
+    EXPECT_GT(s.bit_sparsity(Representation::kTwosComplement),
+              s.value_sparsity());
+    EXPECT_GT(s.bit_sparsity(Representation::kSignMagnitude),
+              s.bit_sparsity(Representation::kTwosComplement));
+    // SR bands of Fig. 1: 5.67-32.5x (2C), 8.73-47.5x (SM); allow margin.
+    EXPECT_GT(s.sparsity_ratio(Representation::kTwosComplement), 3.5);
+    EXPECT_GT(s.sparsity_ratio(Representation::kSignMagnitude), 5.0);
+    EXPECT_LT(s.sparsity_ratio(Representation::kSignMagnitude), 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNets, WorkloadSparsity,
+                         ::testing::ValuesIn(kAllWorkloads));
+
+TEST(Workloads, ResNetConv2MatchesFig4)
+{
+    // Fig. 4: conv2 of ResNet18, G=4 groups along C: ~20 % zero values,
+    // ~17 % zero columns in 2C, ~59 % in SM (3.4x improvement).
+    const auto &w = get_workload(WorkloadId::kResNet18);
+    const auto &conv2 = w.layers[w.layer_index("l1.0.conv1")];
+    const auto s = compute_sparsity(conv2.weights);
+    EXPECT_NEAR(s.value_sparsity(), 0.20, 0.08);
+    const double c2 =
+        analyze_bit_columns(conv2.weights, 4,
+                            Representation::kTwosComplement)
+            .column_sparsity();
+    const double csm =
+        analyze_bit_columns(conv2.weights, 4,
+                            Representation::kSignMagnitude)
+            .column_sparsity();
+    EXPECT_NEAR(c2, 0.17, 0.07);
+    EXPECT_NEAR(csm, 0.59, 0.08);
+    EXPECT_GT(csm / c2, 2.5);
+}
+
+TEST(Workloads, BertHasFewZeroColumns)
+{
+    // Section III-D: the original Int8 BERT has a limited number of zero
+    // columns — the reason it needs Bit-Flip.
+    const auto &bert = get_workload(WorkloadId::kBertBase);
+    BitColumnStats stats;
+    for (const auto &l : bert.layers) {
+        stats.merge(
+            analyze_bit_columns(l.weights, 16,
+                                Representation::kSignMagnitude));
+    }
+    EXPECT_LT(stats.column_sparsity(), 0.15);
+}
+
+// ----------------------------------------------------------- synthesis ---
+
+TEST(Synthesis, ZeroProbabilityControlsValueSparsity)
+{
+    Rng rng(5);
+    WeightProfile p;
+    p.scale = 20.0;
+    p.zero_probability = 0.5;
+    p.zero_avoidance = 0.0;
+    const auto t = synthesize_weights(make_linear("l", 128, 128), p, rng);
+    const auto s = compute_sparsity(t);
+    EXPECT_NEAR(s.value_sparsity(), 0.5, 0.05);
+}
+
+TEST(Synthesis, ZeroAvoidanceSuppressesZeros)
+{
+    Rng rng(5);
+    WeightProfile p;
+    p.scale = 2.0;
+    p.zero_probability = 0.0;
+    p.zero_avoidance = 1.0;
+    const auto t = synthesize_weights(make_linear("l", 64, 64), p, rng);
+    EXPECT_EQ(compute_sparsity(t).value_sparsity(), 0.0);
+}
+
+TEST(Synthesis, ActivationsRespectReluAndSparsity)
+{
+    Rng rng(9);
+    const auto t = synthesize_activations({4096}, 0.4, 12.0, true, rng);
+    int zeros = 0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        EXPECT_GE(t[i], 0);
+        zeros += t[i] == 0;
+    }
+    EXPECT_NEAR(zeros / 4096.0, 0.4, 0.06);
+}
+
+// ----------------------------------------------------- reference kernels ---
+
+TEST(Reference, DotProduct)
+{
+    const std::int8_t a[4] = {1, -2, 3, 127};
+    const std::int8_t b[4] = {5, 6, -7, 127};
+    EXPECT_EQ(dot_int8(a, b, 4), 5 - 12 - 21 + 16129);
+}
+
+TEST(Reference, Conv1x1MatchesMatmul)
+{
+    // A 1x1 convolution over a 1x1 feature map is a plain matmul.
+    const auto d = make_pointwise("pw", 3, 4, 1, 1);
+    Int8Tensor in({1, 4, 1, 1}, {1, 2, 3, 4});
+    Int8Tensor wts({3, 1, 1, 4},
+                   {1, 0, 0, 0, 0, 1, 0, 0, 1, 1, 1, 1});
+    const auto out = conv2d_int8(d, in, wts);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 2);
+    EXPECT_EQ(out[2], 10);
+}
+
+TEST(Reference, ConvIdentityKernel)
+{
+    // 3x3 kernel with a single centre 1: output equals the centre crop.
+    const auto d = make_conv("c", 1, 1, 2, 2, 3, 3);
+    Int8Tensor in({1, 1, 4, 4});
+    for (std::int64_t i = 0; i < 16; ++i) {
+        in[i] = static_cast<std::int8_t>(i);
+    }
+    Int8Tensor wts({1, 3, 3, 1});
+    wts.at({0, 1, 1, 0}) = 1;
+    const auto out = conv2d_int8(d, in, wts);
+    EXPECT_EQ(out[0], in.at({0, 0, 1, 1}));
+    EXPECT_EQ(out[3], in.at({0, 0, 2, 2}));
+}
+
+TEST(Reference, StridedConvSamplesCorrectWindows)
+{
+    const auto d = make_conv("c", 1, 1, 2, 2, 1, 1, 2);
+    Int8Tensor in({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    Int8Tensor wts({1, 1, 1, 1}, {2});
+    const auto out = conv2d_int8(d, in, wts);
+    EXPECT_EQ(out[0], 2);
+    EXPECT_EQ(out[1], 6);
+    EXPECT_EQ(out[2], 14);
+    EXPECT_EQ(out[3], 18);
+}
+
+TEST(Reference, DepthwiseKeepsChannelsSeparate)
+{
+    const auto d = make_depthwise("dw", 2, 1, 1, 1);
+    Int8Tensor in({1, 2, 1, 1}, {3, 5});
+    Int8Tensor wts({2, 1, 1}, {2, -1});
+    const auto out = depthwise_conv2d_int8(d, in, wts);
+    EXPECT_EQ(out[0], 6);
+    EXPECT_EQ(out[1], -5);
+}
+
+TEST(Reference, LinearMatchesManual)
+{
+    const auto d = make_linear("fc", 2, 3, 2);
+    Int8Tensor in({2, 3}, {1, 2, 3, 4, 5, 6});
+    Int8Tensor wts({2, 3}, {1, 1, 1, -1, 0, 1});
+    const auto out = linear_int8(d, in, wts);
+    EXPECT_EQ(out[0], 6);
+    EXPECT_EQ(out[1], 2);
+    EXPECT_EQ(out[2], 15);
+    EXPECT_EQ(out[3], 2);
+}
+
+TEST(Reference, RequantizeSaturates)
+{
+    Int32Tensor acc({3}, {1000000, -1000000, 64});
+    const auto q = requantize_accumulators(acc, 6);
+    EXPECT_EQ(q[0], 127);
+    EXPECT_EQ(q[1], -127);
+    EXPECT_EQ(q[2], 1);
+}
+
+TEST(Reference, LayerForwardDispatch)
+{
+    Rng rng(3);
+    for (auto kind_desc :
+         {make_conv("c", 4, 8, 3, 3, 3, 3), make_depthwise("d", 4, 3, 3, 3),
+          make_linear("l", 4, 8, 2), make_lstm("m", 4, 8, 2)}) {
+        WeightProfile p;
+        const auto wts = synthesize_weights(kind_desc, p, rng);
+        const auto in = synthesize_activations(
+            layer_input_shape(kind_desc), 0.2, 10.0, false, rng);
+        const auto out = layer_forward_int8(kind_desc, in, wts);
+        EXPECT_GT(out.numel(), 0) << kind_desc.to_string();
+    }
+}
+
+// ------------------------------------------------------- accuracy proxy ---
+
+TEST(AccuracyProxy, UnmodifiedWeightsGiveBaseMetric)
+{
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    AccuracyProxy proxy(w);
+    std::vector<Int8Tensor> weights;
+    for (const auto &l : w.layers) {
+        weights.push_back(l.weights);
+    }
+    EXPECT_DOUBLE_EQ(proxy.metric_for(weights), w.base_metric);
+}
+
+TEST(AccuracyProxy, ZeroedLayerIsWorseThanPerturbedLayer)
+{
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    AccuracyProxy proxy(w);
+    const std::size_t idx = w.layer_index("LSTM.0");
+    Int8Tensor zeroed(w.layers[idx].weights.shape());
+    Int8Tensor nudged = w.layers[idx].weights;
+    for (std::int64_t i = 0; i < nudged.numel(); i += 17) {
+        nudged[i] = static_cast<std::int8_t>(
+            std::max(-127, nudged[i] - 1));
+    }
+    const double m_zero = proxy.metric_with_layer(idx, zeroed);
+    const double m_nudge = proxy.metric_with_layer(idx, nudged);
+    EXPECT_LT(m_zero, m_nudge);
+    EXPECT_LT(m_nudge, proxy.base_metric());
+}
+
+TEST(AccuracyProxy, EarlyLayersAreMoreSensitive)
+{
+    // The Fig. 6 observation: the same distortion costs more in early
+    // layers than late layers.
+    const auto &w = get_workload(WorkloadId::kResNet18);
+    AccuracyProxy proxy(w);
+    EXPECT_GT(proxy.depth_weight(1), proxy.depth_weight(w.layers.size() - 1));
+}
+
+TEST(AccuracyProxy, RelErrorIsZeroForIdenticalWeights)
+{
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    AccuracyProxy proxy(w);
+    EXPECT_DOUBLE_EQ(proxy.layer_rel_error(0, w.layers[0].weights), 0.0);
+}
+
+}  // namespace
+}  // namespace bitwave

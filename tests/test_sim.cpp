@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the cycle-level BitWave simulator: ZCIP decode, BCE datapath,
+ * banked SRAM accounting, bit-exact functional equivalence against the
+ * reference kernels, and the Section V-B style cross-validation against
+ * the analytical model.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "model/performance.hpp"
+#include "nn/reference.hpp"
+#include "nn/synthesis.hpp"
+#include "nn/workloads.hpp"
+#include "bitflip/bitflip.hpp"
+#include "sparsity/bitcolumn.hpp"
+#include "sim/bce.hpp"
+#include "sim/npu.hpp"
+#include "sim/sram.hpp"
+#include "sim/zcip.hpp"
+
+namespace bitwave {
+namespace {
+
+// --------------------------------------------------------------- ZCIP ---
+
+TEST(Zcip, AllZeroIndexDecodesToNothing)
+{
+    ZeroColumnIndexParser parser;
+    const auto d = parser.parse(0x00);
+    EXPECT_FALSE(d.sign_request);
+    EXPECT_TRUE(d.shifts.empty());
+    EXPECT_EQ(d.nonzero_columns, 0);
+}
+
+TEST(Zcip, SignBitRaisesSignRequest)
+{
+    ZeroColumnIndexParser parser;
+    const auto d = parser.parse(0x80);
+    EXPECT_TRUE(d.sign_request);
+    EXPECT_TRUE(d.shifts.empty());
+    EXPECT_EQ(d.nonzero_columns, 1);
+}
+
+TEST(Zcip, ShiftsAreAscendingSignificances)
+{
+    ZeroColumnIndexParser parser;
+    const auto d = parser.parse(0b1010'0101);
+    EXPECT_TRUE(d.sign_request);
+    EXPECT_EQ(d.shifts, (std::vector<int>{0, 2, 5}));
+    EXPECT_EQ(d.nonzero_columns, 4);
+}
+
+TEST(Zcip, DenseModeStreamsAllColumns)
+{
+    ZeroColumnIndexParser parser;
+    const auto d = parser.parse_dense(8);
+    EXPECT_TRUE(d.sign_request);
+    EXPECT_EQ(d.shifts.size(), 7u);
+    EXPECT_EQ(d.nonzero_columns, 8);
+    // Reduced-precision dense mode (deeply quantized weights).
+    const auto d4 = parser.parse_dense(4);
+    EXPECT_EQ(d4.nonzero_columns, 4);
+}
+
+TEST(Zcip, SyncCounterMatchesPopcount)
+{
+    ZeroColumnIndexParser parser;
+    for (int idx = 0; idx < 256; ++idx) {
+        const auto d = parser.parse(static_cast<std::uint8_t>(idx));
+        EXPECT_EQ(d.nonzero_columns,
+                  popcount8(static_cast<std::uint8_t>(idx)));
+    }
+}
+
+// ---------------------------------------------------------------- BCE ---
+
+TEST(Bce, SingleColumnMultiply)
+{
+    // Weights {1, 0, 1} at bit0, activations {3, 5, 7}: 3 + 7 = 10.
+    Bce bce;
+    const std::int8_t acts[3] = {3, 5, 7};
+    bce.load_inputs(acts, 0);
+    bce.process_column(0b101, 0);
+    EXPECT_EQ(bce.output(), 10);
+}
+
+TEST(Bce, ShiftAppliesAfterAccumulation)
+{
+    Bce bce;
+    const std::int8_t acts[2] = {1, 1};
+    bce.load_inputs(acts, 0);
+    bce.process_column(0b11, 3);  // (1 + 1) << 3 = 16
+    EXPECT_EQ(bce.output(), 16);
+    EXPECT_EQ(bce.activity().shifts, 1);
+}
+
+TEST(Bce, SignBitsNegatePartialProducts)
+{
+    Bce bce;
+    const std::int8_t acts[2] = {10, 10};
+    bce.load_inputs(acts, 0b01);  // weight 0 negative
+    bce.process_column(0b11, 0);
+    EXPECT_EQ(bce.output(), 0);  // -10 + 10
+}
+
+TEST(Bce, GroupPassComputesExactDotProduct)
+{
+    // Exhaustive-ish check: random groups, compare against the plain
+    // int8 dot product.
+    Rng rng(21);
+    ZeroColumnIndexParser parser;
+    for (int trial = 0; trial < 300; ++trial) {
+        const int g = 1 + static_cast<int>(rng.uniform_int(0, 15));
+        std::vector<std::int8_t> wts(static_cast<std::size_t>(g));
+        std::vector<std::int8_t> acts(static_cast<std::size_t>(g));
+        for (int j = 0; j < g; ++j) {
+            wts[static_cast<std::size_t>(j)] =
+                static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+            acts[static_cast<std::size_t>(j)] =
+                static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+        }
+        const auto idx =
+            column_index({wts.data(), wts.size()},
+                         Representation::kSignMagnitude);
+        const auto decode = parser.parse(idx);
+        std::vector<std::uint64_t> cols;
+        for (int shift : decode.shifts) {
+            cols.push_back(column_bits({wts.data(), wts.size()}, shift,
+                                       Representation::kSignMagnitude));
+        }
+        const auto sign_col = column_bits(
+            {wts.data(), wts.size()}, 7, Representation::kSignMagnitude);
+        const std::int32_t got = bce_group_pass(
+            {acts.data(), acts.size()}, decode,
+            {cols.data(), cols.size()}, sign_col);
+        EXPECT_EQ(got, dot_int8(acts.data(), wts.data(), g))
+            << "trial " << trial;
+    }
+}
+
+// --------------------------------------------------------------- SRAM ---
+
+TEST(Sram, DistributesTrafficAcrossBanks)
+{
+    BankedSram sram(256 * 1024, 16, 64);
+    sram.read(16 * 64);
+    for (int b = 0; b < 16; ++b) {
+        EXPECT_EQ(sram.bank_read_bits(b), 64);
+    }
+    EXPECT_EQ(sram.total_read_bits(), 1024);
+    EXPECT_DOUBLE_EQ(sram.access_cycles(), 1.0);
+}
+
+TEST(Sram, CapacityCheck)
+{
+    BankedSram sram(1024, 4, 64);
+    EXPECT_TRUE(sram.fits(1024));
+    EXPECT_FALSE(sram.fits(1025));
+}
+
+TEST(Sram, ResetClearsCounters)
+{
+    BankedSram sram(1024, 2, 64);
+    sram.write(128);
+    sram.reset();
+    EXPECT_EQ(sram.total_write_bits(), 0);
+}
+
+// ------------------------------------------------ functional equivalence ---
+
+/// Build a small layer of the given kind with synthesized operands.
+struct SimFixture
+{
+    LayerDesc desc;
+    WorkloadLayer layer;
+    Int8Tensor input;
+
+    explicit SimFixture(LayerDesc d, std::uint64_t seed = 77)
+        : desc(std::move(d))
+    {
+        Rng rng(seed);
+        WeightProfile profile;
+        profile.scale = 9.0;
+        profile.zero_probability = 0.08;
+        layer.desc = desc;
+        layer.weights = synthesize_weights(desc, profile, rng);
+        layer.activation_sparsity = 0.3;
+        input = synthesize_activations(layer_input_shape(desc), 0.3, 14.0,
+                                       false, rng);
+    }
+};
+
+class SimEquivalence : public ::testing::TestWithParam<int>
+{
+  protected:
+    static LayerDesc layer_for(int which)
+    {
+        switch (which) {
+          case 0: return make_conv("conv", 8, 16, 5, 5, 3, 3);
+          case 1: return make_conv("strided", 4, 8, 4, 4, 3, 3, 2);
+          case 2: return make_pointwise("pw", 16, 32, 6, 6);
+          case 3: return make_depthwise("dw", 12, 5, 5, 3);
+          case 4: return make_linear("fc", 24, 40, 3);
+          case 5: return make_lstm("lstm", 8, 8, 4);
+          default: return make_conv("c3", 4, 3, 4, 4, 3, 3);
+        }
+    }
+};
+
+TEST_P(SimEquivalence, SparseModeMatchesReferenceBitExactly)
+{
+    SimFixture fx(layer_for(GetParam()));
+    BitWaveNpu npu;
+    const auto result = npu.run_layer(fx.layer, &fx.input);
+    ASSERT_TRUE(result.output.has_value());
+    const auto golden =
+        layer_forward_int8(fx.desc, fx.input, fx.layer.weights);
+    ASSERT_EQ(result.output->numel(), golden.numel());
+    for (std::int64_t i = 0; i < golden.numel(); ++i) {
+        ASSERT_EQ((*result.output)[i], golden[i]) << "element " << i;
+    }
+}
+
+TEST_P(SimEquivalence, DenseModeMatchesReferenceBitExactly)
+{
+    SimFixture fx(layer_for(GetParam()), 99);
+    NpuConfig cfg;
+    cfg.dense_mode = true;
+    BitWaveNpu npu(cfg);
+    const auto result = npu.run_layer(fx.layer, &fx.input);
+    ASSERT_TRUE(result.output.has_value());
+    const auto golden =
+        layer_forward_int8(fx.desc, fx.input, fx.layer.weights);
+    for (std::int64_t i = 0; i < golden.numel(); ++i) {
+        ASSERT_EQ((*result.output)[i], golden[i]) << "element " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayerKinds, SimEquivalence,
+                         ::testing::Range(0, 7));
+
+// --------------------------------------------------------- cycle model ---
+
+TEST(SimCycles, SparseNeverSlowerThanDense)
+{
+    SimFixture fx(make_conv("c", 16, 32, 8, 8, 3, 3));
+    BitWaveNpu sparse;
+    NpuConfig dense_cfg;
+    dense_cfg.dense_mode = true;
+    BitWaveNpu dense(dense_cfg);
+    const auto rs = sparse.run_layer(fx.layer, &fx.input, nullptr, false);
+    const auto rd = dense.run_layer(fx.layer, &fx.input, nullptr, false);
+    EXPECT_LE(rs.cycles_decoupled, rd.cycles_decoupled + 1e-9);
+    EXPECT_LT(rs.weight_bits_fetched, rd.weight_bits_fetched);
+}
+
+TEST(SimCycles, LockstepIsAtLeastDecoupled)
+{
+    SimFixture fx(make_conv("c", 16, 32, 8, 8, 3, 3));
+    BitWaveNpu npu;
+    const auto r = npu.run_layer(fx.layer, &fx.input, nullptr, false);
+    EXPECT_GE(r.cycles_lockstep, r.cycles_decoupled - 1e-9);
+}
+
+TEST(SimCycles, BitFlipBalancesLockstepTowardDecoupled)
+{
+    // After flipping every group to a fixed zero-column budget the
+    // lockstep/decoupled gap shrinks (the Bit-Flip load-balance claim of
+    // Section III-D), and both counts drop.
+    SimFixture fx(make_linear("fc", 64, 256, 2));
+    BitWaveNpu npu;
+    const auto before = npu.run_layer(fx.layer, &fx.input, nullptr, false);
+    const Int8Tensor flipped =
+        bitflip_tensor(fx.layer.weights, before.group_size, 4);
+    const auto after = npu.run_layer(fx.layer, &fx.input, &flipped, false);
+
+    const double gap_before =
+        before.cycles_lockstep / before.cycles_decoupled;
+    const double gap_after = after.cycles_lockstep / after.cycles_decoupled;
+    EXPECT_GE(gap_before, 1.0);
+    EXPECT_LE(gap_after, gap_before + 1e-9);
+    EXPECT_LT(after.cycles_decoupled, before.cycles_decoupled);
+}
+
+TEST(SimCycles, MeanColumnsMatchesAnalyticalStats)
+{
+    SimFixture fx(make_conv("c", 16, 32, 8, 8, 3, 3));
+    BitWaveNpu npu;
+    const auto r = npu.run_layer(fx.layer, &fx.input, nullptr, false);
+    // The simulator's streamed column count per group must agree with the
+    // sparsity analysis at the same group size.
+    const auto stats = analyze_bit_columns(
+        fx.layer.weights, r.group_size, Representation::kSignMagnitude);
+    EXPECT_NEAR(r.mean_columns_per_group(), stats.mean_nonzero_columns(),
+                0.5);
+}
+
+TEST(SimValidation, SimWithinTenPercentOfAnalyticalModel)
+{
+    // The paper validates its analytical model against the BitWave RTL
+    // at < 6 % deviation; we reproduce the cross-check between our two
+    // independent implementations at a 15 % tolerance.
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    BitWaveNpu npu;
+    AcceleratorModel model(make_bitwave(BitWaveVariant::kDfSm));
+    for (const char *name : {"LSTM.0", "LSTM.1", "fc_in"}) {
+        const auto &layer = w.layers[w.layer_index(name)];
+        const auto sim = npu.run_layer(layer, nullptr, nullptr, false);
+        const auto mod = model.model_layer(layer);
+        const double ratio = sim.cycles_decoupled / mod.compute_cycles;
+        EXPECT_GT(ratio, 0.85) << name;
+        EXPECT_LT(ratio, 1.15) << name;
+    }
+}
+
+}  // namespace
+}  // namespace bitwave
