@@ -5,6 +5,8 @@
  * before and after Bit-Flip, on representative layers.
  */
 #include "bench_util.hpp"
+#include "bitflip/bitflip.hpp"
+#include "common/logging.hpp"
 #include "sim/npu.hpp"
 
 using namespace bitwave;

@@ -2,17 +2,22 @@
  * @file
  * Shared helpers for the benchmark harness: every bench binary prints the
  * rows/series of one paper table or figure, prefixed with a banner naming
- * the artifact it regenerates.
+ * the artifact it regenerates, and emits a machine-readable
+ * `BENCH_<name>.json` twin of the human table so the performance
+ * trajectory can be tracked across PRs.
  */
 #pragma once
 
-#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
-#include "bitflip/bitflip.hpp"
 #include "common/table.hpp"
+#include "eval/engine.hpp"
+#include "eval/scenario.hpp"
 #include "nn/workloads.hpp"
 
 namespace bitwave::bench {
@@ -28,14 +33,7 @@ banner(const std::string &artifact, const std::string &caption)
 inline std::vector<Int8Tensor>
 flip_workload(const Workload &w, int group, int zero_cols)
 {
-    std::vector<Int8Tensor> out;
-    out.reserve(w.layers.size());
-    for (const auto &l : w.layers) {
-        out.push_back(zero_cols == 0
-                          ? l.weights
-                          : bitflip_tensor(l.weights, group, zero_cols));
-    }
-    return out;
+    return eval::flip_workload(w, group, zero_cols);
 }
 
 /// Bit-Flip only the weight-heaviest layers covering @p weight_share of
@@ -44,30 +42,161 @@ inline std::vector<Int8Tensor>
 flip_heavy_layers(const Workload &w, double weight_share, int group,
                   int zero_cols)
 {
-    std::vector<std::pair<std::int64_t, std::size_t>> sizes;
-    for (std::size_t i = 0; i < w.layers.size(); ++i) {
-        sizes.emplace_back(w.layers[i].desc.weight_count(), i);
-    }
-    std::sort(sizes.rbegin(), sizes.rend());
-    std::vector<bool> heavy(w.layers.size(), false);
-    std::int64_t cum = 0;
-    const auto target = static_cast<std::int64_t>(
-        weight_share * static_cast<double>(w.total_weights()));
-    for (const auto &[size, idx] : sizes) {
-        if (cum >= target) {
-            break;
-        }
-        heavy[idx] = true;
-        cum += size;
-    }
-    std::vector<Int8Tensor> out;
-    out.reserve(w.layers.size());
-    for (std::size_t i = 0; i < w.layers.size(); ++i) {
-        out.push_back(heavy[i] ? bitflip_tensor(w.layers[i].weights, group,
-                                                zero_cols)
-                               : w.layers[i].weights);
-    }
-    return out;
+    return eval::flip_heavy_layers(w, weight_share, group, zero_cols);
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output
+// ---------------------------------------------------------------------------
+
+/// One scalar cell of the JSON report (string / number / bool).
+struct JsonValue
+{
+    enum class Kind { kString, kNumber, kBool };
+    Kind kind = Kind::kNumber;
+    std::string str;
+    double num = 0.0;
+    bool boolean = false;
+
+    JsonValue(const char *v) : kind(Kind::kString), str(v) {}
+    JsonValue(std::string v) : kind(Kind::kString), str(std::move(v)) {}
+    JsonValue(bool v) : kind(Kind::kBool), boolean(v) {}
+    template <typename T,
+              std::enable_if_t<std::is_arithmetic_v<T> &&
+                                   !std::is_same_v<T, bool>, int> = 0>
+    JsonValue(T v) : num(static_cast<double>(v)) {}
+};
+
+/// A flat key/value record (one row or the params block).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+/**
+ * Collects the bench's parameters and result rows and writes
+ * `BENCH_<name>.json` (name, params, rows, wall-time) next to the human
+ * tables. Written on destruction or by an explicit write().
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    ~JsonReport() { write(); }
+
+    /// Record one sweep parameter ("group_size": 16, ...).
+    void param(const std::string &key, JsonValue value)
+    {
+        params_.emplace_back(key, std::move(value));
+    }
+
+    /// Append one result row.
+    void add_row(JsonObject row) { rows_.push_back(std::move(row)); }
+
+    /// Append the standard fields of one scenario result, plus @p extra.
+    void add_result(const eval::ScenarioResult &r, JsonObject extra = {})
+    {
+        JsonObject row{
+            {"scenario", r.name},
+            {"engine", r.engine},
+            {"accelerator", r.accelerator},
+            {"workload", r.workload},
+            {"cycles", r.total_cycles},
+            {"energy_pj", r.energy.total_pj},
+            {"runtime_ms", r.runtime_ms()},
+            {"tops_per_watt", r.tops_per_watt()},
+            {"eval_wall_s", r.wall_seconds},
+        };
+        for (auto &kv : extra) {
+            row.push_back(std::move(kv));
+        }
+        add_row(std::move(row));
+    }
+
+    /// Write BENCH_<name>.json to the working directory (best effort).
+    void write()
+    {
+        if (written_) {
+            return;
+        }
+        written_ = true;
+        const double wall = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_).count();
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n", escape(name_).c_str());
+        std::fprintf(f, "  \"wall_time_s\": %.6f,\n", wall);
+        std::fprintf(f, "  \"params\": ");
+        print_object(f, params_, "  ");
+        std::fprintf(f, ",\n  \"rows\": [");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            std::fprintf(f, "%s\n    ", i == 0 ? "" : ",");
+            print_object(f, rows_[i], "    ");
+        }
+        std::fprintf(f, "%s]\n}\n", rows_.empty() ? "" : "\n  ");
+        std::fclose(f);
+        std::printf("\n[bench json: %s]\n", path.c_str());
+    }
+
+  private:
+    static std::string escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+                out += c;
+            } else if (c == '\n') {
+                out += "\\n";
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    static void print_object(std::FILE *f, const JsonObject &obj,
+                             const char *indent)
+    {
+        std::fprintf(f, "{");
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+            std::fprintf(f, "%s\n%s  \"%s\": ", i == 0 ? "" : ",", indent,
+                         escape(obj[i].first).c_str());
+            const JsonValue &v = obj[i].second;
+            switch (v.kind) {
+              case JsonValue::Kind::kString:
+                std::fprintf(f, "\"%s\"", escape(v.str).c_str());
+                break;
+              case JsonValue::Kind::kNumber:
+                std::fprintf(f, "%.17g", v.num);
+                break;
+              case JsonValue::Kind::kBool:
+                std::fprintf(f, "%s", v.boolean ? "true" : "false");
+                break;
+            }
+        }
+        if (obj.empty()) {
+            std::fprintf(f, "}");
+        } else {
+            std::fprintf(f, "\n%s}", indent);
+        }
+    }
+
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    JsonObject params_;
+    std::vector<JsonObject> rows_;
+    bool written_ = false;
+};
 
 }  // namespace bitwave::bench

@@ -5,6 +5,7 @@
  * enhancement of panel (c).
  */
 #include "bench_util.hpp"
+#include "bitflip/bitflip.hpp"
 #include "sparsity/bitcolumn.hpp"
 #include "sparsity/stats.hpp"
 

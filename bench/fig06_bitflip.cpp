@@ -7,6 +7,7 @@
  *        Int8+SM+Bit-Flip applied to the weight-heavy layers.
  */
 #include "bench_util.hpp"
+#include "bitflip/bitflip.hpp"
 #include "compress/bcs.hpp"
 #include "nn/accuracy.hpp"
 #include "tensor/quantize.hpp"
@@ -16,7 +17,7 @@ using namespace bitwave;
 namespace {
 
 double
-workload_cr(const Workload &w, const std::vector<Int8Tensor> &weights)
+workload_cr(const std::vector<Int8Tensor> &weights)
 {
     std::int64_t orig = 0;
     double comp = 0.0;
@@ -81,7 +82,7 @@ main()
             base_weights.push_back(l.weights);
         }
         t.add_row({"Int8+SM (lossless)",
-                   fmt_ratio(workload_cr(w, base_weights)),
+                   fmt_ratio(workload_cr(base_weights)),
                    fmt_double(w.base_metric)});
 
         // PTQ baseline: cut LSBs across every tensor.
@@ -115,7 +116,7 @@ main()
             const double metric =
                 w.base_metric - w.error_sensitivity * weighted;
             t.add_row({strprintf("Int8+SM+BF (z=%d)", z),
-                       fmt_ratio(workload_cr(w, flipped)),
+                       fmt_ratio(workload_cr(flipped)),
                        fmt_double(metric)});
         }
         std::printf("%s\n", t.render().c_str());

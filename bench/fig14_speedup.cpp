@@ -1,10 +1,11 @@
 /**
  * @file
  * Fig. 14 — speedup of every modeled accelerator, normalized to SCNN,
- * per benchmark network.
+ * per benchmark network. The full accelerator x workload grid runs as
+ * one parallel ScenarioRunner batch.
  */
 #include "bench_util.hpp"
-#include "model/performance.hpp"
+#include "eval/runner.hpp"
 
 using namespace bitwave;
 
@@ -12,25 +13,48 @@ int
 main()
 {
     bench::banner("Fig. 14", "speedup normalized to SCNN (higher=better)");
+    bench::JsonReport json("fig14_speedup");
+
+    // Grid: per workload — five baselines plus BitWave with the paper's
+    // heavy-layer Bit-Flip protocol (80% of weights, group 16, 5 zero
+    // columns).
+    const AcceleratorConfig baselines[] = {make_scnn(), make_stripes(),
+                                           make_pragmatic(), make_bitlet(),
+                                           make_huaa()};
+    std::vector<eval::Scenario> scenarios;
+    for (auto id : kAllWorkloads) {
+        for (const auto &cfg : baselines) {
+            eval::Scenario s;
+            s.accel = cfg;
+            s.workload = id;
+            scenarios.push_back(std::move(s));
+        }
+        eval::Scenario bw;
+        bw.accel = make_bitwave(BitWaveVariant::kDfSmBf);
+        bw.workload = id;
+        bw.bitflip.mode = eval::BitflipSpec::Mode::kHeavyLayers;
+        bw.bitflip.weight_share = 0.8;
+        bw.bitflip.group_size = 16;
+        bw.bitflip.zero_columns = 5;
+        scenarios.push_back(std::move(bw));
+    }
+
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
+    const std::size_t per_workload = std::size(baselines) + 1;
     Table t({"network", "SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA",
              "BitWave"});
-    for (auto id : kAllWorkloads) {
-        const auto &w = get_workload(id);
-        const auto scnn = AcceleratorModel(make_scnn()).model_workload(w);
-        const auto flipped = bench::flip_heavy_layers(w, 0.8, 16, 5);
-        const double cycles[] = {
-            scnn.total_cycles,
-            AcceleratorModel(make_stripes()).model_workload(w).total_cycles,
-            AcceleratorModel(make_pragmatic())
-                .model_workload(w).total_cycles,
-            AcceleratorModel(make_bitlet()).model_workload(w).total_cycles,
-            AcceleratorModel(make_huaa()).model_workload(w).total_cycles,
-            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
-                .model_workload(w, &flipped).total_cycles,
-        };
-        std::vector<std::string> row{w.name};
-        for (double c : cycles) {
-            row.push_back(fmt_ratio(scnn.total_cycles / c));
+    for (std::size_t w = 0; w * per_workload < results.size(); ++w) {
+        const auto *row_results = &results[w * per_workload];
+        const double scnn_cycles = row_results[0].total_cycles;
+        std::vector<std::string> row{row_results[0].workload};
+        for (std::size_t a = 0; a < per_workload; ++a) {
+            const double speedup =
+                scnn_cycles / row_results[a].total_cycles;
+            row.push_back(fmt_ratio(speedup));
+            json.add_result(row_results[a],
+                            {{"speedup_vs_scnn", speedup}});
         }
         t.add_row(std::move(row));
     }
@@ -38,5 +62,8 @@ main()
     std::printf("\npaper anchors: BitWave 10.1x (CNN-LSTM) and 13.25x "
                 "(Bert-Base) over SCNN; BitWave > 2x Bitlet; Pragmatic "
                 "~1.4x; BitWave fastest everywhere.\n");
+    std::printf("[runner: %d threads, %.2fs wall, %.2fx parallel "
+                "speedup]\n", report.threads_used, report.wall_seconds,
+                report.speedup());
     return 0;
 }

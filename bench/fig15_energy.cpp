@@ -22,19 +22,19 @@ main()
             AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
                 .model_workload(w, &flipped);
         const double energies[] = {
-            AcceleratorModel(make_scnn()).model_workload(w).total_energy_pj,
+            AcceleratorModel(make_scnn()).model_workload(w).energy.total_pj,
             AcceleratorModel(make_stripes())
-                .model_workload(w).total_energy_pj,
+                .model_workload(w).energy.total_pj,
             AcceleratorModel(make_pragmatic())
-                .model_workload(w).total_energy_pj,
+                .model_workload(w).energy.total_pj,
             AcceleratorModel(make_bitlet())
-                .model_workload(w).total_energy_pj,
-            AcceleratorModel(make_huaa()).model_workload(w).total_energy_pj,
-            bw.total_energy_pj,
+                .model_workload(w).energy.total_pj,
+            AcceleratorModel(make_huaa()).model_workload(w).energy.total_pj,
+            bw.energy.total_pj,
         };
         std::vector<std::string> row{w.name};
         for (double e : energies) {
-            row.push_back(fmt_ratio(e / bw.total_energy_pj));
+            row.push_back(fmt_ratio(e / bw.energy.total_pj));
         }
         t.add_row(std::move(row));
     }

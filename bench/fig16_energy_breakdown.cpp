@@ -20,12 +20,12 @@ main()
         const auto r =
             AcceleratorModel(make_bitwave(BitWaveVariant::kDfSm))
                 .model_workload(w);
-        const double total = r.total_energy_pj;
-        t.add_row({w.name, fmt_percent(r.energy_mac_pj / total),
-                   fmt_percent(r.energy_sram_pj / total),
-                   fmt_percent(r.energy_reg_pj / total),
-                   fmt_percent(r.energy_static_pj / total),
-                   fmt_percent(r.energy_dram_pj / total),
+        const double total = r.energy.total_pj;
+        t.add_row({w.name, fmt_percent(r.energy.mac_pj / total),
+                   fmt_percent(r.energy.sram_pj / total),
+                   fmt_percent(r.energy.reg_pj / total),
+                   fmt_percent(r.energy.static_pj / total),
+                   fmt_percent(r.energy.dram_pj / total),
                    fmt_double(total * 1e-9, 3)});
     }
     std::printf("%s", t.render().c_str());

@@ -7,7 +7,7 @@
  */
 #include "bench_util.hpp"
 #include "energy/breakdown.hpp"
-#include "model/performance.hpp"
+#include "eval/runner.hpp"
 
 using namespace bitwave;
 
@@ -15,6 +15,7 @@ int
 main()
 {
     bench::banner("Table III", "comparison with state-of-the-art");
+    bench::JsonReport json("table3_sota");
 
     // Modeled BitWave instance.
     const auto &tech = default_tech();
@@ -25,16 +26,25 @@ main()
         512.0 * tech.frequency_hz * 2.0 / 1e9;
     double best_sparse_gops = peak_dense_gops;
     {
-        const auto &w = get_workload(WorkloadId::kCnnLstm);
-        const auto flipped = bench::flip_heavy_layers(w, 0.8, 16, 5);
-        const auto r =
-            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
-                .model_workload(w, &flipped);
-        best_sparse_gops = std::max(best_sparse_gops, r.gops());
+        eval::Scenario s;
+        s.accel = make_bitwave(BitWaveVariant::kDfSmBf);
+        s.workload = WorkloadId::kCnnLstm;
+        s.bitflip.mode = eval::BitflipSpec::Mode::kHeavyLayers;
+        s.bitflip.weight_share = 0.8;
+        s.bitflip.group_size = 16;
+        s.bitflip.zero_columns = 5;
+        const auto results = eval::ScenarioRunner().run({s});
+        best_sparse_gops = std::max(best_sparse_gops,
+                                    results.front().gops());
+        json.add_result(results.front());
     }
     const double area = budget.total_area_mm2();
     const double power_w = budget.total_power_mw() * 1e-3;
     const double tops_per_w = best_sparse_gops / 1e3 / power_w;
+    json.param("best_sparse_gops", best_sparse_gops);
+    json.param("area_mm2", area);
+    json.param("power_mw", budget.total_power_mw());
+    json.param("tops_per_watt", tops_per_w);
 
     Table t({"design", "tech", "freq (MHz)", "power", "peak GOPS",
              "TOPS/W", "area (mm^2)", "norm. area @28nm",

@@ -9,8 +9,10 @@
 
 #include "bench_util.hpp"
 #include "common/bits.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "energy/tech.hpp"
+#include "eval/runner.hpp"
 #include "nn/reference.hpp"
 #include "sim/bce.hpp"
 #include "sim/zcip.hpp"
@@ -144,6 +146,32 @@ main(int argc, char **argv)
                              t.p_pe_bit_column_mw /
                                  t.p_pe_bit_parallel_mw)});
     std::printf("%s\n", table.render().c_str());
+
+    // System-level consequence of the PE choice: one ScenarioRunner
+    // batch evaluating the same workload under the three compute styles.
+    bench::JsonReport json("table4_pe_types");
+    std::vector<eval::Scenario> scenarios;
+    for (const auto &cfg : {make_dense_reference(), make_stripes(),
+                            make_bitwave(BitWaveVariant::kDenseSu)}) {
+        eval::Scenario s;
+        s.accel = cfg;
+        s.workload = WorkloadId::kResNet18;
+        scenarios.push_back(std::move(s));
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+    Table styles({"accelerator (style)", "cycles (M)", "energy (mJ)",
+                  "TOPS/W"});
+    for (const auto &r : results) {
+        styles.add_row({r.accelerator, fmt_double(r.total_cycles / 1e6),
+                        fmt_double(r.energy.total_pj * 1e-9, 3),
+                        fmt_double(r.tops_per_watt(), 3)});
+        json.add_result(r);
+    }
+    std::printf("modeled ResNet18 under each compute style:\n%s\n",
+                styles.render().c_str());
+    json.write();
+
     std::printf("functional-model throughput (google-benchmark):\n");
 
     benchmark::Initialize(&argc, argv);

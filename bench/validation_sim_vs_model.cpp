@@ -2,12 +2,16 @@
  * @file
  * Section V-B validation — the paper cross-checks its analytical model
  * against the BitWave RTL (< 6 % deviation). This bench reproduces that
- * cross-check between our two independent implementations: the
- * cycle-level simulator and the analytical model, per layer.
+ * cross-check between our two independent implementations — the
+ * cycle-level simulator and the analytical model — by evaluating each
+ * probe layer under BOTH engines of the shared evaluation core, as one
+ * parallel ScenarioRunner batch.
  */
+#include <cmath>
+
 #include "bench_util.hpp"
-#include "model/performance.hpp"
-#include "sim/npu.hpp"
+#include "common/logging.hpp"
+#include "eval/runner.hpp"
 
 using namespace bitwave;
 
@@ -17,12 +21,8 @@ main()
     bench::banner("Validation",
                   "cycle-level simulator vs analytical model "
                   "(paper: < 6% RTL deviation)");
-    BitWaveNpu npu;
-    AcceleratorModel model(make_bitwave(BitWaveVariant::kDfSm));
+    bench::JsonReport json("validation_sim_vs_model");
 
-    Table t({"workload/layer", "SU", "sim cycles", "model cycles",
-             "deviation"});
-    double worst = 0.0;
     struct Probe { WorkloadId id; const char *layer; };
     const Probe probes[] = {
         {WorkloadId::kCnnLstm, "fc_in"},
@@ -34,22 +34,54 @@ main()
         {WorkloadId::kBertBase, "layer.0.q"},
         {WorkloadId::kMobileNetV2, "L.50.pw_proj"},
     };
+
+    // Per probe: one cycle-sim scenario and one analytical scenario,
+    // both restricted to the probed layer.
+    std::vector<eval::Scenario> scenarios;
     for (const auto &probe : probes) {
-        const auto &w = get_workload(probe.id);
-        const auto &layer = w.layers[w.layer_index(probe.layer)];
-        const auto sim =
-            npu.run_layer(layer, nullptr, nullptr, /*compute_output=*/false);
-        const auto mod = model.model_layer(layer);
-        const double dev =
-            sim.cycles_decoupled / mod.compute_cycles - 1.0;
+        eval::Scenario sim;
+        sim.engine = eval::EngineKind::kCycleSim;
+        sim.workload = probe.id;
+        sim.layer_filter = {probe.layer};
+        scenarios.push_back(std::move(sim));
+
+        eval::Scenario model;
+        model.engine = eval::EngineKind::kAnalytical;
+        model.accel = make_bitwave(BitWaveVariant::kDfSm);
+        model.workload = probe.id;
+        model.layer_filter = {probe.layer};
+        scenarios.push_back(std::move(model));
+    }
+
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
+    Table t({"workload/layer", "SU", "sim cycles", "model cycles",
+             "deviation"});
+    double worst = 0.0;
+    for (std::size_t p = 0; p < std::size(probes); ++p) {
+        const eval::LayerEval &sim = results[2 * p].layers.front();
+        const eval::LayerEval &mod = results[2 * p + 1].layers.front();
+        const double dev = sim.compute_cycles / mod.compute_cycles - 1.0;
         worst = std::max(worst, std::abs(dev));
-        t.add_row({strprintf("%s/%s", w.name.c_str(), probe.layer),
-                   sim.su_name, fmt_double(sim.cycles_decoupled, 0),
+        t.add_row({strprintf("%s/%s", results[2 * p].workload.c_str(),
+                             probes[p].layer),
+                   sim.su_name, fmt_double(sim.compute_cycles, 0),
                    fmt_double(mod.compute_cycles, 0),
                    fmt_percent(dev, 2)});
+        json.add_row({{"workload", results[2 * p].workload},
+                      {"layer", probes[p].layer},
+                      {"su", sim.su_name},
+                      {"sim_cycles", sim.compute_cycles},
+                      {"model_cycles", mod.compute_cycles},
+                      {"deviation", dev}});
     }
     std::printf("%s", t.render().c_str());
     std::printf("\nworst deviation: %.2f%% (target < ~10%% between "
                 "independent implementations)\n", worst * 100.0);
+    std::printf("[runner: %d threads, %.2fs wall, %.2fx parallel "
+                "speedup]\n", report.threads_used, report.wall_seconds,
+                report.speedup());
+    json.param("worst_deviation", worst);
     return worst < 0.15 ? 0 : 1;
 }

@@ -2,18 +2,18 @@
  * @file
  * Compare all six modeled accelerators on one benchmark network:
  * cycles, runtime, energy and efficiency — a command-line view of the
- * Figs. 14/15/17 data for a single workload.
+ * Figs. 14/15/17 data for a single workload, evaluated as one scenario
+ * batch on the parallel ScenarioRunner.
  *
- * Run: ./accelerator_shootout [resnet18|mobilenetv2|cnnlstm|bert]
+ * Run: ./accelerator_shootout [resnet18|mobilenetv2|cnnlstm|bert] [threads]
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
-#include "bitflip/bitflip.hpp"
 #include "common/table.hpp"
-#include "model/performance.hpp"
-#include "nn/workloads.hpp"
+#include "eval/runner.hpp"
 
 using namespace bitwave;
 
@@ -32,10 +32,16 @@ main(int argc, char **argv)
             id = WorkloadId::kCnnLstm;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [resnet18|mobilenetv2|cnnlstm|bert]\n",
+                         "usage: %s [resnet18|mobilenetv2|cnnlstm|bert] "
+                         "[threads]\n",
                          argv[0]);
             return 1;
         }
+    }
+
+    eval::RunnerOptions options;
+    if (argc > 2) {
+        options.threads = std::atoi(argv[2]);
     }
 
     const Workload &w = get_workload(id);
@@ -43,20 +49,29 @@ main(int argc, char **argv)
                 w.name.c_str(), static_cast<long long>(w.total_macs()),
                 static_cast<long long>(w.total_weights()));
 
-    // Bit-Flip the weights for the full BitWave configuration.
-    std::vector<Int8Tensor> flipped;
-    for (const auto &l : w.layers) {
-        flipped.push_back(bitflip_tensor(l.weights, 16, 4));
-    }
-
-    std::vector<WorkloadResult> results;
+    // One scenario per accelerator; BitWave runs with uniformly
+    // Bit-Flipped weights (group 16, 4 zero columns), as in the paper.
+    std::vector<eval::Scenario> scenarios;
     for (const auto &cfg : {make_scnn(), make_stripes(), make_pragmatic(),
                             make_bitlet(), make_huaa()}) {
-        results.push_back(AcceleratorModel(cfg).model_workload(w));
+        eval::Scenario s;
+        s.accel = cfg;
+        s.workload = id;
+        scenarios.push_back(std::move(s));
     }
-    results.push_back(
-        AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
-            .model_workload(w, &flipped));
+    {
+        eval::Scenario s;
+        s.accel = make_bitwave(BitWaveVariant::kDfSmBf);
+        s.workload = id;
+        s.bitflip.mode = eval::BitflipSpec::Mode::kUniform;
+        s.bitflip.group_size = 16;
+        s.bitflip.zero_columns = 4;
+        scenarios.push_back(std::move(s));
+    }
+
+    eval::RunnerReport report;
+    const auto results =
+        eval::ScenarioRunner(options).run(scenarios, &report);
 
     const double scnn_cycles = results.front().total_cycles;
     const double scnn_tops = results.front().tops_per_watt();
@@ -66,10 +81,14 @@ main(int argc, char **argv)
         t.add_row({r.accelerator, fmt_double(r.total_cycles / 1e6),
                    fmt_double(r.runtime_ms()),
                    fmt_ratio(scnn_cycles / r.total_cycles),
-                   fmt_double(r.total_energy_pj * 1e-9, 3),
+                   fmt_double(r.energy.total_pj * 1e-9, 3),
                    fmt_double(r.tops_per_watt(), 3),
                    fmt_ratio(r.tops_per_watt() / scnn_tops)});
     }
     std::printf("%s", t.render().c_str());
+    std::printf("\n[runner: %d threads, %.2fs wall, %.2fs scenario work, "
+                "%.2fx parallel speedup]\n",
+                report.threads_used, report.wall_seconds,
+                report.scenario_seconds_sum, report.speedup());
     return 0;
 }

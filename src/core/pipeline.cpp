@@ -1,9 +1,12 @@
 #include "core/pipeline.hpp"
 
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "common/table.hpp"
 #include "compress/bcs.hpp"
+#include "eval/runner.hpp"
 #include "nn/accuracy.hpp"
 
 namespace bitwave {
@@ -40,7 +43,7 @@ deploy(const Workload &workload, const PipelineOptions &options)
     report.estimated_metric = workload.base_metric;
 
     // Optional Bit-Flip under the metric budget.
-    std::vector<Int8Tensor> weights;
+    auto weights = std::make_shared<std::vector<Int8Tensor>>();
     if (options.use_bitflip) {
         AccuracyProxy proxy(workload);
         FlipSearch search(workload, proxy);
@@ -50,34 +53,51 @@ deploy(const Workload &workload, const PipelineOptions &options)
         const auto trajectory =
             search.greedy_search(search.untouched_strategy(), opts);
         const auto &best = trajectory.back();
-        weights = search.apply_strategy(best.strategy);
+        *weights = search.apply_strategy(best.strategy);
         report.estimated_metric = best.metric;
     } else {
         for (const auto &l : workload.layers) {
-            weights.push_back(l.weights);
+            weights->push_back(l.weights);
         }
     }
 
-    // Model BitWave and the dense baseline.
-    AcceleratorModel bitwave_model(
+    // Evaluate BitWave and the dense baseline as one scenario batch
+    // through the shared evaluation engine (in parallel when the host
+    // has the cores for it). Scenarios own their workload, so the batch
+    // stays valid even if the runner ever retains scenarios beyond this
+    // frame.
+    const auto shared_workload = std::make_shared<const Workload>(workload);
+    eval::Scenario bitwave_scenario;
+    bitwave_scenario.accel =
         make_bitwave(options.use_bitflip ? BitWaveVariant::kDfSmBf
-                                         : BitWaveVariant::kDfSm));
-    AcceleratorModel dense_model(make_bitwave(BitWaveVariant::kDenseSu));
-    const auto bw = bitwave_model.model_workload(workload, &weights);
-    const auto dense = dense_model.model_workload(workload);
+                                         : BitWaveVariant::kDfSm);
+    bitwave_scenario.custom_workload = shared_workload;
+    bitwave_scenario.weight_override = weights;
+    eval::Scenario dense_scenario;
+    dense_scenario.accel = make_bitwave(BitWaveVariant::kDenseSu);
+    dense_scenario.custom_workload = shared_workload;
+
+    eval::RunnerOptions runner_options;
+    runner_options.threads = options.threads;
+    const auto results = eval::ScenarioRunner(runner_options)
+        .run({bitwave_scenario, dense_scenario});
+    const eval::ScenarioResult &bw = results[0];
+    const eval::ScenarioResult &dense = results[1];
 
     report.speedup_vs_dense = dense.total_cycles / bw.total_cycles;
-    report.energy_ratio_vs_dense = dense.total_energy_pj / bw.total_energy_pj;
+    report.energy_ratio_vs_dense =
+        dense.energy.total_pj / bw.energy.total_pj;
     report.runtime_ms = bw.runtime_ms();
-    report.energy_mj = bw.total_energy_pj * 1e-9;
+    report.energy_mj = bw.energy.total_pj * 1e-9;
 
     std::int64_t original_bits = 0;
     double compressed_bits = 0.0;
     for (std::size_t l = 0; l < workload.layers.size(); ++l) {
         const auto &layer = workload.layers[l];
         const auto compressed = bcs_compress(
-            weights[l], best_hardware_group_size(
-                            weights[l], Representation::kSignMagnitude),
+            (*weights)[l], best_hardware_group_size(
+                               (*weights)[l],
+                               Representation::kSignMagnitude),
             Representation::kSignMagnitude);
         PipelineLayerReport lr;
         lr.name = layer.desc.name;

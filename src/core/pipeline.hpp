@@ -30,6 +30,9 @@ struct PipelineOptions
     double max_metric_drop = 0.5;
     /// Group sizes the search may pick per layer.
     std::vector<int> group_sizes = {8, 16, 32};
+    /// Worker threads for the BitWave-vs-dense scenario evaluation
+    /// (0 = hardware concurrency).
+    int threads = 0;
 };
 
 /// Per-layer summary of the deployed network.

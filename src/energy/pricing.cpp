@@ -1,0 +1,42 @@
+#include "energy/pricing.hpp"
+
+#include <algorithm>
+
+namespace bitwave {
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &other)
+{
+    mac_pj += other.mac_pj;
+    sram_pj += other.sram_pj;
+    reg_pj += other.reg_pj;
+    dram_pj += other.dram_pj;
+    static_pj += other.static_pj;
+    total_pj += other.total_pj;
+    return *this;
+}
+
+EnergyBreakdown
+price_energy(const EnergyActivity &activity, const TechParams &tech,
+             const DramModel &dram)
+{
+    EnergyBreakdown e;
+    e.mac_pj = activity.mac_units * activity.e_mac_pj;
+    e.sram_pj = activity.sram_read_bits * tech.e_sram_read_per_bit_pj +
+        activity.sram_write_bits * tech.e_sram_write_per_bit_pj;
+    e.reg_pj = activity.reg_words * tech.e_reg_per_word_pj;
+    e.dram_pj = dram.transfer_energy_pj(activity.dram_bits);
+    e.static_pj = activity.cycles * tech.e_static_per_cycle_pj;
+    e.total_pj = e.mac_pj + e.sram_pj + e.reg_pj + e.dram_pj + e.static_pj;
+    return e;
+}
+
+double
+compose_latency(const LatencyParts &parts)
+{
+    return parts.dram_cycles + parts.output_write_cycles +
+        std::max({parts.compute_cycles, parts.weight_fetch_cycles,
+                  parts.act_fetch_cycles});
+}
+
+}  // namespace bitwave

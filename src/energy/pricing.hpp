@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared energy pricing and latency composition — the Eq. (4) energy
+ * assembly and Eq. (5) latency overlap used by BOTH the analytical
+ * accelerator model and the cycle-level NPU simulator.
+ *
+ * Centralizing the pricing here guarantees the two independent
+ * implementations cannot drift in *how* activity is converted to
+ * energy/latency; they may only differ in the activity counts they
+ * derive, which is exactly what the sim-vs-model validation checks.
+ */
+#pragma once
+
+#include "energy/dram.hpp"
+#include "energy/tech.hpp"
+
+namespace bitwave {
+
+/// Raw activity of one layer's execution, ready for pricing.
+struct EnergyActivity
+{
+    double mac_units = 0.0;  ///< Effective 8bx8b MAC-equivalents.
+    double e_mac_pj = 0.0;   ///< pJ per MAC-equivalent (compute-style unit).
+    double sram_read_bits = 0.0;
+    double sram_write_bits = 0.0;
+    double reg_words = 0.0;  ///< Operand register reads + writes.
+    double dram_bits = 0.0;
+    double cycles = 0.0;     ///< Runtime carrying static/clock-tree power.
+};
+
+/// Eq. (4) energy components, pJ.
+struct EnergyBreakdown
+{
+    double mac_pj = 0.0;
+    double sram_pj = 0.0;
+    double reg_pj = 0.0;
+    double dram_pj = 0.0;
+    double static_pj = 0.0;
+    double total_pj = 0.0;
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &other);
+};
+
+/// Price @p activity with the technology and DRAM models (Eq. 4).
+EnergyBreakdown price_energy(const EnergyActivity &activity,
+                             const TechParams &tech, const DramModel &dram);
+
+/// Cycle components of one layer's execution, ready for composition.
+struct LatencyParts
+{
+    double compute_cycles = 0.0;
+    double weight_fetch_cycles = 0.0;  ///< SRAM weight port occupancy.
+    double act_fetch_cycles = 0.0;     ///< SRAM activation port occupancy.
+    double dram_cycles = 0.0;          ///< Off-chip channel occupancy.
+    double output_write_cycles = 0.0;
+};
+
+/**
+ * Eq. (5): DRAM transfers and the output drain serialize; weight fetch,
+ * activation fetch and compute overlap behind double buffering, so the
+ * slowest of the three paces the layer.
+ */
+double compose_latency(const LatencyParts &parts);
+
+}  // namespace bitwave

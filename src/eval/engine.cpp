@@ -1,0 +1,155 @@
+#include "eval/engine.hpp"
+
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "model/performance.hpp"
+#include "nn/traverse.hpp"
+#include "sim/npu.hpp"
+
+namespace bitwave::eval {
+
+double
+ScenarioResult::runtime_ms(const TechParams &tech) const
+{
+    return total_cycles / tech.frequency_hz * 1e3;
+}
+
+double
+ScenarioResult::gops(const TechParams &tech) const
+{
+    const double seconds = total_cycles / tech.frequency_hz;
+    return seconds > 0
+        ? static_cast<double>(nominal_macs) * 2.0 / seconds / 1e9 : 0.0;
+}
+
+double
+ScenarioResult::tops_per_watt() const
+{
+    return energy.total_pj > 0
+        ? static_cast<double>(nominal_macs) * 2.0 / energy.total_pj : 0.0;
+}
+
+namespace {
+
+LayerEval
+from_model(const LayerResult &r)
+{
+    LayerEval e;
+    e.layer_name = r.layer_name;
+    e.su_name = r.su_name;
+    e.utilization = r.utilization;
+    e.compute_cycles = r.compute_cycles;
+    e.dram_cycles = r.dram_cycles;
+    e.total_cycles = r.total_cycles;
+    e.cycles_per_group = r.cycles_per_group;
+    e.energy = r.energy;
+    return e;
+}
+
+LayerEval
+from_sim(const LayerSimResult &r)
+{
+    LayerEval e;
+    e.layer_name = r.layer_name;
+    e.su_name = r.su_name;
+    e.compute_cycles = r.cycles_decoupled;
+    e.dram_cycles = r.dram_cycles;
+    e.total_cycles = r.total_cycles;
+    e.cycles_per_group = r.mean_columns_per_group();
+    e.energy = r.energy;
+    return e;
+}
+
+/// Indices selected by the scenario's layer filter (all when empty).
+std::unordered_set<std::size_t>
+selected_layers(const Scenario &scenario, const Workload &workload)
+{
+    std::unordered_set<std::size_t> sel;
+    for (const auto &name : scenario.layer_filter) {
+        sel.insert(workload.layer_index(name));  // fatal() on typos
+    }
+    return sel;
+}
+
+}  // namespace
+
+ScenarioResult
+evaluate_scenario(const Scenario &scenario, std::uint64_t rng_seed)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    ScenarioResult out;
+    out.name = scenario.name();
+    out.engine = engine_name(scenario.engine);
+    out.rng_seed = rng_seed;
+
+    // Workload: the shared cached synthesis, or a private deterministic
+    // one salted with the scenario stream.
+    Workload owned;
+    const Workload *w = nullptr;
+    if (scenario.custom_workload) {
+        w = scenario.custom_workload.get();
+    } else if (scenario.workload_seed == kCachedWorkloadSeed) {
+        w = &get_workload(scenario.workload);
+    } else {
+        owned = build_workload(scenario.workload, scenario.workload_seed);
+        w = &owned;
+    }
+    out.workload = w->name;
+
+    const auto weights = prepare_weights(scenario, *w);
+    const auto sel = selected_layers(scenario, *w);
+
+    const auto evaluate =
+        [&](auto &&layer_fn) {
+            for_each_layer(
+                *w, weights ? weights.get() : nullptr,
+                [&](std::size_t l, const WorkloadLayer &layer,
+                    const Int8Tensor *wt, const LayerContext &ctx) {
+                    if (!sel.empty() && sel.count(l) == 0) {
+                        return;
+                    }
+                    LayerEval e = layer_fn(layer, wt, ctx);
+                    out.total_cycles += e.total_cycles;
+                    out.energy += e.energy;
+                    out.nominal_macs += layer.desc.macs();
+                    out.layers.push_back(std::move(e));
+                });
+        };
+
+    switch (scenario.engine) {
+      case EngineKind::kAnalytical: {
+        out.accelerator = scenario.accel.name;
+        const AcceleratorModel model(scenario.accel);
+        evaluate([&](const WorkloadLayer &layer, const Int8Tensor *wt,
+                     const LayerContext &ctx) {
+            return from_model(model.model_layer(layer, wt, ctx));
+        });
+        break;
+      }
+      case EngineKind::kCycleSim: {
+        out.accelerator = "BitWaveNPU";
+        NpuConfig cfg = scenario.npu;
+        cfg.act_seed = rng_seed != 0 ? rng_seed : cfg.act_seed;
+        const BitWaveNpu npu(cfg);
+        evaluate([&](const WorkloadLayer &layer, const Int8Tensor *wt,
+                     const LayerContext &) {
+            // Accounting-only execution: functional output is exercised
+            // by the simulator's own tests, not by scenario sweeps.
+            return from_sim(
+                npu.run_layer(layer, nullptr, wt,
+                              /*compute_output=*/false));
+        });
+        break;
+      }
+    }
+
+    out.wall_seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    return out;
+}
+
+}  // namespace bitwave::eval

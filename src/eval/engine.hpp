@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The shared scenario-evaluation core: both evaluation engines — the
+ * analytical accelerator model and the cycle-level NPU simulator — plug
+ * into one workload traversal (nn/traverse.hpp) and one energy/latency
+ * pricing scheme (energy/pricing.hpp) and produce the same unified
+ * per-layer / per-workload records, so results from either engine are
+ * directly comparable (the Section V-B validation) and every consumer
+ * (benches, examples, the deployment pipeline) reads one result type.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/pricing.hpp"
+#include "energy/tech.hpp"
+#include "eval/scenario.hpp"
+
+namespace bitwave::eval {
+
+/// Unified per-layer record produced by both engines.
+struct LayerEval
+{
+    std::string layer_name;
+    std::string su_name;         ///< Selected dataflow.
+    double utilization = 0.0;    ///< Spatial PE utilization (model only).
+    double compute_cycles = 0.0; ///< Array occupancy (sim: decoupled).
+    double dram_cycles = 0.0;    ///< Off-chip channel occupancy.
+    double total_cycles = 0.0;   ///< Eq. (5) composition.
+    /// Mean effective bit-column cycles per group pass.
+    double cycles_per_group = 0.0;
+    EnergyBreakdown energy;      ///< Shared Eq. (4) pricing.
+};
+
+/// Unified workload-level result of one scenario.
+struct ScenarioResult
+{
+    std::string name;         ///< Scenario display name.
+    std::string engine;       ///< "model" or "sim".
+    std::string accelerator;
+    std::string workload;
+    std::uint64_t rng_seed = 0;  ///< Deterministic per-scenario seed.
+
+    std::vector<LayerEval> layers;
+    double total_cycles = 0.0;
+    EnergyBreakdown energy;
+    std::int64_t nominal_macs = 0;  ///< Dense MACs of evaluated layers.
+    double wall_seconds = 0.0;      ///< Host-side evaluation cost.
+
+    /// Wall-clock at the tech frequency, in ms.
+    double runtime_ms(const TechParams &tech = default_tech()) const;
+    /// Effective throughput in GOPS (2 ops per MAC).
+    double gops(const TechParams &tech = default_tech()) const;
+    /// Energy efficiency in TOPS/W over nominal (useful) operations.
+    double tops_per_watt() const;
+};
+
+/**
+ * Evaluate one scenario synchronously.
+ *
+ * The ScenarioRunner calls this from its worker threads; single
+ * evaluations may call it directly. @p rng_seed seeds every stochastic
+ * component of the evaluation (private workload synthesis salt, the
+ * simulator's synthetic activations) so results depend only on the
+ * (scenario, seed) pair — never on scheduling.
+ */
+ScenarioResult evaluate_scenario(const Scenario &scenario,
+                                 std::uint64_t rng_seed = 0);
+
+}  // namespace bitwave::eval

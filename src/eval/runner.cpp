@@ -1,0 +1,97 @@
+#include "eval/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace bitwave::eval {
+
+ScenarioRunner::ScenarioRunner(RunnerOptions options) : options_(options)
+{
+}
+
+int
+ScenarioRunner::effective_threads(std::size_t batch_size) const
+{
+    int threads = options_.threads;
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+        threads = std::max(threads, 1);
+    }
+    return static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(threads), std::max<std::size_t>(
+            batch_size, 1)));
+}
+
+std::vector<ScenarioResult>
+ScenarioRunner::run(const std::vector<Scenario> &scenarios,
+                    RunnerReport *report) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const int threads = effective_threads(scenarios.size());
+
+    std::vector<ScenarioResult> results(scenarios.size());
+    const auto evaluate_at = [&](std::size_t i) {
+        results[i] =
+            evaluate_scenario(scenarios[i],
+                              scenario_rng_seed(scenarios[i], i));
+    };
+
+    if (threads <= 1 || scenarios.size() <= 1) {
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            evaluate_at(i);
+        }
+    } else {
+        // Work-stealing over the batch: each worker pops the next index.
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr first_error;
+        std::mutex error_mutex;
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= scenarios.size() ||
+                        failed.load(std::memory_order_relaxed)) {
+                        return;
+                    }
+                    try {
+                        evaluate_at(i);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(error_mutex);
+                        if (!first_error) {
+                            first_error = std::current_exception();
+                        }
+                        failed.store(true, std::memory_order_relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+        for (auto &worker : pool) {
+            worker.join();
+        }
+        if (first_error) {
+            std::rethrow_exception(first_error);
+        }
+    }
+
+    if (report != nullptr) {
+        report->threads_used = threads;
+        report->wall_seconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+        report->scenario_seconds_sum = 0.0;
+        for (const auto &r : results) {
+            report->scenario_seconds_sum += r.wall_seconds;
+        }
+    }
+    return results;
+}
+
+}  // namespace bitwave::eval

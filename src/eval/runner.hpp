@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ScenarioRunner — evaluates a batch of Scenarios on a pool of worker
+ * threads and returns results in batch order.
+ *
+ * Determinism contract: every scenario's result is a pure function of
+ * (scenario, batch index) — the per-scenario RNG seed is derived from the
+ * batch position, never from thread identity — so an N-thread run is
+ * bit-identical to a 1-thread run of the same batch (modulo the
+ * `wall_seconds` diagnostics).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/engine.hpp"
+#include "eval/scenario.hpp"
+
+namespace bitwave::eval {
+
+/// Runner knobs.
+struct RunnerOptions
+{
+    /// Worker threads; 0 = hardware concurrency.
+    int threads = 0;
+};
+
+/// Aggregate diagnostics of one run() call.
+struct RunnerReport
+{
+    int threads_used = 0;
+    double wall_seconds = 0.0;          ///< End-to-end batch wall time.
+    double scenario_seconds_sum = 0.0;  ///< Sum of per-scenario costs.
+
+    /// Parallel efficiency proxy: total scenario work / batch wall time.
+    double speedup() const
+    {
+        return wall_seconds > 0 ? scenario_seconds_sum / wall_seconds
+                                : 1.0;
+    }
+};
+
+/// Thread-pool evaluator for scenario batches.
+class ScenarioRunner
+{
+  public:
+    explicit ScenarioRunner(RunnerOptions options = {});
+
+    /**
+     * Evaluate @p scenarios and return their results in batch order.
+     * @p report, when non-null, receives the run diagnostics.
+     */
+    std::vector<ScenarioResult> run(const std::vector<Scenario> &scenarios,
+                                    RunnerReport *report = nullptr) const;
+
+    /// Threads run() will use for a batch of @p batch_size scenarios.
+    int effective_threads(std::size_t batch_size) const;
+
+  private:
+    RunnerOptions options_;
+};
+
+}  // namespace bitwave::eval

@@ -1,0 +1,149 @@
+#include "eval/scenario.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "bitflip/bitflip.hpp"
+#include "common/logging.hpp"
+
+namespace bitwave::eval {
+
+const char *
+engine_name(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::kAnalytical: return "model";
+      case EngineKind::kCycleSim: return "sim";
+    }
+    return "?";
+}
+
+std::string
+Scenario::name() const
+{
+    if (!label.empty()) {
+        return label;
+    }
+    std::string n = engine == EngineKind::kCycleSim
+        ? std::string("BitWaveNPU") : accel.name;
+    n += '/';
+    n += custom_workload ? custom_workload->name.c_str()
+                         : workload_name(workload);
+    switch (bitflip.mode) {
+      case BitflipSpec::Mode::kNone:
+        break;
+      case BitflipSpec::Mode::kUniform:
+        n += strprintf("+bf(g%d,z%d)", bitflip.group_size,
+                       bitflip.zero_columns);
+        break;
+      case BitflipSpec::Mode::kHeavyLayers:
+        n += strprintf("+bf(g%d,z%d,%.0f%%)", bitflip.group_size,
+                       bitflip.zero_columns,
+                       bitflip.weight_share * 100.0);
+        break;
+    }
+    if (weight_override) {
+        n += "+weights";
+    }
+    if (engine == EngineKind::kCycleSim) {
+        n += " (sim)";
+    }
+    return n;
+}
+
+namespace {
+
+/// splitmix64 — tiny, well-mixed, and exactly reproducible everywhere.
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t
+scenario_rng_seed(const Scenario &scenario, std::size_t index)
+{
+    std::uint64_t h = splitmix64(scenario.seed);
+    h = splitmix64(h ^ static_cast<std::uint64_t>(index));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(scenario.workload));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(scenario.engine));
+    return h;
+}
+
+std::vector<Int8Tensor>
+flip_workload(const Workload &w, int group, int zero_cols)
+{
+    std::vector<Int8Tensor> out;
+    out.reserve(w.layers.size());
+    for (const auto &l : w.layers) {
+        out.push_back(zero_cols == 0
+                          ? l.weights
+                          : bitflip_tensor(l.weights, group, zero_cols));
+    }
+    return out;
+}
+
+std::vector<Int8Tensor>
+flip_heavy_layers(const Workload &w, double weight_share, int group,
+                  int zero_cols)
+{
+    std::vector<std::pair<std::int64_t, std::size_t>> sizes;
+    for (std::size_t i = 0; i < w.layers.size(); ++i) {
+        sizes.emplace_back(w.layers[i].desc.weight_count(), i);
+    }
+    std::sort(sizes.rbegin(), sizes.rend());
+    std::vector<bool> heavy(w.layers.size(), false);
+    std::int64_t cum = 0;
+    const auto target = static_cast<std::int64_t>(
+        weight_share * static_cast<double>(w.total_weights()));
+    for (const auto &[size, idx] : sizes) {
+        if (cum >= target) {
+            break;
+        }
+        heavy[idx] = true;
+        cum += size;
+    }
+    std::vector<Int8Tensor> out;
+    out.reserve(w.layers.size());
+    for (std::size_t i = 0; i < w.layers.size(); ++i) {
+        out.push_back(heavy[i] ? bitflip_tensor(w.layers[i].weights, group,
+                                                zero_cols)
+                               : w.layers[i].weights);
+    }
+    return out;
+}
+
+std::shared_ptr<const std::vector<Int8Tensor>>
+prepare_weights(const Scenario &scenario, const Workload &workload)
+{
+    if (scenario.weight_override) {
+        if (scenario.weight_override->size() != workload.layers.size()) {
+            fatal("Scenario %s: %zu override tensors for %zu layers",
+                  scenario.name().c_str(),
+                  scenario.weight_override->size(),
+                  workload.layers.size());
+        }
+        return scenario.weight_override;
+    }
+    switch (scenario.bitflip.mode) {
+      case BitflipSpec::Mode::kUniform:
+        return std::make_shared<std::vector<Int8Tensor>>(
+            flip_workload(workload, scenario.bitflip.group_size,
+                          scenario.bitflip.zero_columns));
+      case BitflipSpec::Mode::kHeavyLayers:
+        return std::make_shared<std::vector<Int8Tensor>>(
+            flip_heavy_layers(workload, scenario.bitflip.weight_share,
+                              scenario.bitflip.group_size,
+                              scenario.bitflip.zero_columns));
+      case BitflipSpec::Mode::kNone:
+        break;
+    }
+    return nullptr;  // Use the workload's own weights, copy-free.
+}
+
+}  // namespace bitwave::eval

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Scenario = one point of the evaluation space: an accelerator
+ * configuration x a benchmark workload x weight-preparation options
+ * (Bit-Flip or explicit overrides) x the engine that evaluates it
+ * (analytical model or cycle-level simulator).
+ *
+ * Every sweep in the repository — the paper figures, the SOTA table, the
+ * shootout example — is a list of Scenarios handed to the
+ * eval::ScenarioRunner; adding a new combination is one more entry in
+ * that list.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/accelerator.hpp"
+#include "nn/workloads.hpp"
+#include "sim/npu.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitwave::eval {
+
+/// Which implementation evaluates the scenario.
+enum class EngineKind {
+    kAnalytical,  ///< Section V-B Sparseloop-style model.
+    kCycleSim,    ///< Fig. 11 cycle-level NPU simulator.
+};
+
+/// Display name ("model", "sim").
+const char *engine_name(EngineKind kind);
+
+/// How a scenario prepares its weights before evaluation.
+struct BitflipSpec
+{
+    enum class Mode {
+        kNone,         ///< Use the workload's weights as-is.
+        kUniform,      ///< Bit-Flip every layer to the same target.
+        kHeavyLayers,  ///< Flip only the weight-heaviest layers covering
+                       ///< `weight_share` of the parameters (Fig. 6 e-h).
+    };
+    Mode mode = Mode::kNone;
+    int group_size = 16;
+    int zero_columns = 4;
+    double weight_share = 0.8;  ///< Only for kHeavyLayers.
+};
+
+/// Seed sentinel: share the process-wide cached workload synthesis.
+inline constexpr std::uint64_t kCachedWorkloadSeed = 0x5eed;
+
+/// One evaluation scenario.
+struct Scenario
+{
+    /// Optional display label; name() derives one when empty.
+    std::string label;
+
+    EngineKind engine = EngineKind::kAnalytical;
+    /// Accelerator under the analytical model.
+    AcceleratorConfig accel = make_bitwave(BitWaveVariant::kDfSm);
+    /// NPU instance under the cycle-level simulator.
+    NpuConfig npu;
+
+    WorkloadId workload = WorkloadId::kResNet18;
+    /// kCachedWorkloadSeed shares the cached synthesis; any other value
+    /// synthesizes a private workload deterministically from that seed.
+    std::uint64_t workload_seed = kCachedWorkloadSeed;
+    /// Explicit workload object (e.g. a user-built custom network);
+    /// takes precedence over `workload`/`workload_seed`.
+    std::shared_ptr<const Workload> custom_workload;
+
+    BitflipSpec bitflip;
+    /// Explicit per-layer weight replacement (e.g. from a Bit-Flip
+    /// search); takes precedence over `bitflip`.
+    std::shared_ptr<const std::vector<Int8Tensor>> weight_override;
+
+    /// Evaluate only these layers (by name); empty = whole network.
+    std::vector<std::string> layer_filter;
+
+    /// Extra salt for the scenario's deterministic RNG stream.
+    std::uint64_t seed = 0;
+
+    /// Derived display name: "<accel>/<workload>[+bf...][ (sim)]".
+    std::string name() const;
+};
+
+/**
+ * Deterministic RNG seed of one scenario in a batch: a splitmix64 mix of
+ * the scenario's own salt, its batch index and its workload — a pure
+ * function of the batch content, never of thread scheduling.
+ */
+std::uint64_t scenario_rng_seed(const Scenario &scenario,
+                                std::size_t index);
+
+/// Bit-Flip every layer of @p w to a uniform (group, zero-column) target.
+std::vector<Int8Tensor> flip_workload(const Workload &w, int group,
+                                      int zero_cols);
+
+/// Bit-Flip only the weight-heaviest layers covering @p weight_share of
+/// the parameters (the paper's Fig. 6(e)-(h) protocol).
+std::vector<Int8Tensor> flip_heavy_layers(const Workload &w,
+                                          double weight_share, int group,
+                                          int zero_cols);
+
+/// Weights a scenario evaluates: the explicit override, freshly
+/// Bit-Flipped tensors per the spec, or nullptr — meaning "use the
+/// workload's own weights" with no copy made.
+std::shared_ptr<const std::vector<Int8Tensor>>
+prepare_weights(const Scenario &scenario, const Workload &workload);
+
+}  // namespace bitwave::eval

@@ -28,8 +28,8 @@ WorkloadResult::gops(const TechParams &tech) const
 double
 WorkloadResult::tops_per_watt() const
 {
-    return total_energy_pj > 0
-        ? static_cast<double>(nominal_macs) * 2.0 / total_energy_pj : 0.0;
+    return energy.total_pj > 0
+        ? static_cast<double>(nominal_macs) * 2.0 / energy.total_pj : 0.0;
 }
 
 AcceleratorModel::AcceleratorModel(AcceleratorConfig config,
@@ -192,32 +192,29 @@ AcceleratorModel::model_layer(const WorkloadLayer &layer,
         compute_access_counts(desc, su, config_.memory, cf, exec);
     r.dram_cycles = dram_.transfer_cycles(ac.dram_total_bits());
 
-    const double sram_read_w_cycles = ac.sram_read_weight_bits /
+    LatencyParts lat;
+    lat.compute_cycles = r.compute_cycles;
+    lat.weight_fetch_cycles = ac.sram_read_weight_bits /
         static_cast<double>(config_.memory.weight_port_bits);
-    const double sram_read_a_cycles = ac.sram_read_act_bits /
+    lat.act_fetch_cycles = ac.sram_read_act_bits /
         static_cast<double>(config_.memory.act_port_bits);
-    const double sram_write_out_cycles =
+    lat.dram_cycles = r.dram_cycles;
+    lat.output_write_cycles =
         static_cast<double>(desc.output_count()) * kWordBits /
         static_cast<double>(config_.memory.act_port_bits);
+    r.total_cycles = compose_latency(lat);
 
-    r.total_cycles = r.dram_cycles + sram_write_out_cycles +
-        std::max({sram_read_a_cycles, sram_read_w_cycles,
-                  r.compute_cycles});
-
-    // ---- STEP4: energy (Eq. 4) --------------------------------------------
-    r.energy_mac_pj = effective_macs * mac_energy_scale * e_mac_pj;
-    r.energy_sram_pj =
-        (ac.sram_read_weight_bits + ac.sram_read_act_bits) *
-            tech_.e_sram_read_per_bit_pj +
-        (ac.sram_write_act_bits + ac.sram_write_weight_bits) *
-            tech_.e_sram_write_per_bit_pj;
-    r.energy_reg_pj = (ac.reg_read_words + ac.reg_write_words) *
-        tech_.e_reg_per_word_pj;
-    r.energy_dram_pj = dram_.transfer_energy_pj(ac.dram_total_bits());
+    // ---- STEP4: energy (Eq. 4), shared pricing core ----------------------
+    EnergyActivity act;
+    act.mac_units = effective_macs * mac_energy_scale;
+    act.e_mac_pj = e_mac_pj;
+    act.sram_read_bits = ac.sram_read_weight_bits + ac.sram_read_act_bits;
+    act.sram_write_bits = ac.sram_write_act_bits + ac.sram_write_weight_bits;
+    act.reg_words = ac.reg_read_words + ac.reg_write_words;
+    act.dram_bits = ac.dram_total_bits();
     // Static/clock-tree energy accrues with runtime: slow mappings pay.
-    r.energy_static_pj = r.total_cycles * tech_.e_static_per_cycle_pj;
-    r.energy_total_pj = r.energy_mac_pj + r.energy_sram_pj +
-        r.energy_reg_pj + r.energy_dram_pj + r.energy_static_pj;
+    act.cycles = r.total_cycles;
+    r.energy = price_energy(act, tech_, dram_);
     return r;
 }
 
@@ -226,30 +223,20 @@ AcceleratorModel::model_workload(const Workload &workload,
                                  const std::vector<Int8Tensor> *weights)
     const
 {
-    if (weights != nullptr && weights->size() != workload.layers.size()) {
-        fatal("model_workload: %zu weight tensors for %zu layers",
-              weights->size(), workload.layers.size());
-    }
+    validated_weight_override(workload, weights, "model_workload");
     WorkloadResult out;
     out.accelerator = config_.name;
     out.workload = workload.name;
     out.nominal_macs = workload.total_macs();
-    for (std::size_t l = 0; l < workload.layers.size(); ++l) {
-        LayerContext ctx;
-        ctx.first_layer = l == 0;
-        ctx.last_layer = l + 1 == workload.layers.size();
-        LayerResult lr = model_layer(
-            workload.layers[l],
-            weights != nullptr ? &(*weights)[l] : nullptr, ctx);
-        out.total_cycles += lr.total_cycles;
-        out.total_energy_pj += lr.energy_total_pj;
-        out.energy_mac_pj += lr.energy_mac_pj;
-        out.energy_sram_pj += lr.energy_sram_pj;
-        out.energy_reg_pj += lr.energy_reg_pj;
-        out.energy_dram_pj += lr.energy_dram_pj;
-        out.energy_static_pj += lr.energy_static_pj;
-        out.layers.push_back(std::move(lr));
-    }
+    for_each_layer(
+        workload, weights,
+        [&](std::size_t, const WorkloadLayer &layer, const Int8Tensor *w,
+            const LayerContext &ctx) {
+            LayerResult lr = model_layer(layer, w, ctx);
+            out.total_cycles += lr.total_cycles;
+            out.energy += lr.energy;
+            out.layers.push_back(std::move(lr));
+        });
     return out;
 }
 

@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "energy/dram.hpp"
+#include "energy/pricing.hpp"
 #include "energy/tech.hpp"
 #include "model/accelerator.hpp"
+#include "nn/traverse.hpp"
 #include "nn/workloads.hpp"
 
 namespace bitwave {
@@ -38,13 +40,8 @@ struct LayerResult
     double dram_cycles = 0.0;      ///< Channel occupancy.
     double total_cycles = 0.0;     ///< Eq. (5).
 
-    // Energy components (pJ) and their sum (Eq. 4).
-    double energy_mac_pj = 0.0;
-    double energy_sram_pj = 0.0;
-    double energy_reg_pj = 0.0;
-    double energy_dram_pj = 0.0;
-    double energy_static_pj = 0.0;  ///< Clock tree + leakage over runtime.
-    double energy_total_pj = 0.0;
+    /// Energy components and their sum (Eq. 4), shared pricing core.
+    EnergyBreakdown energy;
 
     // Bookkeeping for the compression-oriented figures.
     double weight_fetch_ratio = 1.0;   ///< Compressed/raw weight bits.
@@ -59,12 +56,8 @@ struct WorkloadResult
     std::vector<LayerResult> layers;
 
     double total_cycles = 0.0;
-    double total_energy_pj = 0.0;
-    double energy_mac_pj = 0.0;
-    double energy_sram_pj = 0.0;
-    double energy_reg_pj = 0.0;
-    double energy_dram_pj = 0.0;
-    double energy_static_pj = 0.0;
+    /// Accumulated Eq. (4) energy of all layers.
+    EnergyBreakdown energy;
     std::int64_t nominal_macs = 0;  ///< Dense MAC count of the workload.
 
     /// Wall-clock at the tech frequency, in ms.
@@ -73,16 +66,6 @@ struct WorkloadResult
     double gops(const TechParams &tech = default_tech()) const;
     /// Energy efficiency in TOPS/W over nominal (useful) operations.
     double tops_per_watt() const;
-};
-
-/// Position flags controlling off-chip activation traffic: only the
-/// network input and output cross DRAM (intermediate feature maps are
-/// kept or halo-tiled on chip, the assumption behind Fig. 16's
-/// "DRAM energy is dominated by weight loading").
-struct LayerContext
-{
-    bool first_layer = false;
-    bool last_layer = false;
 };
 
 /**

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared workload traversal: the one place that knows how a network walks
+ * layer by layer through an evaluation engine — first/last-layer DRAM
+ * context, optional per-layer weight overrides (e.g. Bit-Flipped tensors)
+ * and override validation. The analytical model, the cycle-level
+ * simulator (via eval) and the deployment pipeline all iterate through
+ * here instead of hand-rolling the loop.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "nn/workload.hpp"
+
+namespace bitwave {
+
+/// Position flags controlling off-chip activation traffic: only the
+/// network input and output cross DRAM (intermediate feature maps are
+/// kept or halo-tiled on chip, the assumption behind Fig. 16's
+/// "DRAM energy is dominated by weight loading").
+struct LayerContext
+{
+    bool first_layer = false;
+    bool last_layer = false;
+};
+
+/// Validate an optional per-layer weight override set (fatal on arity
+/// mismatch) and pass it through.
+inline const std::vector<Int8Tensor> *
+validated_weight_override(const Workload &workload,
+                          const std::vector<Int8Tensor> *weights,
+                          const char *who)
+{
+    if (weights != nullptr && weights->size() != workload.layers.size()) {
+        fatal("%s: %zu weight tensors for %zu layers", who,
+              weights->size(), workload.layers.size());
+    }
+    return weights;
+}
+
+/**
+ * Call `fn(index, layer, weights_or_null, ctx)` for every layer of
+ * @p workload, deriving each layer's first/last DRAM context and weight
+ * override pointer.
+ */
+template <typename Fn>
+void
+for_each_layer(const Workload &workload,
+               const std::vector<Int8Tensor> *weights, Fn &&fn)
+{
+    for (std::size_t l = 0; l < workload.layers.size(); ++l) {
+        LayerContext ctx;
+        ctx.first_layer = l == 0;
+        ctx.last_layer = l + 1 == workload.layers.size();
+        fn(l, workload.layers[l],
+           weights != nullptr ? &(*weights)[l] : nullptr, ctx);
+    }
+}
+
+}  // namespace bitwave

@@ -203,40 +203,43 @@ BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
         static_cast<double>(result.act_bits_fetched) /
         static_cast<double>(config_.act_sram_banks *
                             config_.sram_word_bits);
-    const double out_write_cycles =
+    result.dram_cycles = dram_.transfer_cycles(
+        static_cast<double>(result.weight_bits_dram));
+    LatencyParts lat;
+    lat.compute_cycles = result.cycles_decoupled;
+    lat.act_fetch_cycles = result.act_fetch_cycles;
+    lat.dram_cycles = result.dram_cycles;
+    lat.output_write_cycles =
         static_cast<double>(result.output_words) * kWordBits /
         static_cast<double>(config_.act_sram_banks *
                             config_.sram_word_bits);
-    result.dram_cycles = dram_.transfer_cycles(
-        static_cast<double>(result.weight_bits_dram));
-    result.total_cycles = result.dram_cycles + out_write_cycles +
-        std::max(result.cycles_decoupled, result.act_fetch_cycles);
+    result.total_cycles = compose_latency(lat);
 
-    // ---- Energy -----------------------------------------------------------
-    result.energy_mac_pj =
+    // ---- Energy (shared Eq. 4 pricing) -----------------------------------
+    EnergyActivity activity;
+    // MAC-equivalents: each streamed column covers group_size weights'
+    // worth of 1b work across OXu output positions; 8 columns = one full
+    // 8b MAC per weight.
+    activity.mac_units =
         static_cast<double>(result.nonzero_columns_streamed) *
         static_cast<double>(group_size) / 8.0 *
-        (tech_.e_mac_bit_column_pj / 8.0) *
-        static_cast<double>(su.factor(Dim::kOX));
-    result.energy_sram_pj =
+        static_cast<double>(su.factor(Dim::kOX)) / 8.0;
+    activity.e_mac_pj = tech_.e_mac_bit_column_pj;
+    activity.sram_read_bits =
         static_cast<double>(result.weight_bits_fetched +
-                            result.act_bits_fetched) *
-            tech_.e_sram_read_per_bit_pj +
-        static_cast<double>(result.output_words) * kWordBits *
-            tech_.e_sram_write_per_bit_pj;
-    result.energy_dram_pj = dram_.transfer_energy_pj(
-        static_cast<double>(result.weight_bits_dram));
-    result.energy_static_pj =
-        result.total_cycles * tech_.e_static_per_cycle_pj;
-    result.energy_total_pj = result.energy_mac_pj + result.energy_sram_pj +
-        result.energy_dram_pj + result.energy_static_pj;
+                            result.act_bits_fetched);
+    activity.sram_write_bits =
+        static_cast<double>(result.output_words) * kWordBits;
+    activity.dram_bits = static_cast<double>(result.weight_bits_dram);
+    activity.cycles = result.total_cycles;
+    result.energy = price_energy(activity, tech_, dram_);
 
     // ---- Functional execution through the BCE datapath -------------------
     if (compute_output) {
         Int8Tensor synthesized;
         const Int8Tensor *in = input;
         if (in == nullptr) {
-            Rng rng(0xFEED);
+            Rng rng(config_.act_seed);
             synthesized = synthesize_activations(
                 layer_input_shape(desc), layer.activation_sparsity, 12.0,
                 layer.activation_sparsity > 0.2, rng);

@@ -27,6 +27,7 @@
 #include "dataflow/su.hpp"
 #include "sparsity/stats.hpp"
 #include "energy/dram.hpp"
+#include "energy/pricing.hpp"
 #include "energy/tech.hpp"
 #include "nn/workload.hpp"
 #include "sim/bce.hpp"
@@ -46,6 +47,9 @@ struct NpuConfig
     bool dense_mode = false;  ///< ZCIP dense mode: no skipping/index.
     /// Representation for zero-column skipping.
     Representation repr = Representation::kSignMagnitude;
+    /// Seed of the deterministic synthetic-activation stream used when
+    /// run_layer() is given no input tensor.
+    std::uint64_t act_seed = 0xFEED;
 
     NpuConfig();
 };
@@ -72,11 +76,8 @@ struct LayerSimResult
     std::int64_t act_bits_fetched = 0;
     std::int64_t output_words = 0;
 
-    double energy_mac_pj = 0.0;
-    double energy_sram_pj = 0.0;
-    double energy_dram_pj = 0.0;
-    double energy_static_pj = 0.0;
-    double energy_total_pj = 0.0;
+    /// Eq. (4) energy from the shared pricing core.
+    EnergyBreakdown energy;
 
     /// Mean non-zero columns per group (includes the sign column).
     double mean_columns_per_group() const;

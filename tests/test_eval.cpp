@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the unified evaluation subsystem: Scenario naming and
+ * seeding, the shared energy-pricing/latency core, sim-vs-model
+ * agreement through the shared traversal, ScenarioRunner determinism
+ * under 1 vs N threads, and the core/pipeline facade that drives it.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "energy/pricing.hpp"
+#include "eval/runner.hpp"
+#include "nn/synthesis.hpp"
+#include "nn/workloads.hpp"
+
+namespace bitwave {
+namespace {
+
+// ------------------------------------------------------ shared pricing ---
+
+TEST(Pricing, EnergyComponentsSumToTotal)
+{
+    EnergyActivity a;
+    a.mac_units = 1000.0;
+    a.e_mac_pj = 0.1;
+    a.sram_read_bits = 4096.0;
+    a.sram_write_bits = 512.0;
+    a.reg_words = 64.0;
+    a.dram_bits = 8192.0;
+    a.cycles = 100.0;
+    const EnergyBreakdown e =
+        price_energy(a, default_tech(), default_dram());
+    EXPECT_GT(e.mac_pj, 0.0);
+    EXPECT_GT(e.sram_pj, 0.0);
+    EXPECT_GT(e.reg_pj, 0.0);
+    EXPECT_GT(e.dram_pj, 0.0);
+    EXPECT_GT(e.static_pj, 0.0);
+    EXPECT_NEAR(e.total_pj,
+                e.mac_pj + e.sram_pj + e.reg_pj + e.dram_pj + e.static_pj,
+                e.total_pj * 1e-12);
+}
+
+TEST(Pricing, BreakdownAccumulates)
+{
+    EnergyActivity a;
+    a.mac_units = 10.0;
+    a.e_mac_pj = 1.0;
+    a.cycles = 5.0;
+    EnergyBreakdown sum = price_energy(a, default_tech(), default_dram());
+    const EnergyBreakdown one = sum;
+    sum += one;
+    EXPECT_DOUBLE_EQ(sum.total_pj, 2.0 * one.total_pj);
+    EXPECT_DOUBLE_EQ(sum.mac_pj, 2.0 * one.mac_pj);
+}
+
+TEST(Pricing, LatencyOverlapsFetchAndCompute)
+{
+    LatencyParts p;
+    p.compute_cycles = 100.0;
+    p.weight_fetch_cycles = 40.0;
+    p.act_fetch_cycles = 250.0;  // fetch-bound layer
+    p.dram_cycles = 10.0;
+    p.output_write_cycles = 5.0;
+    EXPECT_DOUBLE_EQ(compose_latency(p), 10.0 + 5.0 + 250.0);
+    p.act_fetch_cycles = 20.0;  // compute-bound layer
+    EXPECT_DOUBLE_EQ(compose_latency(p), 10.0 + 5.0 + 100.0);
+}
+
+// ------------------------------------------------------------ scenario ---
+
+TEST(Scenario, NameDescribesTheCombination)
+{
+    eval::Scenario s;
+    s.accel = make_scnn();
+    s.workload = WorkloadId::kResNet18;
+    EXPECT_EQ(s.name(), s.accel.name + "/ResNet18");
+
+    s.bitflip.mode = eval::BitflipSpec::Mode::kUniform;
+    s.bitflip.group_size = 16;
+    s.bitflip.zero_columns = 4;
+    EXPECT_NE(s.name().find("+bf(g16,z4)"), std::string::npos);
+
+    s.engine = eval::EngineKind::kCycleSim;
+    EXPECT_NE(s.name().find("(sim)"), std::string::npos);
+
+    s.label = "custom";
+    EXPECT_EQ(s.name(), "custom");
+}
+
+TEST(Scenario, RngSeedIsDeterministicAndPositionDependent)
+{
+    eval::Scenario s;
+    s.workload = WorkloadId::kMobileNetV2;
+    EXPECT_EQ(eval::scenario_rng_seed(s, 3), eval::scenario_rng_seed(s, 3));
+    EXPECT_NE(eval::scenario_rng_seed(s, 3), eval::scenario_rng_seed(s, 4));
+    eval::Scenario salted = s;
+    salted.seed = 17;
+    EXPECT_NE(eval::scenario_rng_seed(s, 3),
+              eval::scenario_rng_seed(salted, 3));
+}
+
+// A small private workload so eval tests never pay BERT/ResNet synthesis.
+Workload
+tiny_workload()
+{
+    Workload net;
+    net.name = "tiny";
+    net.metric_name = "top-1";
+    net.base_metric = 90.0;
+    net.error_sensitivity = 40.0;
+    Rng rng(7);
+    auto add = [&](LayerDesc desc, double act_sparsity) {
+        WeightProfile profile;
+        profile.scale = 6.0;
+        WorkloadLayer layer;
+        layer.desc = std::move(desc);
+        layer.weights = synthesize_weights(layer.desc, profile, rng);
+        layer.activation_sparsity = act_sparsity;
+        net.layers.push_back(std::move(layer));
+    };
+    add(make_conv("stem", 16, 3, 16, 16, 3, 3, 1), 0.0);
+    add(make_pointwise("pw", 32, 16, 16, 16), 0.4);
+    add(make_linear("fc", 10, 32), 0.4);
+    return net;
+}
+
+TEST(Scenario, LayerFilterRestrictsEvaluation)
+{
+    const auto net = std::make_shared<Workload>(tiny_workload());
+    eval::Scenario s;
+    s.custom_workload = net;
+    s.accel = make_bitwave(BitWaveVariant::kDfSm);
+    s.layer_filter = {"pw"};
+    const auto r = eval::evaluate_scenario(s);
+    ASSERT_EQ(r.layers.size(), 1u);
+    EXPECT_EQ(r.layers.front().layer_name, "pw");
+    EXPECT_EQ(r.nominal_macs, net->layers[1].desc.macs());
+    EXPECT_GT(r.total_cycles, 0.0);
+}
+
+// ----------------------------------------- sim vs model (shared core) ---
+
+TEST(Engine, SimAndModelAgreeThroughTheSharedCore)
+{
+    const auto net = std::make_shared<Workload>(tiny_workload());
+    eval::Scenario model;
+    model.custom_workload = net;
+    model.accel = make_bitwave(BitWaveVariant::kDfSm);
+    eval::Scenario sim = model;
+    sim.engine = eval::EngineKind::kCycleSim;
+
+    const auto results = eval::ScenarioRunner().run({model, sim});
+    ASSERT_EQ(results.size(), 2u);
+    ASSERT_EQ(results[0].layers.size(), results[1].layers.size());
+    for (std::size_t l = 0; l < results[0].layers.size(); ++l) {
+        const auto &m = results[0].layers[l];
+        const auto &s = results[1].layers[l];
+        EXPECT_EQ(m.layer_name, s.layer_name);
+        // Independent implementations of the same machine: compute
+        // cycles within the validation bench's tolerance.
+        EXPECT_NEAR(s.compute_cycles / m.compute_cycles, 1.0, 0.15)
+            << m.layer_name;
+    }
+}
+
+// -------------------------------------------------------------- runner ---
+
+std::vector<eval::Scenario>
+determinism_batch()
+{
+    const auto net = std::make_shared<Workload>(tiny_workload());
+    std::vector<eval::Scenario> scenarios;
+    for (const auto &cfg : {make_scnn(), make_stripes(), make_bitlet(),
+                            make_huaa(),
+                            make_bitwave(BitWaveVariant::kDfSm)}) {
+        eval::Scenario s;
+        s.custom_workload = net;
+        s.accel = cfg;
+        scenarios.push_back(std::move(s));
+    }
+    eval::Scenario flipped;
+    flipped.custom_workload = net;
+    flipped.accel = make_bitwave(BitWaveVariant::kDfSmBf);
+    flipped.bitflip.mode = eval::BitflipSpec::Mode::kUniform;
+    scenarios.push_back(std::move(flipped));
+    eval::Scenario sim;
+    sim.custom_workload = net;
+    sim.engine = eval::EngineKind::kCycleSim;
+    scenarios.push_back(std::move(sim));
+    return scenarios;
+}
+
+TEST(ScenarioRunner, NThreadsBitIdenticalToOneThread)
+{
+    const auto scenarios = determinism_batch();
+
+    eval::RunnerOptions serial;
+    serial.threads = 1;
+    eval::RunnerOptions parallel;
+    parallel.threads = 4;
+
+    eval::RunnerReport report;
+    const auto a = eval::ScenarioRunner(serial).run(scenarios);
+    const auto b = eval::ScenarioRunner(parallel).run(scenarios, &report);
+
+    EXPECT_EQ(report.threads_used, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].rng_seed, b[i].rng_seed);
+        // Bit-identical, not approximately equal: the runner's contract.
+        EXPECT_EQ(a[i].total_cycles, b[i].total_cycles) << a[i].name;
+        EXPECT_EQ(a[i].energy.total_pj, b[i].energy.total_pj) << a[i].name;
+        ASSERT_EQ(a[i].layers.size(), b[i].layers.size());
+        for (std::size_t l = 0; l < a[i].layers.size(); ++l) {
+            EXPECT_EQ(a[i].layers[l].total_cycles,
+                      b[i].layers[l].total_cycles);
+            EXPECT_EQ(a[i].layers[l].energy.total_pj,
+                      b[i].layers[l].energy.total_pj);
+        }
+    }
+}
+
+TEST(ScenarioRunner, ResultsComeBackInBatchOrder)
+{
+    const auto scenarios = determinism_batch();
+    const auto results = eval::ScenarioRunner().run(scenarios);
+    ASSERT_EQ(results.size(), scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        EXPECT_EQ(results[i].name, scenarios[i].name());
+    }
+}
+
+TEST(ScenarioRunner, EmptyBatch)
+{
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run({}, &report);
+    EXPECT_TRUE(results.empty());
+    EXPECT_GE(report.threads_used, 1);
+}
+
+// ---------------------------------------------------- pipeline facade ---
+
+TEST(Pipeline, DeployReportsLosslessDeployment)
+{
+    const Workload net = tiny_workload();
+    const PipelineReport report = deploy(net);
+    EXPECT_EQ(report.workload, "tiny");
+    ASSERT_EQ(report.layers.size(), net.layers.size());
+    // Lossless: metric untouched, weights compress, BitWave beats dense.
+    EXPECT_DOUBLE_EQ(report.estimated_metric, report.base_metric);
+    EXPECT_GT(report.weight_compression_ratio, 1.0);
+    EXPECT_GT(report.speedup_vs_dense, 1.0);
+    EXPECT_GT(report.energy_ratio_vs_dense, 1.0);
+    EXPECT_GT(report.runtime_ms, 0.0);
+    EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(Pipeline, DeployWithBitflipStaysWithinBudget)
+{
+    const Workload net = tiny_workload();
+    PipelineOptions options;
+    options.use_bitflip = true;
+    options.max_metric_drop = 0.5;
+    options.threads = 2;
+    const PipelineReport report = deploy(net, options);
+    EXPECT_GE(report.estimated_metric,
+              report.base_metric - options.max_metric_drop - 1e-9);
+    // Bit-Flip must not compress worse than lossless BCS.
+    const PipelineReport lossless = deploy(net);
+    EXPECT_GE(report.weight_compression_ratio,
+              lossless.weight_compression_ratio - 1e-9);
+}
+
+}  // namespace
+}  // namespace bitwave

@@ -60,10 +60,10 @@ TEST(Model, EnergyComponentsSumToTotal)
 {
     const auto r = run(make_bitwave(BitWaveVariant::kDfSm),
                        WorkloadId::kCnnLstm);
-    EXPECT_NEAR(r.total_energy_pj,
-                r.energy_mac_pj + r.energy_sram_pj + r.energy_reg_pj +
-                    r.energy_dram_pj + r.energy_static_pj,
-                r.total_energy_pj * 1e-9);
+    EXPECT_NEAR(r.energy.total_pj,
+                r.energy.mac_pj + r.energy.sram_pj + r.energy.reg_pj +
+                    r.energy.dram_pj + r.energy.static_pj,
+                r.energy.total_pj * 1e-9);
     EXPECT_EQ(r.layers.size(),
               get_workload(WorkloadId::kCnnLstm).layers.size());
 }
@@ -194,11 +194,11 @@ TEST_P(SotaOrdering, BitwaveIsFastest)
 TEST_P(SotaOrdering, BitwaveIsMostEnergyEfficient)
 {
     const auto a = run_all(GetParam());
-    EXPECT_LT(a.bitwave.total_energy_pj, a.scnn.total_energy_pj);
-    EXPECT_LT(a.bitwave.total_energy_pj, a.stripes.total_energy_pj);
-    EXPECT_LT(a.bitwave.total_energy_pj, a.pragmatic.total_energy_pj);
-    EXPECT_LT(a.bitwave.total_energy_pj, a.bitlet.total_energy_pj);
-    EXPECT_LT(a.bitwave.total_energy_pj, a.huaa.total_energy_pj);
+    EXPECT_LT(a.bitwave.energy.total_pj, a.scnn.energy.total_pj);
+    EXPECT_LT(a.bitwave.energy.total_pj, a.stripes.energy.total_pj);
+    EXPECT_LT(a.bitwave.energy.total_pj, a.pragmatic.energy.total_pj);
+    EXPECT_LT(a.bitwave.energy.total_pj, a.bitlet.energy.total_pj);
+    EXPECT_LT(a.bitwave.energy.total_pj, a.huaa.energy.total_pj);
 }
 
 TEST_P(SotaOrdering, BitSparsityBeatsNoSparsityAmongBitSerial)
@@ -234,15 +234,15 @@ TEST(Fig15, ScnnIsLeastEnergyEfficientOnWeightHeavyNets)
     const auto scnn = run(make_scnn(), id);
     const auto stripes = run(make_stripes(), id);
     const auto huaa = run(make_huaa(), id);
-    EXPECT_GT(scnn.total_energy_pj, stripes.total_energy_pj);
-    EXPECT_GT(scnn.total_energy_pj, huaa.total_energy_pj);
+    EXPECT_GT(scnn.energy.total_pj, stripes.energy.total_pj);
+    EXPECT_GT(scnn.energy.total_pj, huaa.energy.total_pj);
 }
 
 TEST(Fig16, DramDominatesWeightHeavyNetworks)
 {
     const auto r = run(make_bitwave(BitWaveVariant::kDfSm),
                        WorkloadId::kBertBase);
-    EXPECT_GT(r.energy_dram_pj / r.total_energy_pj, 0.5);
+    EXPECT_GT(r.energy.dram_pj / r.energy.total_pj, 0.5);
 }
 
 TEST(Fig17, EfficiencyOrderingMatchesPaper)
