@@ -17,6 +17,7 @@
 
 #include "common/table.hpp"
 #include "eval/engine.hpp"
+#include "eval/runner.hpp"
 #include "eval/scenario.hpp"
 #include "nn/workloads.hpp"
 
@@ -29,20 +30,13 @@ banner(const std::string &artifact, const std::string &caption)
     std::printf("\n=== %s: %s ===\n\n", artifact.c_str(), caption.c_str());
 }
 
-/// Bit-Flip every layer of @p w to a uniform (group, zero-column) target.
-inline std::vector<Int8Tensor>
-flip_workload(const Workload &w, int group, int zero_cols)
+/// Print the standard runner footer every bench emits.
+inline void
+print_runner_report(const eval::RunnerReport &report)
 {
-    return eval::flip_workload(w, group, zero_cols);
-}
-
-/// Bit-Flip only the weight-heaviest layers covering @p weight_share of
-/// the parameters (the paper's Fig. 6(e)-(h) protocol).
-inline std::vector<Int8Tensor>
-flip_heavy_layers(const Workload &w, double weight_share, int group,
-                  int zero_cols)
-{
-    return eval::flip_heavy_layers(w, weight_share, group, zero_cols);
+    std::printf("[runner: %d threads, %d shards, %.2fs wall, %.2fx "
+                "parallel speedup]\n", report.threads_used, report.shards,
+                report.wall_seconds, report.speedup());
 }
 
 // ---------------------------------------------------------------------------
@@ -119,6 +113,8 @@ class JsonReport
     }
 
     /// Write BENCH_<name>.json to the working directory (best effort).
+    /// The write is atomic — temp file + rename — so a bench that
+    /// crashes mid-report never leaves a truncated JSON behind.
     void write()
     {
         if (written_) {
@@ -128,9 +124,10 @@ class JsonReport
         const double wall = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start_).count();
         const std::string path = "BENCH_" + name_ + ".json";
-        std::FILE *f = std::fopen(path.c_str(), "w");
+        const std::string tmp = path + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
         if (f == nullptr) {
-            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+            std::fprintf(stderr, "bench: cannot write %s\n", tmp.c_str());
             return;
         }
         std::fprintf(f, "{\n  \"bench\": \"%s\",\n", escape(name_).c_str());
@@ -143,7 +140,14 @@ class JsonReport
             print_object(f, rows_[i], "    ");
         }
         std::fprintf(f, "%s]\n}\n", rows_.empty() ? "" : "\n  ");
+        const bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
         std::fclose(f);
+        if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+            std::fprintf(stderr, "bench: cannot finalize %s\n",
+                         path.c_str());
+            std::remove(tmp.c_str());
+            return;
+        }
         std::printf("\n[bench json: %s]\n", path.c_str());
     }
 

@@ -1,10 +1,11 @@
 /**
  * @file
  * Fig. 1 — weight value sparsity vs bit sparsity (2's complement and
- * sign-magnitude) with the SR ratios, across the Int8 benchmark networks.
+ * sign-magnitude) with the SR ratios, across the Int8 benchmark
+ * networks. One kStats scenario per network, evaluated as a parallel
+ * ScenarioRunner batch.
  */
 #include "bench_util.hpp"
-#include "sparsity/stats.hpp"
 
 using namespace bitwave;
 
@@ -13,15 +14,24 @@ main()
 {
     bench::banner("Fig. 1",
                   "value vs bit sparsity of Int8 weights and SR ratios");
+    bench::JsonReport json("fig01_sparsity");
+
+    std::vector<eval::Scenario> scenarios;
+    for (auto id : kAllWorkloads) {
+        eval::Scenario s;
+        s.engine = eval::EngineKind::kStats;
+        s.workload = id;
+        s.stats.column_stats = false;  // Fig. 1 reads sparsity only
+        scenarios.push_back(std::move(s));
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
     Table t({"network", "value sparsity", "bit sparsity (2C)",
              "bit sparsity (SM)", "SR (2C)", "SR (SM)"});
-    for (auto id : kAllWorkloads) {
-        const auto &w = get_workload(id);
-        SparsityStats s;
-        for (const auto &l : w.layers) {
-            s.merge(compute_sparsity(l.weights));
-        }
-        t.add_row({w.name, fmt_percent(s.value_sparsity()),
+    for (const auto &r : results) {
+        const SparsityStats s = r.merged_sparsity();
+        t.add_row({r.workload, fmt_percent(s.value_sparsity()),
                    fmt_percent(s.bit_sparsity(
                        Representation::kTwosComplement)),
                    fmt_percent(s.bit_sparsity(
@@ -30,10 +40,21 @@ main()
                        Representation::kTwosComplement)),
                    fmt_ratio(s.sparsity_ratio(
                        Representation::kSignMagnitude))});
+        json.add_row({
+            {"workload", r.workload},
+            {"value_sparsity", s.value_sparsity()},
+            {"bit_sparsity_2c",
+             s.bit_sparsity(Representation::kTwosComplement)},
+            {"bit_sparsity_sm",
+             s.bit_sparsity(Representation::kSignMagnitude)},
+            {"sr_2c", s.sparsity_ratio(Representation::kTwosComplement)},
+            {"sr_sm", s.sparsity_ratio(Representation::kSignMagnitude)},
+        });
     }
     std::printf("%s", t.render().c_str());
     std::printf("\npaper bands: SR 5.67-32.5x (2C), 8.73-47.5x (SM); "
                 "bit sparsity about an order of magnitude above value "
                 "sparsity.\n");
+    bench::print_runner_report(report);
     return 0;
 }

@@ -2,12 +2,12 @@
  * @file
  * Fig. 4 — bit-group analysis of ResNet18 conv2 with G = 4: zero-column
  * counts under two's complement vs sign-magnitude, and the Bit-Flip
- * enhancement of panel (c).
+ * enhancement of panel (c). One kStats scenario per flip target (the
+ * probe layer only, via the scenario layer filter), run as a
+ * ScenarioRunner batch; flipped tensors come from the shared Bit-Flip
+ * preparation cache.
  */
 #include "bench_util.hpp"
-#include "bitflip/bitflip.hpp"
-#include "sparsity/bitcolumn.hpp"
-#include "sparsity/stats.hpp"
 
 using namespace bitwave;
 
@@ -16,21 +16,39 @@ main()
 {
     bench::banner("Fig. 4",
                   "ResNet18 conv2 bit-column sparsity, G = 4 along C");
-    const auto &w = get_workload(WorkloadId::kResNet18);
-    const auto &conv2 = w.layers[w.layer_index("l1.0.conv1")];
-    const auto vs = compute_sparsity(conv2.weights);
+    bench::JsonReport json("fig04_bitgroup");
+    json.param("layer", "l1.0.conv1");
+    json.param("group_size", 4);
 
-    Table t({"representation", "zero-value %", "zero-column %",
-             "vs 2C"});
-    const double c2 = analyze_bit_columns(conv2.weights, 4,
-                                          Representation::kTwosComplement)
-                          .column_sparsity();
-    const double csm = analyze_bit_columns(conv2.weights, 4,
-                                           Representation::kSignMagnitude)
-                           .column_sparsity();
-    t.add_row({"2's complement", fmt_percent(vs.value_sparsity()),
+    // One scenario per Bit-Flip target (0 = original weights), all
+    // restricted to the probed layer.
+    const int targets[] = {0, 3, 5, 6};
+    std::vector<eval::Scenario> scenarios;
+    for (int z : targets) {
+        eval::Scenario s;
+        s.engine = eval::EngineKind::kStats;
+        s.workload = WorkloadId::kResNet18;
+        s.layer_filter = {"l1.0.conv1"};
+        s.stats.group_size = 4;
+        if (z > 0) {
+            s.bitflip.mode = eval::BitflipSpec::Mode::kUniform;
+            s.bitflip.group_size = 4;
+            s.bitflip.zero_columns = z;
+        }
+        scenarios.push_back(std::move(s));
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
+    const auto &base = *results[0].layers.front().stats;
+    Table t({"representation", "zero-value %", "zero-column %", "vs 2C"});
+    const double c2 = base.columns_2c.column_sparsity();
+    const double csm = base.columns_sm.column_sparsity();
+    t.add_row({"2's complement",
+               fmt_percent(base.sparsity.value_sparsity()),
                fmt_percent(c2), "1.00x"});
-    t.add_row({"sign-magnitude", fmt_percent(vs.value_sparsity()),
+    t.add_row({"sign-magnitude",
+               fmt_percent(base.sparsity.value_sparsity()),
                fmt_percent(csm), fmt_ratio(csm / c2)});
     std::printf("%s", t.render().c_str());
     std::printf("\npaper: ~20%% zero values, 17%% zero columns (2C), "
@@ -39,15 +57,18 @@ main()
     // Panel (c): Bit-Flip raises the SM column sparsity further.
     std::printf("\nBit-Flip enhancement (SM, G = 4):\n");
     Table bf({"target zero columns", "achieved zero-column %"});
-    for (int z : {0, 3, 5, 6}) {
-        const auto flipped =
-            z == 0 ? conv2.weights : bitflip_tensor(conv2.weights, 4, z);
-        bf.add_row({std::to_string(z),
-                    fmt_percent(analyze_bit_columns(
-                                    flipped, 4,
-                                    Representation::kSignMagnitude)
-                                    .column_sparsity())});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &stats = *results[i].layers.front().stats;
+        bf.add_row({std::to_string(targets[i]),
+                    fmt_percent(stats.columns_sm.column_sparsity())});
+        json.add_row({
+            {"target_zero_columns", targets[i]},
+            {"value_sparsity", stats.sparsity.value_sparsity()},
+            {"column_sparsity_2c", stats.columns_2c.column_sparsity()},
+            {"column_sparsity_sm", stats.columns_sm.column_sparsity()},
+        });
     }
     std::printf("%s", bf.render().c_str());
+    bench::print_runner_report(report);
     return 0;
 }

@@ -5,35 +5,23 @@
  *        layer is forced to z zero columns,
  *  (e-h) CR vs metric for Int8+PTQ, Int8+SM (lossless), and
  *        Int8+SM+Bit-Flip applied to the weight-heavy layers.
+ *
+ * Compression ratios come from kStats scenarios (one per Bit-Flip
+ * operating point) run as a ScenarioRunner batch; all flipped tensors —
+ * the per-layer probes of (a-d) and the heavy-layer sets of (e-h) —
+ * share the process-wide Bit-Flip preparation cache.
  */
 #include "bench_util.hpp"
-#include "bitflip/bitflip.hpp"
-#include "compress/bcs.hpp"
 #include "nn/accuracy.hpp"
 #include "tensor/quantize.hpp"
 
 using namespace bitwave;
 
-namespace {
-
-double
-workload_cr(const std::vector<Int8Tensor> &weights)
-{
-    std::int64_t orig = 0;
-    double comp = 0.0;
-    for (const auto &t : weights) {
-        const auto c = bcs_compress(t, 16, Representation::kSignMagnitude);
-        orig += c.original_bits();
-        comp += static_cast<double>(c.compressed_bits());
-    }
-    return static_cast<double>(orig) / comp;
-}
-
-}  // namespace
-
 int
 main()
 {
+    bench::JsonReport json("fig06_bitflip");
+
     // ---- (a-d): layer-wise flip sensitivity ------------------------------
     bench::banner("Fig. 6(a-d)", "layer-wise weight-flip sensitivity");
     struct Probe { WorkloadId id; std::vector<const char *> layers; };
@@ -54,10 +42,17 @@ main()
             const std::size_t idx = w.layer_index(name);
             std::vector<std::string> row{name};
             for (int z : {2, 4, 6, 7}) {
-                const auto flipped =
-                    bitflip_tensor(w.layers[idx].weights, 16, z);
-                row.push_back(
-                    fmt_double(proxy.metric_with_layer(idx, flipped)));
+                const auto flipped = eval::cached_bitflip(
+                    w.layers[idx].weights, w.layers[idx].weights_hash, 16,
+                    z);
+                const double metric =
+                    proxy.metric_with_layer(idx, *flipped);
+                row.push_back(fmt_double(metric));
+                json.add_row({{"panel", "sensitivity"},
+                              {"workload", w.name},
+                              {"layer", name},
+                              {"zero_columns", z},
+                              {"metric", metric}});
             }
             t.add_row(std::move(row));
         }
@@ -69,55 +64,99 @@ main()
     // ---- (e-h): CR vs accuracy Pareto ------------------------------------
     bench::banner("Fig. 6(e-h)",
                   "CR vs metric: Int8+PTQ vs Int8+SM vs Int8+SM+Bit-Flip");
+
+    // One kStats scenario per (workload, operating point): the lossless
+    // SM baseline plus the heavy-layer Bit-Flip points.
+    const int flip_targets[] = {0, 4, 5, 6};  // 0 = lossless
+    const double kHeavyShare = 0.75;
+    std::vector<eval::Scenario> scenarios;
     for (auto id : kAllWorkloads) {
+        for (int z : flip_targets) {
+            eval::Scenario s;
+            s.engine = eval::EngineKind::kStats;
+            s.workload = id;
+            s.stats.bcs = true;
+            if (z > 0) {
+                s.bitflip.mode = eval::BitflipSpec::Mode::kHeavyLayers;
+                s.bitflip.weight_share = kHeavyShare;
+                s.bitflip.group_size = 16;
+                s.bitflip.zero_columns = z;
+            }
+            scenarios.push_back(std::move(s));
+        }
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
+    const auto workload_cr = [](const eval::ScenarioResult &r) {
+        double orig = 0.0, comp = 0.0;
+        for (const auto &l : r.layers) {
+            orig += static_cast<double>(l.stats->weight_bits);
+            comp += static_cast<double>(l.stats->bcs_sm_bits);
+        }
+        return orig / comp;
+    };
+
+    const std::size_t per_workload = std::size(flip_targets);
+    for (std::size_t wi = 0; wi < std::size(kAllWorkloads); ++wi) {
+        const auto id = kAllWorkloads[wi];
         const auto &w = get_workload(id);
         AccuracyProxy proxy(w);
         std::printf("%s (%s, base %.2f):\n", w.name.c_str(),
                     w.metric_name.c_str(), w.base_metric);
         Table t({"scheme", "CR", w.metric_name});
+        const auto *rows = &results[wi * per_workload];
 
-        // Lossless SM baseline.
-        std::vector<Int8Tensor> base_weights;
-        for (const auto &l : w.layers) {
-            base_weights.push_back(l.weights);
-        }
-        t.add_row({"Int8+SM (lossless)",
-                   fmt_ratio(workload_cr(base_weights)),
+        t.add_row({"Int8+SM (lossless)", fmt_ratio(workload_cr(rows[0])),
                    fmt_double(w.base_metric)});
+        json.add_row({{"panel", "pareto"}, {"workload", w.name},
+                      {"scheme", "Int8+SM"},
+                      {"cr", workload_cr(rows[0])},
+                      {"metric", w.base_metric}});
 
         // PTQ baseline: cut LSBs across every tensor.
         for (int bits : {6, 5, 4}) {
-            std::vector<Int8Tensor> ptq;
             double weighted = 0.0;
             for (std::size_t l = 0; l < w.layers.size(); ++l) {
-                ptq.push_back(
-                    requantize_to_bits(w.layers[l].weights, bits));
+                const auto ptq =
+                    requantize_to_bits(w.layers[l].weights, bits);
                 weighted += proxy.depth_weight(l) *
-                    proxy.layer_rel_error(l, ptq.back());
+                    proxy.layer_rel_error(l, ptq);
             }
             const double metric =
                 w.base_metric - w.error_sensitivity * weighted;
             t.add_row({strprintf("Int8+PTQ (%db)", bits),
                        fmt_ratio(ptq_compression_ratio(bits)),
                        fmt_double(metric)});
+            json.add_row({{"panel", "pareto"}, {"workload", w.name},
+                          {"scheme", strprintf("Int8+PTQ (%db)", bits)},
+                          {"cr", ptq_compression_ratio(bits)},
+                          {"metric", metric}});
         }
 
         // Bit-Flip on the heavy layers (paper protocol: ~70-80 % of the
-        // weights flipped to 4..6 zero columns).
-        for (int z : {4, 5, 6}) {
-            const auto flipped = bench::flip_heavy_layers(w, 0.75, 16, z);
+        // weights flipped to 4..6 zero columns). Tensors come from the
+        // same cache the scenarios above used.
+        for (std::size_t zi = 1; zi < per_workload; ++zi) {
+            const int z = flip_targets[zi];
+            const auto flipped =
+                eval::cached_flip_heavy_layers(w, kHeavyShare, 16, z);
             double weighted = 0.0;
             for (std::size_t l = 0; l < w.layers.size(); ++l) {
-                if (!(flipped[l] == w.layers[l].weights)) {
+                if (flipped[l]) {
                     weighted += proxy.depth_weight(l) *
-                        proxy.layer_rel_error(l, flipped[l]);
+                        proxy.layer_rel_error(l, *flipped[l]);
                 }
             }
             const double metric =
                 w.base_metric - w.error_sensitivity * weighted;
             t.add_row({strprintf("Int8+SM+BF (z=%d)", z),
-                       fmt_ratio(workload_cr(flipped)),
+                       fmt_ratio(workload_cr(rows[zi])),
                        fmt_double(metric)});
+            json.add_row({{"panel", "pareto"}, {"workload", w.name},
+                          {"scheme", strprintf("Int8+SM+BF (z=%d)", z)},
+                          {"cr", workload_cr(rows[zi])},
+                          {"metric", metric}});
         }
         std::printf("%s\n", t.render().c_str());
     }
@@ -125,5 +164,6 @@ main()
                 "CNN-LSTM 3.45x @ ~0.5 PESQ; MobileNetV2 1.81x @ 0.8%%; "
                 "Bert 1.46x lossless-accuracy / 2.47x @ <0.5 F1. "
                 "Bit-Flip should dominate PTQ at matched CR.\n");
+    bench::print_runner_report(report);
     return 0;
 }

@@ -3,45 +3,116 @@
  * Fig. 9 — PE utilization of fixed SU mappings (XY / CK / XFx) on the
  * 4096-lane 1bx8b array and the 512-lane 8bx8b array, across the four
  * workload cases (early / late / depthwise / pointwise), compared with
- * BitWave's dynamic selection.
+ * BitWave's dynamic selection. Each mapping policy is one analytical
+ * scenario over a custom 4-layer case workload, evaluated as a
+ * ScenarioRunner batch.
  */
 #include "bench_util.hpp"
 #include "dataflow/su.hpp"
+#include "nn/synthesis.hpp"
 
 using namespace bitwave;
 
-int
-main()
+namespace {
+
+/// The four Fig. 9 case layers with small synthesized weights.
+std::shared_ptr<const Workload>
+case_workload()
 {
-    bench::banner("Fig. 9", "PE utilization of fixed SUs vs layer shapes");
+    auto w = std::make_shared<Workload>();
+    w->name = "fig9-cases";
+    w->metric_name = "n/a";
+    Rng rng(9);
     const LayerDesc cases[] = {
         make_conv("early (ResNet18 conv1)", 64, 3, 112, 112, 7, 7, 2),
         make_conv("late (ResNet18 last)", 512, 512, 7, 7, 3, 3),
         make_depthwise("Dwcv (MobileNetV2)", 96, 56, 56, 3),
         make_pointwise("Pwcv (MobileNetV2)", 96, 16, 112, 112),
     };
+    for (const auto &desc : cases) {
+        WorkloadLayer layer;
+        layer.desc = desc;
+        layer.weights = synthesize_weights(desc, WeightProfile{}, rng);
+        layer.activation_sparsity = 0.4;
+        layer.weights_hash = layer.compute_weights_hash();
+        w->layers.push_back(std::move(layer));
+    }
+    return w;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 9", "PE utilization of fixed SUs vs layer shapes");
+    bench::JsonReport json("fig09_utilization");
+
+    const auto cases = case_workload();
+
+    // One scenario per mapping policy: the fixed single-SU baselines on
+    // both array geometries, then BitWave's dynamic selection.
+    struct Policy { std::string label; AcceleratorConfig config; };
+    std::vector<Policy> policies;
+    for (std::int64_t lanes : {4096LL, 512LL}) {
+        for (const auto &su : fixed_su_baselines(lanes)) {
+            AcceleratorConfig cfg;
+            cfg.name = strprintf("%s(%lld)", su.name.c_str(),
+                                 static_cast<long long>(lanes));
+            cfg.style = lanes == 4096 ? ComputeStyle::kBitSerial
+                                      : ComputeStyle::kBitParallel;
+            cfg.dataflows = {su};
+            policies.push_back({cfg.name, std::move(cfg)});
+        }
+    }
+    {
+        AcceleratorConfig dynamic = make_bitwave(BitWaveVariant::kDynamicDf);
+        dynamic.name = "BitWave dynamic";
+        policies.push_back({dynamic.name, std::move(dynamic)});
+    }
+
+    std::vector<eval::Scenario> scenarios;
+    for (const auto &policy : policies) {
+        eval::Scenario s;
+        s.custom_workload = cases;
+        s.accel = policy.config;
+        scenarios.push_back(std::move(s));
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
 
     for (std::int64_t lanes : {4096LL, 512LL}) {
         std::printf("%lld-lane array (%s):\n", static_cast<long long>(lanes),
                     lanes == 4096 ? "1b x 8b bit-serial"
                                   : "8b x 8b bit-parallel");
         Table t({"layer case", "XY", "CK", "XFx", "BitWave dynamic"});
-        for (const auto &layer : cases) {
-            std::vector<std::string> row{layer.name};
-            for (const auto &su : fixed_su_baselines(lanes)) {
-                row.push_back(fmt_percent(spatial_utilization(layer, su)));
+        const std::size_t base = lanes == 4096 ? 0 : 3;
+        for (std::size_t l = 0; l < cases->layers.size(); ++l) {
+            std::vector<std::string> row{cases->layers[l].desc.name};
+            for (std::size_t p = base; p < base + 3; ++p) {
+                row.push_back(
+                    fmt_percent(results[p].layers[l].utilization));
             }
-            const auto &best = select_su(layer, bitwave_sus());
-            row.push_back(strprintf(
-                "%s (%s)",
-                fmt_percent(spatial_utilization(layer, best)).c_str(),
-                best.name.c_str()));
+            const auto &dyn = results.back().layers[l];
+            row.push_back(strprintf("%s (%s)",
+                                    fmt_percent(dyn.utilization).c_str(),
+                                    dyn.su_name.c_str()));
             t.add_row(std::move(row));
         }
         std::printf("%s\n", t.render().c_str());
     }
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        for (std::size_t l = 0; l < cases->layers.size(); ++l) {
+            json.add_row({{"policy", policies[p].label},
+                          {"layer", cases->layers[l].desc.name},
+                          {"su", results[p].layers[l].su_name},
+                          {"utilization",
+                           results[p].layers[l].utilization}});
+        }
+    }
     std::printf("expected shape: no fixed SU exceeds ~80%% on all four "
                 "cases; the larger array suffers more; dynamic selection "
                 "recovers utilization everywhere.\n");
+    bench::print_runner_report(report);
     return 0;
 }

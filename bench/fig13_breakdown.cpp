@@ -2,10 +2,10 @@
  * @file
  * Fig. 13 — BitWave speedup breakdown: Dense [Ku=64, Cu=64] baseline,
  * then incrementally +DF (dynamic dataflow), +SM (sign-magnitude BCSeC),
- * +BF (Bit-Flip), for each benchmark network.
+ * +BF (Bit-Flip), for each benchmark network. The variant x workload
+ * grid runs as one parallel ScenarioRunner batch.
  */
 #include "bench_util.hpp"
-#include "model/performance.hpp"
 
 using namespace bitwave;
 
@@ -15,37 +15,55 @@ main()
     bench::banner("Fig. 13",
                   "speedup breakdown Dense -> +DF -> +SM -> +BF "
                   "(cumulative, vs Dense)");
+    bench::JsonReport json("fig13_breakdown");
+
+    const BitWaveVariant variants[] = {
+        BitWaveVariant::kDenseSu, BitWaveVariant::kDynamicDf,
+        BitWaveVariant::kDfSm, BitWaveVariant::kDfSmBf};
+    std::vector<eval::Scenario> scenarios;
+    for (auto id : kAllWorkloads) {
+        for (auto variant : variants) {
+            eval::Scenario s;
+            s.accel = make_bitwave(variant);
+            s.workload = id;
+            if (variant == BitWaveVariant::kDfSmBf) {
+                // The BF point flips the weight-heavy layers to 5 zero
+                // columns (the Fig. 6 operating points at <= 0.5 drop).
+                s.bitflip.mode = eval::BitflipSpec::Mode::kHeavyLayers;
+                s.bitflip.weight_share = 0.8;
+                s.bitflip.group_size = 16;
+                s.bitflip.zero_columns = 5;
+            }
+            scenarios.push_back(std::move(s));
+        }
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
     Table t({"network", "+DF", "+DF+SM", "+DF+SM+BF", "step DF",
              "step SM", "step BF"});
-    for (auto id : kAllWorkloads) {
-        const auto &w = get_workload(id);
-        const auto dense =
-            AcceleratorModel(make_bitwave(BitWaveVariant::kDenseSu))
-                .model_workload(w);
-        const auto df =
-            AcceleratorModel(make_bitwave(BitWaveVariant::kDynamicDf))
-                .model_workload(w);
-        const auto sm =
-            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSm))
-                .model_workload(w);
-        // The BF point flips the weight-heavy layers to 5 zero columns
-        // (the Fig. 6 operating points at <= 0.5 metric drop).
-        const auto flipped = bench::flip_heavy_layers(w, 0.8, 16, 5);
-        const auto bf =
-            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
-                .model_workload(w, &flipped);
-
-        t.add_row({w.name,
-                   fmt_ratio(dense.total_cycles / df.total_cycles),
-                   fmt_ratio(dense.total_cycles / sm.total_cycles),
-                   fmt_ratio(dense.total_cycles / bf.total_cycles),
-                   fmt_ratio(dense.total_cycles / df.total_cycles),
-                   fmt_ratio(df.total_cycles / sm.total_cycles),
-                   fmt_ratio(sm.total_cycles / bf.total_cycles)});
+    const std::size_t per_workload = std::size(variants);
+    for (std::size_t w = 0; w * per_workload < results.size(); ++w) {
+        const auto *r = &results[w * per_workload];
+        const double dense = r[0].total_cycles;
+        const double df = r[1].total_cycles;
+        const double sm = r[2].total_cycles;
+        const double bf = r[3].total_cycles;
+        t.add_row({r[0].workload, fmt_ratio(dense / df),
+                   fmt_ratio(dense / sm), fmt_ratio(dense / bf),
+                   fmt_ratio(dense / df), fmt_ratio(df / sm),
+                   fmt_ratio(sm / bf)});
+        for (std::size_t v = 0; v < per_workload; ++v) {
+            json.add_result(r[v], {{"variant",
+                                    bitwave_variant_name(variants[v])},
+                                   {"speedup_vs_dense",
+                                    dense / r[v].total_cycles}});
+        }
     }
     std::printf("%s", t.render().c_str());
     std::printf("\npaper anchors: DF 2.57x on MobileNetV2; SM step 1.31x/"
                 "1.58x/1.75x/1.06x (ResNet18/MBv2/CNN-LSTM/Bert); BF adds "
                 "2.67x on Bert-Base.\n");
+    bench::print_runner_report(report);
     return 0;
 }

@@ -60,10 +60,8 @@ main()
     }
     std::printf("%s", t.render().c_str());
     std::printf("\npaper anchors: BitWave 10.1x (CNN-LSTM) and 13.25x "
-                "(Bert-Base) over SCNN; BitWave > 2x Bitlet; Pragmatic "
-                "~1.4x; BitWave fastest everywhere.\n");
-    std::printf("[runner: %d threads, %.2fs wall, %.2fx parallel "
-                "speedup]\n", report.threads_used, report.wall_seconds,
-                report.speedup());
+                "(Bert-Base) over SCNN; BitWave > 2x Bitlet; BitWave "
+                "fastest everywhere.\n");
+    bench::print_runner_report(report);
     return 0;
 }

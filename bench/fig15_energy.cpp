@@ -1,10 +1,10 @@
 /**
  * @file
  * Fig. 15 — total inference energy of every accelerator, normalized to
- * BitWave+DF+SM+BF (lower is better).
+ * BitWave+DF+SM+BF (lower is better). The accelerator x workload grid
+ * runs as one parallel ScenarioRunner batch.
  */
 #include "bench_util.hpp"
-#include "model/performance.hpp"
 
 using namespace bitwave;
 
@@ -13,28 +13,42 @@ main()
 {
     bench::banner("Fig. 15",
                   "energy normalized to BitWave+DF+SM+BF (lower=better)");
+    bench::JsonReport json("fig15_energy");
+
+    const AcceleratorConfig baselines[] = {make_scnn(), make_stripes(),
+                                           make_pragmatic(), make_bitlet(),
+                                           make_huaa()};
+    std::vector<eval::Scenario> scenarios;
+    for (auto id : kAllWorkloads) {
+        for (const auto &cfg : baselines) {
+            eval::Scenario s;
+            s.accel = cfg;
+            s.workload = id;
+            scenarios.push_back(std::move(s));
+        }
+        eval::Scenario bw;
+        bw.accel = make_bitwave(BitWaveVariant::kDfSmBf);
+        bw.workload = id;
+        bw.bitflip.mode = eval::BitflipSpec::Mode::kHeavyLayers;
+        bw.bitflip.weight_share = 0.8;
+        bw.bitflip.group_size = 16;
+        bw.bitflip.zero_columns = 5;
+        scenarios.push_back(std::move(bw));
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
+    const std::size_t per_workload = std::size(baselines) + 1;
     Table t({"network", "SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA",
              "BitWave"});
-    for (auto id : kAllWorkloads) {
-        const auto &w = get_workload(id);
-        const auto flipped = bench::flip_heavy_layers(w, 0.8, 16, 5);
-        const auto bw =
-            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
-                .model_workload(w, &flipped);
-        const double energies[] = {
-            AcceleratorModel(make_scnn()).model_workload(w).energy.total_pj,
-            AcceleratorModel(make_stripes())
-                .model_workload(w).energy.total_pj,
-            AcceleratorModel(make_pragmatic())
-                .model_workload(w).energy.total_pj,
-            AcceleratorModel(make_bitlet())
-                .model_workload(w).energy.total_pj,
-            AcceleratorModel(make_huaa()).model_workload(w).energy.total_pj,
-            bw.energy.total_pj,
-        };
-        std::vector<std::string> row{w.name};
-        for (double e : energies) {
-            row.push_back(fmt_ratio(e / bw.energy.total_pj));
+    for (std::size_t w = 0; w * per_workload < results.size(); ++w) {
+        const auto *r = &results[w * per_workload];
+        const double bw_energy = r[per_workload - 1].energy.total_pj;
+        std::vector<std::string> row{r[0].workload};
+        for (std::size_t a = 0; a < per_workload; ++a) {
+            const double ratio = r[a].energy.total_pj / bw_energy;
+            row.push_back(fmt_ratio(ratio));
+            json.add_result(r[a], {{"energy_vs_bitwave", ratio}});
         }
         t.add_row(std::move(row));
     }
@@ -43,5 +57,6 @@ main()
                 "MobileNetV2 baselines 4.09-5.04x; HUAA 2.41x average. "
                 "Expected shape: BitWave lowest, SCNN worst on "
                 "weight-heavy / low-sparsity nets.\n");
+    bench::print_runner_report(report);
     return 0;
 }

@@ -1,10 +1,10 @@
 /**
  * @file
  * Fig. 16 — BitWave energy breakdown including off-chip DRAM, per
- * benchmark network.
+ * benchmark network. One analytical scenario per network, run as a
+ * ScenarioRunner batch.
  */
 #include "bench_util.hpp"
-#include "model/performance.hpp"
 
 using namespace bitwave;
 
@@ -13,24 +13,38 @@ main()
 {
     bench::banner("Fig. 16",
                   "BitWave energy breakdown incl. off-chip DRAM");
+    bench::JsonReport json("fig16_energy_breakdown");
+
+    std::vector<eval::Scenario> scenarios;
+    for (auto id : kAllWorkloads) {
+        eval::Scenario s;
+        s.accel = make_bitwave(BitWaveVariant::kDfSm);
+        s.workload = id;
+        scenarios.push_back(std::move(s));
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
     Table t({"network", "MAC", "SRAM", "register", "static/clock", "DRAM",
              "total (mJ)"});
-    for (auto id : kAllWorkloads) {
-        const auto &w = get_workload(id);
-        const auto r =
-            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSm))
-                .model_workload(w);
+    for (const auto &r : results) {
         const double total = r.energy.total_pj;
-        t.add_row({w.name, fmt_percent(r.energy.mac_pj / total),
+        t.add_row({r.workload, fmt_percent(r.energy.mac_pj / total),
                    fmt_percent(r.energy.sram_pj / total),
                    fmt_percent(r.energy.reg_pj / total),
                    fmt_percent(r.energy.static_pj / total),
                    fmt_percent(r.energy.dram_pj / total),
                    fmt_double(total * 1e-9, 3)});
+        json.add_result(r, {{"mac_share", r.energy.mac_pj / total},
+                            {"sram_share", r.energy.sram_pj / total},
+                            {"reg_share", r.energy.reg_pj / total},
+                            {"static_share", r.energy.static_pj / total},
+                            {"dram_share", r.energy.dram_pj / total}});
     }
     std::printf("%s", t.render().c_str());
     std::printf("\npaper: DRAM is the dominant factor, especially for "
                 "weight-intensive networks (all weights cross DRAM at "
                 "least once).\n");
+    bench::print_runner_report(report);
     return 0;
 }

@@ -1,10 +1,10 @@
 /**
  * @file
  * Fig. 17 — energy efficiency (useful operations per energy) normalized
- * to SCNN, per benchmark network.
+ * to SCNN, per benchmark network. The accelerator x workload grid runs
+ * as one parallel ScenarioRunner batch.
  */
 #include "bench_util.hpp"
-#include "model/performance.hpp"
 
 using namespace bitwave;
 
@@ -13,33 +13,48 @@ main()
 {
     bench::banner("Fig. 17",
                   "energy efficiency normalized to SCNN (higher=better)");
+    bench::JsonReport json("fig17_efficiency");
+
+    const AcceleratorConfig baselines[] = {make_scnn(), make_stripes(),
+                                           make_pragmatic(), make_bitlet(),
+                                           make_huaa()};
+    std::vector<eval::Scenario> scenarios;
+    for (auto id : kAllWorkloads) {
+        for (const auto &cfg : baselines) {
+            eval::Scenario s;
+            s.accel = cfg;
+            s.workload = id;
+            scenarios.push_back(std::move(s));
+        }
+        eval::Scenario bw;
+        bw.accel = make_bitwave(BitWaveVariant::kDfSmBf);
+        bw.workload = id;
+        bw.bitflip.mode = eval::BitflipSpec::Mode::kHeavyLayers;
+        bw.bitflip.weight_share = 0.8;
+        bw.bitflip.group_size = 16;
+        bw.bitflip.zero_columns = 5;
+        scenarios.push_back(std::move(bw));
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
+    const std::size_t per_workload = std::size(baselines) + 1;
     Table t({"network", "SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA",
              "BitWave"});
-    for (auto id : kAllWorkloads) {
-        const auto &w = get_workload(id);
-        const auto scnn = AcceleratorModel(make_scnn()).model_workload(w);
-        const auto flipped = bench::flip_heavy_layers(w, 0.8, 16, 5);
-        const double eff[] = {
-            scnn.tops_per_watt(),
-            AcceleratorModel(make_stripes()).model_workload(w)
-                .tops_per_watt(),
-            AcceleratorModel(make_pragmatic()).model_workload(w)
-                .tops_per_watt(),
-            AcceleratorModel(make_bitlet()).model_workload(w)
-                .tops_per_watt(),
-            AcceleratorModel(make_huaa()).model_workload(w)
-                .tops_per_watt(),
-            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
-                .model_workload(w, &flipped).tops_per_watt(),
-        };
-        std::vector<std::string> row{w.name};
-        for (double e : eff) {
-            row.push_back(fmt_ratio(e / eff[0]));
+    for (std::size_t w = 0; w * per_workload < results.size(); ++w) {
+        const auto *r = &results[w * per_workload];
+        const double scnn_eff = r[0].tops_per_watt();
+        std::vector<std::string> row{r[0].workload};
+        for (std::size_t a = 0; a < per_workload; ++a) {
+            const double ratio = r[a].tops_per_watt() / scnn_eff;
+            row.push_back(fmt_ratio(ratio));
+            json.add_result(r[a], {{"efficiency_vs_scnn", ratio}});
         }
         t.add_row(std::move(row));
     }
     std::printf("%s", t.render().c_str());
     std::printf("\npaper anchors: BitWave 7.71x over SCNN and 2.04x over "
                 "HUAA on Bert-Base; BitWave best everywhere.\n");
+    bench::print_runner_report(report);
     return 0;
 }

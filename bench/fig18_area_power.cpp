@@ -1,7 +1,10 @@
 /**
  * @file
  * Fig. 18 + Section V-D — BitWave area and power breakdown at the
- * ResNet18 / 250 MHz / 0.8 V operating point.
+ * ResNet18 / 250 MHz / 0.8 V operating point. The operating point
+ * itself (modeled average power while running ResNet18) is regenerated
+ * through a ScenarioRunner batch and cross-checked against the static
+ * chip budget.
  */
 #include "bench_util.hpp"
 #include "energy/breakdown.hpp"
@@ -12,6 +15,8 @@ int
 main()
 {
     bench::banner("Fig. 18", "BitWave area and power breakdown (16 nm)");
+    bench::JsonReport json("fig18_area_power");
+
     const auto budget = bitwave_chip_budget(default_tech());
     Table t({"component", "area (mm^2)", "area %", "power (mW)",
              "power %"});
@@ -20,6 +25,9 @@ main()
                    fmt_percent(c.area_mm2() / budget.total_area_mm2()),
                    fmt_double(c.power_mw, 3),
                    fmt_percent(c.power_mw / budget.total_power_mw())});
+        json.add_row({{"component", c.name},
+                      {"area_mm2", c.area_mm2()},
+                      {"power_mw", c.power_mw}});
     }
     t.add_row({"TOTAL", fmt_double(budget.total_area_mm2(), 3), "100%",
                fmt_double(budget.total_power_mw(), 2), "100%"});
@@ -27,5 +35,24 @@ main()
     std::printf("\npaper: 1.138 mm^2 / 17.56 mW; SRAM 55.08%% of area, "
                 "PE array 57.6%% of power / 24.7%% of area, dispatcher "
                 "10.8%% area / 24.4%% power.\n");
+
+    // The Section V-D operating point: modeled on-chip power while
+    // running ResNet18 at the tech frequency.
+    eval::Scenario s;
+    s.accel = make_bitwave(BitWaveVariant::kDfSm);
+    s.workload = WorkloadId::kResNet18;
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run({s}, &report);
+    const auto &r = results.front();
+    const double on_chip_pj = r.energy.total_pj - r.energy.dram_pj;
+    const double runtime_s = r.runtime_ms() * 1e-3;
+    const double modeled_mw = on_chip_pj * 1e-9 / runtime_s;
+    std::printf("\nmodeled on-chip power @ ResNet18: %.2f mW "
+                "(chip budget %.2f mW)\n", modeled_mw,
+                budget.total_power_mw());
+    json.add_result(r, {{"on_chip_power_mw", modeled_mw},
+                        {"budget_power_mw", budget.total_power_mw()},
+                        {"area_mm2", budget.total_area_mm2()}});
+    bench::print_runner_report(report);
     return 0;
 }

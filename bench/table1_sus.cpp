@@ -1,10 +1,14 @@
 /**
  * @file
  * Table I — the seven BitWave spatial unrollings with their weight and
- * activation bandwidth requirements.
+ * activation bandwidth requirements, plus an achieved-utilization probe:
+ * each SU evaluated alone over the Fig. 9 case layers as a
+ * ScenarioRunner batch, showing why the top controller reconfigures the
+ * SU per layer.
  */
 #include "bench_util.hpp"
 #include "dataflow/su.hpp"
+#include "nn/synthesis.hpp"
 
 using namespace bitwave;
 
@@ -12,6 +16,8 @@ int
 main()
 {
     bench::banner("Table I", "BitWave SUs and per-cycle bandwidths");
+    bench::JsonReport json("table1_sus");
+
     Table t({"SU", "factors", "W BW (bit/cycle)", "Act BW (bit/cycle)",
              "bit cols/cycle", "group size"});
     for (const auto &su : bitwave_sus()) {
@@ -29,9 +35,63 @@ main()
                    std::to_string(su.activation_bandwidth_bits()),
                    std::to_string(su.bit_columns),
                    std::to_string(su.group_size())});
+        json.add_row({{"su", su.name},
+                      {"factors", factors},
+                      {"weight_bw_bits", su.weight_bandwidth_bits()},
+                      {"act_bw_bits", su.activation_bandwidth_bits()},
+                      {"bit_columns", su.bit_columns},
+                      {"group_size", su.group_size()}});
     }
     std::printf("%s", t.render().c_str());
     std::printf("\npaper Table I: W BW 256/512/1024/1024/1024/1024/64, "
                 "Act BW 1024/1024/1024/64/128/256/1024.\n");
+
+    // Achieved utilization when one SU must serve every case layer: a
+    // single-SU scenario per Table I entry over the Fig. 9 case shapes.
+    auto cases = std::make_shared<Workload>();
+    cases->name = "table1-cases";
+    Rng rng(1);
+    const LayerDesc case_descs[] = {
+        make_conv("early", 64, 3, 112, 112, 7, 7, 2),
+        make_conv("late", 512, 512, 7, 7, 3, 3),
+        make_depthwise("Dwcv", 96, 56, 56, 3),
+        make_pointwise("Pwcv", 96, 16, 112, 112),
+    };
+    for (const auto &desc : case_descs) {
+        WorkloadLayer layer;
+        layer.desc = desc;
+        layer.weights = synthesize_weights(desc, WeightProfile{}, rng);
+        layer.activation_sparsity = 0.4;
+        layer.weights_hash = layer.compute_weights_hash();
+        cases->layers.push_back(std::move(layer));
+    }
+
+    std::vector<eval::Scenario> scenarios;
+    for (const auto &su : bitwave_sus()) {
+        eval::Scenario s;
+        s.custom_workload = cases;
+        s.accel = make_bitwave(BitWaveVariant::kDynamicDf);
+        s.accel.name = su.name;
+        s.accel.dataflows = {su};
+        scenarios.push_back(std::move(s));
+    }
+    eval::RunnerReport report;
+    const auto results = eval::ScenarioRunner().run(scenarios, &report);
+
+    std::printf("\nachieved utilization when one SU serves all case "
+                "layers:\n");
+    Table probe({"SU", "early", "late", "Dwcv", "Pwcv"});
+    for (const auto &r : results) {
+        std::vector<std::string> row{r.accelerator};
+        for (const auto &l : r.layers) {
+            row.push_back(fmt_percent(l.utilization));
+            json.add_row({{"su", r.accelerator},
+                          {"layer", l.layer_name},
+                          {"utilization", l.utilization}});
+        }
+        probe.add_row(std::move(row));
+    }
+    std::printf("%s", probe.render().c_str());
+    bench::print_runner_report(report);
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "common/bits.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace bitwave {
 
@@ -48,6 +49,41 @@ nearest_table()
     return table;
 }
 
+/**
+ * err2_table[mask][m] = squared re-rounding error of magnitude m under
+ * mask. The greedy search scores every candidate column drop against the
+ * original weights, so this lookup is the innermost operation of
+ * bitflip_tensor — one table read per weight per candidate.
+ */
+const std::array<std::array<std::uint16_t, 128>, 128> &
+err2_table()
+{
+    static const auto table = [] {
+        std::array<std::array<std::uint16_t, 128>, 128> t{};
+        const auto &nearest = nearest_table();
+        for (int mask = 0; mask < 128; ++mask) {
+            for (int m = 0; m < 128; ++m) {
+                const int d = m - nearest[static_cast<std::size_t>(mask)]
+                                        [static_cast<std::size_t>(m)];
+                t[static_cast<std::size_t>(mask)]
+                 [static_cast<std::size_t>(m)] =
+                    static_cast<std::uint16_t>(d * d);
+            }
+        }
+        return t;
+    }();
+    return table;
+}
+
+/// Magnitude of @p v in sign-magnitude range: -128 clamps to 127, the
+/// same convention to_sign_magnitude() applies (and the guard that
+/// keeps the 128-entry lookup tables in bounds).
+int
+sm_magnitude(std::int8_t v)
+{
+    return std::min(std::abs(static_cast<int>(v)), 127);
+}
+
 /// Re-round @p original under configuration (mask, sign_allowed).
 std::int8_t
 reround(std::int8_t original, int mask, bool sign_allowed)
@@ -57,7 +93,7 @@ reround(std::int8_t original, int mask, bool sign_allowed)
         // 0 (distance |v|; any positive candidate is at least |v| + 1).
         return 0;
     }
-    const int m = std::abs(static_cast<int>(original));
+    const int m = sm_magnitude(original);
     const int nm = nearest_table()[static_cast<std::size_t>(mask)]
                                   [static_cast<std::size_t>(m)];
     return static_cast<std::int8_t>(original < 0 ? -nm : nm);
@@ -68,13 +104,16 @@ double
 config_cost(std::span<const std::int8_t> originals, int mask,
             bool sign_allowed)
 {
-    double cost = 0.0;
+    const auto &err2 = err2_table()[static_cast<std::size_t>(mask)];
+    std::int64_t cost = 0;
     for (std::int8_t v : originals) {
-        const double d = static_cast<double>(v) -
-            static_cast<double>(reround(v, mask, sign_allowed));
-        cost += d * d;
+        const int m = sm_magnitude(v);
+        // A negative weight without the sign column re-rounds to 0
+        // (distance |v|); everything else follows the mask table.
+        cost += (v < 0 && !sign_allowed)
+            ? m * m : err2[static_cast<std::size_t>(m)];
     }
-    return cost;
+    return static_cast<double>(cost);
 }
 
 /// SM column-occupancy mask of @p group (bit7 = sign column).
@@ -231,11 +270,20 @@ bitflip_tensor(const Int8Tensor &tensor, int group_size,
     }
     Int8Tensor out = tensor;
     const std::int64_t n = out.numel();
-    for (std::int64_t start = 0; start < n; start += group_size) {
-        const std::int64_t len = std::min<std::int64_t>(group_size, n - start);
+    const std::int64_t groups = (n + group_size - 1) / group_size;
+    // Groups are independent; large tensors (the LSTM/BERT projections
+    // Bit-Flip spends its time on) fan out across cores. Small tensors
+    // stay serial — thread startup would dominate.
+    const int threads =
+        n >= (1 << 18) ? parallel_threads(static_cast<std::size_t>(groups))
+                       : 1;
+    parallel_for(static_cast<std::size_t>(groups), [&](std::size_t g) {
+        const std::int64_t start = static_cast<std::int64_t>(g) * group_size;
+        const std::int64_t len =
+            std::min<std::int64_t>(group_size, n - start);
         bitflip_group({out.data() + start, static_cast<std::size_t>(len)},
                       target_zero_columns);
-    }
+    }, threads);
     return out;
 }
 

@@ -34,7 +34,8 @@ popcount8(std::uint8_t word)
 int
 bit_count_twos_complement(std::int8_t value)
 {
-    return std::popcount(static_cast<unsigned>(static_cast<std::uint8_t>(value)));
+    return std::popcount(
+        static_cast<unsigned>(static_cast<std::uint8_t>(value)));
 }
 
 int

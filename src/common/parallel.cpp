@@ -1,0 +1,31 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bitwave {
+
+int &
+detail::parallel_depth()
+{
+    thread_local int depth = 0;
+    return depth;
+}
+
+int
+parallel_threads(std::size_t n)
+{
+    int threads = 0;
+    if (const char *env = std::getenv("BITWAVE_THREADS")) {
+        threads = std::atoi(env);
+    }
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    threads = std::max(threads, 1);
+    return static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(threads),
+                              std::max<std::size_t>(n, 1)));
+}
+
+}  // namespace bitwave

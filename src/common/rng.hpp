@@ -20,7 +20,8 @@ namespace bitwave {
 class Rng
 {
   public:
-    /// Construct with an explicit seed; identical seeds yield identical streams.
+    /// Construct with an explicit seed; identical seeds yield identical
+    /// streams.
     explicit Rng(std::uint64_t seed = 0x5eedULL) : engine_(seed) {}
 
     /// Uniform double in [0, 1).

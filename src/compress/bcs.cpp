@@ -54,6 +54,28 @@ BcsCompressed::ideal_compression_ratio() const
     return static_cast<double>(original_bits()) / static_cast<double>(p);
 }
 
+BcsSizeInfo
+bcs_measure(const Int8Tensor &tensor, int group_size, Representation repr)
+{
+    if (group_size < 1 || group_size > 64) {
+        fatal("bcs_measure: group_size must be in [1, 64], got %d",
+              group_size);
+    }
+    BcsSizeInfo info;
+    info.group_size = group_size;
+    info.element_count = tensor.numel();
+    const std::int64_t n = tensor.numel();
+    for (std::int64_t start = 0; start < n; start += group_size) {
+        const std::int64_t len =
+            std::min<std::int64_t>(group_size, n - start);
+        const std::span<const std::int8_t> grp(
+            tensor.data() + start, static_cast<std::size_t>(len));
+        ++info.groups;
+        info.nonzero_columns += popcount8(column_index(grp, repr));
+    }
+    return info;
+}
+
 BcsCompressed
 bcs_compress(const Int8Tensor &tensor, int group_size, Representation repr)
 {

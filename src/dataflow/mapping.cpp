@@ -203,11 +203,15 @@ compute_access_counts(const LayerDesc &desc, const SpatialUnrolling &su,
     if (exec.weight_stationary) {
         out.sram_read_weight_bits =
             weight_bits * cf.weight_sram_overhead * weight_passes;
-        const double psum_spills =
-            static_cast<double>(std::max<std::int64_t>(exec.c_tiles, 1) - 1);
+        const double psum_spills = exec.psum_in_accumulators
+            ? 0.0
+            : static_cast<double>(
+                  std::max<std::int64_t>(exec.c_tiles, 1) - 1);
         const double psum_bits = out_bits * 4.0 * psum_spills;
         out.sram_read_act_bits += psum_bits;   // re-read for accumulate
         out.sram_write_act_bits += psum_bits;  // spill
+    } else if (exec.weight_stream_bits > 0.0) {
+        out.sram_read_weight_bits = exec.weight_stream_bits;
     } else {
         out.sram_read_weight_bits = exec.compute_cycles *
             exec.weight_port_active_bits * cf.weight_sram_overhead;

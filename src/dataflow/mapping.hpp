@@ -131,6 +131,14 @@ struct ExecutionProfile
     /// weight operand continuously, so SRAM weight traffic =
     /// cycles x this width.
     double weight_port_active_bits = 0.0;
+    /// Explicit weight-stream volume in bits: the compressed columns
+    /// plus per-group index, charged ONCE per layer sweep (the
+    /// fetcher's double buffer holds the active tile across temporal
+    /// revisits). When > 0 it replaces the port-based accounting above
+    /// — the BCS machines stream exactly their compressed weights,
+    /// nothing more (and the weight port can be the Eq. 5 bottleneck
+    /// when the stream outruns it).
+    double weight_stream_bits = 0.0;
     /// Weight-stationary (bit-parallel) machines instead fetch each
     /// weight once into PE registers and pay partial-sum re-accumulation
     /// traffic across input-channel tiles.
@@ -138,6 +146,10 @@ struct ExecutionProfile
     /// Number of input-channel tiles (ceil(C / Cu)); > 1 means partial
     /// sums spill to SRAM between tiles on weight-stationary machines.
     std::int64_t c_tiles = 1;
+    /// Partial sums accumulate in dedicated accumulator banks next to
+    /// the PEs (SCNN's crossbar-fed accumulator SRAM) instead of
+    /// round-tripping the activation SRAM across input-channel tiles.
+    bool psum_in_accumulators = false;
     /// Input read from DRAM (first layer / does not fit on chip)?
     bool input_from_dram = true;
     /// Output written to DRAM (last layer / does not fit on chip)?

@@ -1,10 +1,16 @@
 #include "eval/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
-#include <unordered_set>
+#include <iterator>
+#include <tuple>
 #include <utility>
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "compress/bcs.hpp"
+#include "compress/csr.hpp"
+#include "compress/zre.hpp"
 #include "model/performance.hpp"
 #include "nn/traverse.hpp"
 #include "sim/npu.hpp"
@@ -32,6 +38,18 @@ ScenarioResult::tops_per_watt() const
         ? static_cast<double>(nominal_macs) * 2.0 / energy.total_pj : 0.0;
 }
 
+SparsityStats
+ScenarioResult::merged_sparsity() const
+{
+    SparsityStats merged;
+    for (const auto &l : layers) {
+        if (l.stats) {
+            merged.merge(l.stats->sparsity);
+        }
+    }
+    return merged;
+}
+
 namespace {
 
 LayerEval
@@ -56,6 +74,7 @@ from_sim(const LayerSimResult &r)
     e.layer_name = r.layer_name;
     e.su_name = r.su_name;
     e.compute_cycles = r.cycles_decoupled;
+    e.cycles_lockstep = r.cycles_lockstep;
     e.dram_cycles = r.dram_cycles;
     e.total_cycles = r.total_cycles;
     e.cycles_per_group = r.mean_columns_per_group();
@@ -63,90 +82,214 @@ from_sim(const LayerSimResult &r)
     return e;
 }
 
-/// Indices selected by the scenario's layer filter (all when empty).
-std::unordered_set<std::size_t>
-selected_layers(const Scenario &scenario, const Workload &workload)
+/// The kStats engine: weight sparsity and (opt-in) codec statistics.
+LayerEval
+layer_stats(const Scenario &scenario, const WorkloadLayer &layer,
+            const Int8Tensor *weights)
 {
-    std::unordered_set<std::size_t> sel;
-    for (const auto &name : scenario.layer_filter) {
-        sel.insert(workload.layer_index(name));  // fatal() on typos
+    const Int8Tensor &w = weights != nullptr ? *weights : layer.weights;
+    const int group = scenario.stats.group_size;
+
+    auto stats = std::make_shared<LayerStatsEval>();
+    stats->sparsity = compute_sparsity(w);
+    if (scenario.stats.column_stats) {
+        stats->columns_2c = analyze_bit_columns(
+            w, group, Representation::kTwosComplement);
+        stats->columns_sm = analyze_bit_columns(
+            w, group, Representation::kSignMagnitude);
     }
-    return sel;
+    stats->weight_bits = w.numel() * 8;
+    if (scenario.stats.reference_codecs) {
+        const auto zre = zre_compress(w);
+        stats->zre_bits = zre.compressed_bits();
+        stats->zre_ideal_bits = zre.payload_bits();
+        const auto csr = csr_compress(w, w.dim(0));
+        stats->csr_bits = csr.compressed_bits();
+        stats->csr_ideal_bits = csr.payload_bits();
+    }
+    if (scenario.stats.bcs) {
+        const auto bcs_sm =
+            bcs_measure(w, group, Representation::kSignMagnitude);
+        stats->bcs_sm_bits = bcs_sm.compressed_bits();
+        stats->bcs_sm_ideal_bits = bcs_sm.payload_bits();
+        const auto bcs_2c =
+            bcs_measure(w, group, Representation::kTwosComplement);
+        stats->bcs_2c_bits = bcs_2c.compressed_bits();
+        stats->bcs_2c_ideal_bits = bcs_2c.payload_bits();
+    }
+
+    LayerEval e;
+    e.layer_name = layer.desc.name;
+    e.cycles_per_group = stats->columns_sm.mean_nonzero_columns();
+    e.stats = std::move(stats);
+    return e;
 }
 
 }  // namespace
+
+std::uint64_t
+layer_rng_seed(std::uint64_t scenario_seed, std::size_t layer_index)
+{
+    return hash_combine(scenario_seed,
+                        static_cast<std::uint64_t>(layer_index) + 1);
+}
+
+ScenarioPrep
+prepare_scenario(const Scenario &scenario)
+{
+    ScenarioPrep prep;
+
+    // Workload: the shared cached synthesis, or a private deterministic
+    // one salted with the scenario's own seed.
+    if (scenario.custom_workload) {
+        prep.owned = scenario.custom_workload;
+        prep.workload = prep.owned.get();
+    } else if (scenario.workload_seed == kCachedWorkloadSeed) {
+        prep.workload = &get_workload(scenario.workload);
+    } else {
+        prep.owned = std::make_shared<Workload>(
+            build_workload(scenario.workload, scenario.workload_seed));
+        prep.workload = prep.owned.get();
+    }
+
+    // Layer selection: the filter's indices in workload order.
+    if (scenario.layer_filter.empty()) {
+        prep.layers.resize(prep.workload->layers.size());
+        for (std::size_t i = 0; i < prep.layers.size(); ++i) {
+            prep.layers[i] = i;
+        }
+    } else {
+        for (const auto &name : scenario.layer_filter) {
+            prep.layers.push_back(
+                prep.workload->layer_index(name));  // fatal() on typos
+        }
+        std::sort(prep.layers.begin(), prep.layers.end());
+        prep.layers.erase(
+            std::unique(prep.layers.begin(), prep.layers.end()),
+            prep.layers.end());
+    }
+
+    prep.weights = alias_weight_override(scenario, *prep.workload);
+    prep.weights.resize(prep.workload->layers.size());
+    prep.flip.assign(prep.workload->layers.size(), 0);
+    if (!scenario.weight_override) {
+        // Record which selected layers flip; the tensors themselves are
+        // resolved per layer during evaluation so the work shards.
+        for (std::size_t i : selected_bitflip_layers(
+                 *prep.workload, scenario.bitflip, &prep.layers)) {
+            prep.flip[i] = 1;
+        }
+    }
+    return prep;
+}
+
+std::vector<LayerEval>
+evaluate_layer_range(const Scenario &scenario, const ScenarioPrep &prep,
+                     std::uint64_t rng_seed, std::size_t begin,
+                     std::size_t end)
+{
+    const Workload &w = *prep.workload;
+    std::vector<LayerEval> out;
+    out.reserve(end - begin);
+
+    const auto layer_inputs = [&](std::size_t sel) {
+        const std::size_t l = prep.layers[sel];
+        LayerContext ctx;
+        ctx.first_layer = l == 0;
+        ctx.last_layer = l + 1 == w.layers.size();
+        std::shared_ptr<const Int8Tensor> prepared = prep.weights[l];
+        if (!prepared && prep.flip[l]) {
+            prepared = cached_bitflip(w.layers[l].weights,
+                                      w.layers[l].weights_hash,
+                                      scenario.bitflip.group_size,
+                                      scenario.bitflip.zero_columns);
+        }
+        return std::tuple(std::cref(w.layers[l]), std::move(prepared),
+                          ctx, l);
+    };
+
+    switch (scenario.engine) {
+      case EngineKind::kAnalytical: {
+        const AcceleratorModel model(scenario.accel);
+        for (std::size_t s = begin; s < end; ++s) {
+            const auto [layer, weights, ctx, l] = layer_inputs(s);
+            out.push_back(from_model(
+                model.model_layer(layer, weights.get(), ctx)));
+        }
+        break;
+      }
+      case EngineKind::kCycleSim: {
+        for (std::size_t s = begin; s < end; ++s) {
+            const auto [layer, weights, ctx, l] = layer_inputs(s);
+            // Each layer draws from its own (scenario, layer) stream so
+            // sharded evaluation is bit-identical to serial.
+            NpuConfig cfg = scenario.npu;
+            cfg.act_seed = rng_seed != 0 ? layer_rng_seed(rng_seed, l)
+                                         : cfg.act_seed;
+            const BitWaveNpu npu(cfg);
+            // Accounting-only execution: functional output is exercised
+            // by the simulator's own tests, not by scenario sweeps.
+            out.push_back(from_sim(
+                npu.run_layer(layer, nullptr, weights.get(),
+                              /*compute_output=*/false, ctx)));
+        }
+        break;
+      }
+      case EngineKind::kStats: {
+        for (std::size_t s = begin; s < end; ++s) {
+            const auto [layer, weights, ctx, l] = layer_inputs(s);
+            (void)ctx;
+            out.push_back(layer_stats(scenario, layer, weights.get()));
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+ScenarioResult
+finalize_scenario(const Scenario &scenario, const ScenarioPrep &prep,
+                  std::uint64_t rng_seed, std::vector<LayerEval> layers)
+{
+    if (layers.size() != prep.layers.size()) {
+        fatal("finalize_scenario: %zu layer records for %zu selected",
+              layers.size(), prep.layers.size());
+    }
+    ScenarioResult out;
+    out.name = scenario.name();
+    out.engine = engine_name(scenario.engine);
+    out.rng_seed = rng_seed;
+    out.workload = prep.workload->name;
+    switch (scenario.engine) {
+      case EngineKind::kAnalytical:
+        out.accelerator = scenario.accel.name;
+        break;
+      case EngineKind::kCycleSim:
+        out.accelerator = "BitWaveNPU";
+        break;
+      case EngineKind::kStats:
+        out.accelerator = "stats";
+        break;
+    }
+    out.layers = std::move(layers);
+    for (std::size_t s = 0; s < out.layers.size(); ++s) {
+        out.total_cycles += out.layers[s].total_cycles;
+        out.energy += out.layers[s].energy;
+        out.nominal_macs +=
+            prep.workload->layers[prep.layers[s]].desc.macs();
+    }
+    return out;
+}
 
 ScenarioResult
 evaluate_scenario(const Scenario &scenario, std::uint64_t rng_seed)
 {
     const auto t0 = std::chrono::steady_clock::now();
-
-    ScenarioResult out;
-    out.name = scenario.name();
-    out.engine = engine_name(scenario.engine);
-    out.rng_seed = rng_seed;
-
-    // Workload: the shared cached synthesis, or a private deterministic
-    // one salted with the scenario stream.
-    Workload owned;
-    const Workload *w = nullptr;
-    if (scenario.custom_workload) {
-        w = scenario.custom_workload.get();
-    } else if (scenario.workload_seed == kCachedWorkloadSeed) {
-        w = &get_workload(scenario.workload);
-    } else {
-        owned = build_workload(scenario.workload, scenario.workload_seed);
-        w = &owned;
-    }
-    out.workload = w->name;
-
-    const auto weights = prepare_weights(scenario, *w);
-    const auto sel = selected_layers(scenario, *w);
-
-    const auto evaluate =
-        [&](auto &&layer_fn) {
-            for_each_layer(
-                *w, weights ? weights.get() : nullptr,
-                [&](std::size_t l, const WorkloadLayer &layer,
-                    const Int8Tensor *wt, const LayerContext &ctx) {
-                    if (!sel.empty() && sel.count(l) == 0) {
-                        return;
-                    }
-                    LayerEval e = layer_fn(layer, wt, ctx);
-                    out.total_cycles += e.total_cycles;
-                    out.energy += e.energy;
-                    out.nominal_macs += layer.desc.macs();
-                    out.layers.push_back(std::move(e));
-                });
-        };
-
-    switch (scenario.engine) {
-      case EngineKind::kAnalytical: {
-        out.accelerator = scenario.accel.name;
-        const AcceleratorModel model(scenario.accel);
-        evaluate([&](const WorkloadLayer &layer, const Int8Tensor *wt,
-                     const LayerContext &ctx) {
-            return from_model(model.model_layer(layer, wt, ctx));
-        });
-        break;
-      }
-      case EngineKind::kCycleSim: {
-        out.accelerator = "BitWaveNPU";
-        NpuConfig cfg = scenario.npu;
-        cfg.act_seed = rng_seed != 0 ? rng_seed : cfg.act_seed;
-        const BitWaveNpu npu(cfg);
-        evaluate([&](const WorkloadLayer &layer, const Int8Tensor *wt,
-                     const LayerContext &) {
-            // Accounting-only execution: functional output is exercised
-            // by the simulator's own tests, not by scenario sweeps.
-            return from_sim(
-                npu.run_layer(layer, nullptr, wt,
-                              /*compute_output=*/false));
-        });
-        break;
-      }
-    }
-
+    const ScenarioPrep prep = prepare_scenario(scenario);
+    ScenarioResult out = finalize_scenario(
+        scenario, prep, rng_seed,
+        evaluate_layer_range(scenario, prep, rng_seed, 0,
+                             prep.layers.size()));
     out.wall_seconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
     return out;

@@ -1,44 +1,81 @@
 /**
  * @file
- * The shared scenario-evaluation core: both evaluation engines — the
- * analytical accelerator model and the cycle-level NPU simulator — plug
- * into one workload traversal (nn/traverse.hpp) and one energy/latency
- * pricing scheme (energy/pricing.hpp) and produce the same unified
- * per-layer / per-workload records, so results from either engine are
- * directly comparable (the Section V-B validation) and every consumer
- * (benches, examples, the deployment pipeline) reads one result type.
+ * The shared scenario-evaluation core: the evaluation engines — the
+ * analytical accelerator model, the cycle-level NPU simulator, and the
+ * weight-statistics engine — plug into one workload traversal
+ * (nn/traverse.hpp) and one energy/latency pricing scheme
+ * (energy/pricing.hpp) and produce the same unified per-layer /
+ * per-workload records, so results from either engine are directly
+ * comparable (the Section V-B validation) and every consumer (benches,
+ * examples, the deployment pipeline) reads one result type.
+ *
+ * Evaluation is split into three phases so the ScenarioRunner can shard
+ * one scenario's layers across its worker pool:
+ *
+ *   prepare_scenario()     resolve workload + weights + layer selection
+ *   evaluate_layer_range() evaluate a contiguous slice of the selection
+ *   finalize_scenario()    stitch slices into one ScenarioResult
+ *
+ * Every layer is evaluated independently from a seed stream derived from
+ * (scenario seed, layer index), and finalize accumulates totals in layer
+ * order — results are bit-identical no matter how the slices were cut or
+ * which threads ran them.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "energy/pricing.hpp"
 #include "energy/tech.hpp"
 #include "eval/scenario.hpp"
+#include "sparsity/bitcolumn.hpp"
+#include "sparsity/stats.hpp"
 
 namespace bitwave::eval {
 
-/// Unified per-layer record produced by both engines.
+/// Per-layer output of the kStats engine: weight sparsity statistics
+/// and (opt-in) codec bit counts at the scenario's stats group size.
+struct LayerStatsEval
+{
+    SparsityStats sparsity;     ///< Value/bit sparsity, both reprs.
+    BitColumnStats columns_2c;  ///< Column stats, two's complement.
+    BitColumnStats columns_sm;  ///< Column stats, sign-magnitude.
+    std::int64_t weight_bits = 0;  ///< Uncompressed weight volume.
+
+    // Codec results (per the StatsSpec codec flags; 0 when disabled).
+    // "Ideal" is the payload without index/bookkeeping overhead.
+    std::int64_t zre_bits = 0, zre_ideal_bits = 0;
+    std::int64_t csr_bits = 0, csr_ideal_bits = 0;
+    std::int64_t bcs_sm_bits = 0, bcs_sm_ideal_bits = 0;
+    std::int64_t bcs_2c_bits = 0, bcs_2c_ideal_bits = 0;
+};
+
+/// Unified per-layer record produced by the engines.
 struct LayerEval
 {
     std::string layer_name;
     std::string su_name;         ///< Selected dataflow.
     double utilization = 0.0;    ///< Spatial PE utilization (model only).
     double compute_cycles = 0.0; ///< Array occupancy (sim: decoupled).
+    /// Lane-synchronized array occupancy (sim only; the ablation knob).
+    double cycles_lockstep = 0.0;
     double dram_cycles = 0.0;    ///< Off-chip channel occupancy.
     double total_cycles = 0.0;   ///< Eq. (5) composition.
     /// Mean effective bit-column cycles per group pass.
     double cycles_per_group = 0.0;
     EnergyBreakdown energy;      ///< Shared Eq. (4) pricing.
+    /// Statistics record (kStats engine only, shared not copied).
+    std::shared_ptr<const LayerStatsEval> stats;
 };
 
 /// Unified workload-level result of one scenario.
 struct ScenarioResult
 {
     std::string name;         ///< Scenario display name.
-    std::string engine;       ///< "model" or "sim".
+    std::string engine;       ///< "model", "sim", or "stats".
     std::string accelerator;
     std::string workload;
     std::uint64_t rng_seed = 0;  ///< Deterministic per-scenario seed.
@@ -55,16 +92,71 @@ struct ScenarioResult
     double gops(const TechParams &tech = default_tech()) const;
     /// Energy efficiency in TOPS/W over nominal (useful) operations.
     double tops_per_watt() const;
+
+    /// Merged kStats sparsity statistics of the evaluated layers.
+    SparsityStats merged_sparsity() const;
 };
 
 /**
- * Evaluate one scenario synchronously.
+ * Fully resolved inputs of one scenario evaluation. Immutable once
+ * built; layer shards evaluated on different threads share one prep.
+ */
+struct ScenarioPrep
+{
+    /// Keepalive for privately synthesized / custom workloads.
+    std::shared_ptr<const Workload> owned;
+    const Workload *workload = nullptr;
+    /// Per-layer explicit weights (the scenario's weight_override,
+    /// aliased not copied); null = the layer's own tensor, possibly
+    /// Bit-Flipped per `flip` below.
+    std::vector<std::shared_ptr<const Int8Tensor>> weights;
+    /// Per-layer flag: evaluate this layer on its Bit-Flipped twin
+    /// (resolved lazily through the preparation cache by whichever
+    /// shard reaches the layer first — heavy flips parallelize with
+    /// the evaluation instead of serializing preparation).
+    std::vector<std::uint8_t> flip;
+    /// Selected layer indices, ascending (all layers when no filter).
+    std::vector<std::size_t> layers;
+};
+
+/// Resolve a scenario's workload, weight preparation and layer
+/// selection. Thread-safe; hits the synthesis and Bit-Flip caches.
+ScenarioPrep prepare_scenario(const Scenario &scenario);
+
+/// Seed of one layer's evaluation stream within a scenario stream.
+std::uint64_t layer_rng_seed(std::uint64_t scenario_seed,
+                             std::size_t layer_index);
+
+/**
+ * Evaluate the slice [begin, end) of @p prep.layers and return its
+ * LayerEval records in selection order. Pure function of
+ * (scenario, prep, rng_seed, slice) — safe to call concurrently for
+ * disjoint slices of the same prep.
+ */
+std::vector<LayerEval> evaluate_layer_range(const Scenario &scenario,
+                                            const ScenarioPrep &prep,
+                                            std::uint64_t rng_seed,
+                                            std::size_t begin,
+                                            std::size_t end);
+
+/**
+ * Assemble per-layer records (in selection order, e.g. concatenated
+ * slices) into the scenario's result. Totals accumulate in layer order,
+ * so the result is bit-identical however the slices were cut.
+ */
+ScenarioResult finalize_scenario(const Scenario &scenario,
+                                 const ScenarioPrep &prep,
+                                 std::uint64_t rng_seed,
+                                 std::vector<LayerEval> layers);
+
+/**
+ * Evaluate one scenario synchronously (prepare + evaluate + finalize).
  *
- * The ScenarioRunner calls this from its worker threads; single
- * evaluations may call it directly. @p rng_seed seeds every stochastic
- * component of the evaluation (private workload synthesis salt, the
- * simulator's synthetic activations) so results depend only on the
- * (scenario, seed) pair — never on scheduling.
+ * The ScenarioRunner shards this pipeline over its worker threads;
+ * single evaluations call it directly. @p rng_seed seeds every
+ * stochastic component of the evaluation (private workload synthesis
+ * salt, the simulator's synthetic activations) so results depend only on
+ * the (scenario, seed) pair — never on scheduling.
  */
 ScenarioResult evaluate_scenario(const Scenario &scenario,
                                  std::uint64_t rng_seed = 0);

@@ -1,29 +1,48 @@
 #include "eval/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <exception>
-#include <mutex>
 #include <thread>
+#include <utility>
+
+#include "common/parallel.hpp"
 
 namespace bitwave::eval {
+
+namespace {
+
+double
+seconds_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+}
+
+/// One unit of pool work: a contiguous slice of one scenario's layers.
+struct Shard
+{
+    std::size_t scenario = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    double seconds = 0.0;  ///< Evaluation cost (diagnostics only).
+};
+
+}  // namespace
 
 ScenarioRunner::ScenarioRunner(RunnerOptions options) : options_(options)
 {
 }
 
 int
-ScenarioRunner::effective_threads(std::size_t batch_size) const
+ScenarioRunner::effective_threads(std::size_t work_items) const
 {
-    int threads = options_.threads;
-    if (threads <= 0) {
-        threads = static_cast<int>(std::thread::hardware_concurrency());
-        threads = std::max(threads, 1);
+    if (options_.threads > 0) {
+        return static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(options_.threads),
+            std::max<std::size_t>(work_items, 1)));
     }
-    return static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(threads), std::max<std::size_t>(
-            batch_size, 1)));
+    // 0 = hardware concurrency, overridable via BITWAVE_THREADS.
+    return parallel_threads(std::max<std::size_t>(work_items, 1));
 }
 
 std::vector<ScenarioResult>
@@ -31,61 +50,96 @@ ScenarioRunner::run(const std::vector<Scenario> &scenarios,
                     RunnerReport *report) const
 {
     const auto t0 = std::chrono::steady_clock::now();
-    const int threads = effective_threads(scenarios.size());
+    const std::size_t n = scenarios.size();
 
-    std::vector<ScenarioResult> results(scenarios.size());
-    const auto evaluate_at = [&](std::size_t i) {
-        results[i] =
-            evaluate_scenario(scenarios[i],
-                              scenario_rng_seed(scenarios[i], i));
-    };
+    // Resolve shared workloads up front, from this (un-nested) thread:
+    // per-layer synthesis streams only fan out when the build is not
+    // already inside a parallel_for worker, so a cold BERT-Base
+    // synthesizes on all cores here instead of on one worker inside
+    // Phase A.
+    {
+        std::vector<WorkloadId> distinct;
+        for (const auto &s : scenarios) {
+            if (!s.custom_workload &&
+                s.workload_seed == kCachedWorkloadSeed &&
+                std::find(distinct.begin(), distinct.end(), s.workload) ==
+                    distinct.end()) {
+                distinct.push_back(s.workload);
+            }
+        }
+        for (WorkloadId id : distinct) {
+            get_workload(id);
+        }
+    }
 
-    if (threads <= 1 || scenarios.size() <= 1) {
-        for (std::size_t i = 0; i < scenarios.size(); ++i) {
-            evaluate_at(i);
+    // Phase A — prepare every scenario (workload resolution, Bit-Flip
+    // preparation, layer selection). Preparation of different scenarios
+    // parallelizes; the synthesis and flip caches deduplicate shared
+    // work across them.
+    std::vector<ScenarioPrep> preps(n);
+    std::vector<std::uint64_t> seeds(n);
+    std::vector<double> prep_seconds(n, 0.0);
+    const int prep_threads = effective_threads(n);
+    parallel_for(n, [&](std::size_t i) {
+        const auto p0 = std::chrono::steady_clock::now();
+        seeds[i] = scenario_rng_seed(scenarios[i], i);
+        preps[i] = prepare_scenario(scenarios[i]);
+        prep_seconds[i] = seconds_since(p0);
+    }, prep_threads);
+
+    // Phase B — shard each scenario's layer selection into contiguous
+    // slices and drain the flat task list work-stealing style. Shard
+    // boundaries only affect scheduling, never results: every layer
+    // evaluates from its own (scenario, layer) stream.
+    std::vector<Shard> shards;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t layers = preps[i].layers.size();
+        const std::size_t step = options_.shard_layers > 0
+            ? static_cast<std::size_t>(options_.shard_layers)
+            : std::max<std::size_t>(layers, 1);
+        std::size_t begin = 0;
+        do {
+            const std::size_t end = std::min(layers, begin + step);
+            shards.push_back({i, begin, end, 0.0});
+            begin = end;
+        } while (begin < layers);
+    }
+
+    std::vector<std::vector<LayerEval>> layer_results(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        layer_results[i].resize(preps[i].layers.size());
+    }
+    const int threads = effective_threads(shards.size());
+    parallel_for(shards.size(), [&](std::size_t s) {
+        Shard &shard = shards[s];
+        const auto s0 = std::chrono::steady_clock::now();
+        auto evals = evaluate_layer_range(scenarios[shard.scenario],
+                                          preps[shard.scenario],
+                                          seeds[shard.scenario],
+                                          shard.begin, shard.end);
+        shard.seconds = seconds_since(s0);
+        auto &slot = layer_results[shard.scenario];
+        for (std::size_t k = 0; k < evals.size(); ++k) {
+            slot[shard.begin + k] = std::move(evals[k]);
         }
-    } else {
-        // Work-stealing over the batch: each worker pops the next index.
-        std::atomic<std::size_t> next{0};
-        std::atomic<bool> failed{false};
-        std::exception_ptr first_error;
-        std::mutex error_mutex;
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(threads));
-        for (int t = 0; t < threads; ++t) {
-            pool.emplace_back([&] {
-                for (;;) {
-                    const std::size_t i =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= scenarios.size() ||
-                        failed.load(std::memory_order_relaxed)) {
-                        return;
-                    }
-                    try {
-                        evaluate_at(i);
-                    } catch (...) {
-                        std::lock_guard<std::mutex> lock(error_mutex);
-                        if (!first_error) {
-                            first_error = std::current_exception();
-                        }
-                        failed.store(true, std::memory_order_relaxed);
-                        return;
-                    }
-                }
-            });
-        }
-        for (auto &worker : pool) {
-            worker.join();
-        }
-        if (first_error) {
-            std::rethrow_exception(first_error);
-        }
+    }, threads);
+
+    // Phase C — deterministic reduction: totals accumulate in layer
+    // order inside finalize_scenario, independent of shard boundaries.
+    std::vector<ScenarioResult> results(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        results[i] = finalize_scenario(scenarios[i], preps[i], seeds[i],
+                                       std::move(layer_results[i]));
+        results[i].wall_seconds = prep_seconds[i];
+    }
+    for (const Shard &shard : shards) {
+        results[shard.scenario].wall_seconds += shard.seconds;
     }
 
     if (report != nullptr) {
         report->threads_used = threads;
-        report->wall_seconds = std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - t0).count();
+        report->shards = static_cast<int>(shards.size());
+        report->wall_seconds = seconds_since(t0);
         report->scenario_seconds_sum = 0.0;
         for (const auto &r : results) {
             report->scenario_seconds_sum += r.wall_seconds;

@@ -3,11 +3,17 @@
  * ScenarioRunner — evaluates a batch of Scenarios on a pool of worker
  * threads and returns results in batch order.
  *
+ * Work splits at two levels: across scenarios, and *inside* each
+ * scenario by contiguous layer ranges (`RunnerOptions::shard_layers`), so
+ * one BERT-class scenario fans out across the whole pool instead of
+ * pinning the batch's wall clock to a single worker.
+ *
  * Determinism contract: every scenario's result is a pure function of
  * (scenario, batch index) — the per-scenario RNG seed is derived from the
- * batch position, never from thread identity — so an N-thread run is
- * bit-identical to a 1-thread run of the same batch (modulo the
- * `wall_seconds` diagnostics).
+ * batch position and per-layer streams from (seed, layer index), never
+ * from thread identity or shard boundaries — so an N-thread run is
+ * bit-identical to a 1-thread run and a split scenario is bit-identical
+ * to an unsplit one (modulo the `wall_seconds` diagnostics).
  */
 #pragma once
 
@@ -24,12 +30,19 @@ struct RunnerOptions
 {
     /// Worker threads; 0 = hardware concurrency.
     int threads = 0;
+    /**
+     * Intra-scenario splitting: maximum selected layers per work shard.
+     * BERT-Base (72 layers) fans out into 72/shard_layers tasks.
+     * <= 0 evaluates each scenario as a single task.
+     */
+    int shard_layers = 8;
 };
 
 /// Aggregate diagnostics of one run() call.
 struct RunnerReport
 {
     int threads_used = 0;
+    int shards = 0;                     ///< Evaluation tasks dispatched.
     double wall_seconds = 0.0;          ///< End-to-end batch wall time.
     double scenario_seconds_sum = 0.0;  ///< Sum of per-scenario costs.
 
@@ -54,8 +67,8 @@ class ScenarioRunner
     std::vector<ScenarioResult> run(const std::vector<Scenario> &scenarios,
                                     RunnerReport *report = nullptr) const;
 
-    /// Threads run() will use for a batch of @p batch_size scenarios.
-    int effective_threads(std::size_t batch_size) const;
+    /// Threads run() will use for @p work_items parallel work items.
+    int effective_threads(std::size_t work_items) const;
 
   private:
     RunnerOptions options_;

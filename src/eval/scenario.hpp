@@ -28,9 +28,10 @@ namespace bitwave::eval {
 enum class EngineKind {
     kAnalytical,  ///< Section V-B Sparseloop-style model.
     kCycleSim,    ///< Fig. 11 cycle-level NPU simulator.
+    kStats,       ///< Weight sparsity / compression statistics only.
 };
 
-/// Display name ("model", "sim").
+/// Display name ("model", "sim", "stats").
 const char *engine_name(EngineKind kind);
 
 /// How a scenario prepares its weights before evaluation.
@@ -46,6 +47,24 @@ struct BitflipSpec
     int group_size = 16;
     int zero_columns = 4;
     double weight_share = 0.8;  ///< Only for kHeavyLayers.
+};
+
+/// What the kStats engine computes per layer (sparsity statistics are
+/// always derived; codec bit counts are opt-in per codec family — they
+/// dominate the cost on BERT-class tensors, so benches enable only
+/// what they read).
+struct StatsSpec
+{
+    /// BCS group size the column statistics and compressor use.
+    int group_size = 16;
+    /// Bit-column statistics (both representations) at `group_size`.
+    /// Scenarios that only read value/bit sparsity turn this off and
+    /// skip two full tensor scans per layer.
+    bool column_stats = true;
+    /// Measure BCS storage (both representations) at `group_size`.
+    bool bcs = false;
+    /// Run the reference ZRE / CSR codecs and record their bit counts.
+    bool reference_codecs = false;
 };
 
 /// Seed sentinel: share the process-wide cached workload synthesis.
@@ -76,6 +95,9 @@ struct Scenario
     /// search); takes precedence over `bitflip`.
     std::shared_ptr<const std::vector<Int8Tensor>> weight_override;
 
+    /// Statistics configuration (kStats engine only).
+    StatsSpec stats;
+
     /// Evaluate only these layers (by name); empty = whole network.
     std::vector<std::string> layer_filter;
 
@@ -94,20 +116,68 @@ struct Scenario
 std::uint64_t scenario_rng_seed(const Scenario &scenario,
                                 std::size_t index);
 
-/// Bit-Flip every layer of @p w to a uniform (group, zero-column) target.
-std::vector<Int8Tensor> flip_workload(const Workload &w, int group,
-                                      int zero_cols);
-
 /// Bit-Flip only the weight-heaviest layers covering @p weight_share of
 /// the parameters (the paper's Fig. 6(e)-(h) protocol).
 std::vector<Int8Tensor> flip_heavy_layers(const Workload &w,
                                           double weight_share, int group,
                                           int zero_cols);
 
-/// Weights a scenario evaluates: the explicit override, freshly
-/// Bit-Flipped tensors per the spec, or nullptr — meaning "use the
-/// workload's own weights" with no copy made.
-std::shared_ptr<const std::vector<Int8Tensor>>
-prepare_weights(const Scenario &scenario, const Workload &workload);
+/**
+ * Layer indices a Bit-Flip spec would rewrite: every layer for kUniform,
+ * the weight-heaviest layers covering `weight_share` of the parameters
+ * for kHeavyLayers (the Fig. 6(e)-(h) protocol), none for kNone.
+ */
+std::vector<std::size_t> bitflip_layer_set(const Workload &workload,
+                                           const BitflipSpec &spec);
+
+/// bitflip_layer_set() intersected with an optional ascending layer
+/// selection — the layers a (possibly filtered) scenario actually flips.
+std::vector<std::size_t>
+selected_bitflip_layers(const Workload &workload, const BitflipSpec &spec,
+                        const std::vector<std::size_t> *selection);
+
+/**
+ * Validate a scenario's explicit weight_override arity (fatal on
+ * mismatch) and alias its tensors per layer, copy-free. Empty when the
+ * scenario has no override.
+ */
+std::vector<std::shared_ptr<const Int8Tensor>>
+alias_weight_override(const Scenario &scenario, const Workload &workload);
+
+/**
+ * Process-wide content-hash cache of Bit-Flip weight preparation: the
+ * flipped twin of one weight tensor under one (group, zero-column)
+ * target. Repeated (workload, flip-spec) pairs across scenarios and
+ * benches share one prepared tensor; concurrent first requests build it
+ * exactly once. @p weights_hash must identify the tensor contents (pass
+ * WorkloadLayer::weights_hash, or 0 to hash on the fly). A zero-column
+ * target of 0 is the identity — returns null, meaning "use the tensor
+ * as-is".
+ */
+std::shared_ptr<const Int8Tensor>
+cached_bitflip(const Int8Tensor &weights, std::uint64_t weights_hash,
+               int group, int zero_cols);
+
+/**
+ * Heavy-layer Bit-Flip preparation of a whole workload through the
+ * per-layer cache (the Fig. 13/15/17 protocol). Entries are null for
+ * layers the spec leaves untouched — evaluate those with the workload's
+ * own tensors.
+ */
+std::vector<std::shared_ptr<const Int8Tensor>>
+cached_flip_heavy_layers(const Workload &w, double weight_share, int group,
+                         int zero_cols);
+
+/**
+ * Weights a scenario evaluates, one entry per workload layer: the
+ * explicit override, Bit-Flipped tensors per the spec (shared through
+ * the process-wide preparation cache), or null entries meaning "use the
+ * workload's own weights" with no copy made. When @p selection is
+ * non-null, only the listed layer indices are prepared — filtered
+ * scenarios never pay for flipping layers they skip.
+ */
+std::vector<std::shared_ptr<const Int8Tensor>>
+prepare_weights(const Scenario &scenario, const Workload &workload,
+                const std::vector<std::size_t> *selection = nullptr);
 
 }  // namespace bitwave::eval

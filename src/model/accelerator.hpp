@@ -21,6 +21,15 @@
 
 namespace bitwave {
 
+/**
+ * Exponent of the planar-crossbar token-starvation penalty:
+ * cycles *= (crossbar positions / resident tokens) ^ this, for matmul
+ * layers on machines with `planar_crossbar`. Calibrated (together with
+ * SCNN's `value_imbalance`) against the paper's Fig. 14 CNN-LSTM and
+ * Bert-Base speedup bars.
+ */
+inline constexpr double kPlanarStarvationExponent = 0.40;
+
 /// How the datapath consumes operand bits.
 enum class ComputeStyle {
     kBitParallel,      ///< 8b x 8b MACs (HUAA, SCNN, dense).
@@ -58,14 +67,28 @@ struct AcceleratorConfig
     double interleave_overhead = 1.0;
     /// Weight compression between DRAM/SRAM and the array.
     bool compress_weights = false;
+    /// Dedicated accumulator banks: partial sums never round-trip the
+    /// activation SRAM across input-channel tiles (SCNN's crossbar-fed
+    /// accumulator SRAM).
+    bool accumulator_banks = false;
     /// Activation compression (SCNN's ZRE on feature maps).
     bool compress_acts = false;
     /// Load-imbalance inflation for value-sparse PEs (SCNN).
     double value_imbalance = 1.2;
     /// Whether the dataflow can treat the token/timestep batch of matmul
-    /// layers as a spatial OX dimension (im2col); conv-specialized SCNN
-    /// cannot.
+    /// layers as a spatial OX dimension (im2col view).
     bool map_batch_to_ox = true;
+    /**
+     * Flat compute-cycle inflation for matmul-shaped layers
+     * (kLinear/kLstm); 1.0 for machines with a native matmul path.
+     */
+    double matmul_penalty = 1.0;
+    /**
+     * Planar OXu x OYu output crossbar (SCNN): matmul tiles that cannot
+     * fill the crossbar with tokens pay conflict cycles growing with
+     * the fill deficit (see kPlanarStarvationExponent).
+     */
+    bool planar_crossbar = false;
 
     /// MAC/cycle at full utilization (8b x 8b equivalents).
     std::int64_t peak_macs_per_cycle() const;

@@ -75,6 +75,9 @@ AcceleratorModel::model_layer(const WorkloadLayer &layer,
     double cycles_per_pass = 1.0;     // bit-parallel default
     double mac_energy_scale = 1.0;    // fraction of bit work actually done
     double e_mac_pj = tech_.e_mac_bit_parallel_pj;
+    // Mean streamed columns per weight group (BCS machines only; 0
+    // selects the port-based weight-traffic accounting).
+    double mean_columns_per_group = 0.0;
 
     switch (config_.style) {
       case ComputeStyle::kBitParallel:
@@ -114,10 +117,12 @@ AcceleratorModel::model_layer(const WorkloadLayer &layer,
                 su.factor(Dim::kK), config_.weight_repr);
             cycles_per_pass = cc.mean_ceil_cycles(su.bit_columns);
             mac_energy_scale = cc.mean_cycles_per_group / 8.0;
+            mean_columns_per_group = cc.mean_cycles_per_group;
         } else {
             // Dense mode: all 8 columns, bit_columns per cycle.
             cycles_per_pass =
                 8.0 / static_cast<double>(su.bit_columns);
+            mean_columns_per_group = 8.0;
         }
         break;
     }
@@ -126,10 +131,34 @@ AcceleratorModel::model_layer(const WorkloadLayer &layer,
         static_cast<double>(iterations) * cycles_per_pass;
     double value_skip = 1.0;
     if (config_.sparsity == SparsityMode::kValue) {
-        // Eq. (1) with the load-imbalance adjustment of STEP2.
+        // Eq. (1) with the load-imbalance adjustment of STEP2. The
+        // product is deliberately NOT capped at 1: on low-sparsity
+        // layers the Cartesian-product scheduling and output-crossbar
+        // conflicts make value-skipping machines *slower* than a dense
+        // array (the SCNN pathology behind the paper's Fig. 14, where
+        // every baseline outruns SCNN on the benchmark suite).
         value_skip = (1.0 - sw) * (1.0 - sa) * config_.value_imbalance;
-        value_skip = std::min(value_skip, 1.0);
         compute_cycles *= value_skip;
+    }
+    if (layer.desc.kind == LayerKind::kLinear ||
+        layer.desc.kind == LayerKind::kLstm) {
+        double penalty = config_.matmul_penalty;
+        if (config_.planar_crossbar) {
+            // Conv-specialized machines run matmuls as degenerate 1x1
+            // convolutions; the planar output tile starves when the
+            // token batch cannot fill the OXu x OYu crossbar (BERT's 4
+            // tokens vs a 64-position tile) and conflicts grow with the
+            // fill deficit. Exponent calibrated against the paper's
+            // Fig. 14 CNN-LSTM and Bert-Base bars (together with
+            // make_scnn()'s value_imbalance).
+            const double positions = static_cast<double>(
+                su.factor(Dim::kOX) * su.factor(Dim::kOY));
+            const double tokens = std::clamp(
+                static_cast<double>(desc.ox), 1.0, positions);
+            penalty *= std::pow(positions / tokens,
+                                kPlanarStarvationExponent);
+        }
+        compute_cycles *= penalty;
     }
     r.compute_cycles = compute_cycles;
     r.cycles_per_group = cycles_per_pass;
@@ -145,7 +174,7 @@ AcceleratorModel::model_layer(const WorkloadLayer &layer,
     CompressionFactors cf;
     if (config_.compress_weights) {
         if (config_.sparsity == SparsityMode::kWeightBitColumn) {
-            const auto compressed = bcs_compress(
+            const auto compressed = bcs_measure(
                 w, static_cast<int>(su.group_size()), config_.weight_repr);
             cf.weight_fetch_ratio = 1.0 / compressed.compression_ratio();
             // BCS fetch savings come from skipped column cycles; the
@@ -181,8 +210,40 @@ AcceleratorModel::model_layer(const WorkloadLayer &layer,
         static_cast<double>(su.weight_bandwidth_bits()) *
             static_cast<double>(su.bit_columns),
         static_cast<double>(config_.memory.weight_port_bits));
+    if (mean_columns_per_group > 0.0) {
+        // Bit-column machines stream exactly the (compressed) column
+        // payload plus the 8-bit ZCIP index per weight group, ONCE per
+        // layer sweep — the fetcher's double buffer holds the active
+        // tile across spatial revisits. The identical accounting runs
+        // in BitWaveNpu::run_layer, which is what keeps sim-vs-model
+        // agreement on fetch-bound layers.
+        std::int64_t rows = 0, row_len = 1;
+        switch (layer.desc.kind) {
+          case LayerKind::kConv:
+          case LayerKind::kPointwiseConv:
+            rows = layer.desc.k * layer.desc.fy * layer.desc.fx;
+            row_len = layer.desc.c;
+            break;
+          case LayerKind::kDepthwiseConv:
+            rows = layer.desc.k;
+            row_len = layer.desc.fy * layer.desc.fx;
+            break;
+          case LayerKind::kLinear:
+          case LayerKind::kLstm:
+            rows = layer.desc.k;
+            row_len = layer.desc.c;
+            break;
+        }
+        const double groups = static_cast<double>(
+            rows * ceil_div(row_len, su.group_size()));
+        exec.weight_stream_bits = groups *
+            (mean_columns_per_group *
+                 static_cast<double>(su.group_size()) +
+             kWordBits);
+    }
     exec.weight_stationary = config_.style == ComputeStyle::kBitParallel;
     exec.c_tiles = ceil_div(desc.c, su.factor(Dim::kC));
+    exec.psum_in_accumulators = config_.accumulator_banks;
     // Intermediate feature maps stay on chip (halo tiling); only the
     // network input and output cross DRAM.
     exec.input_from_dram = ctx.first_layer;

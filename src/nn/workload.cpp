@@ -1,8 +1,19 @@
 #include "nn/workload.hpp"
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 
 namespace bitwave {
+
+std::uint64_t
+WorkloadLayer::compute_weights_hash() const
+{
+    std::uint64_t h = fnv1a(weights.data(),
+                            static_cast<std::size_t>(weights.numel()));
+    h = fnv1a(desc.name.data(), desc.name.size(), h);
+    h = hash_combine(h, static_cast<std::uint64_t>(weights.numel()));
+    return h;
+}
 
 Shape
 WorkloadLayer::weight_shape(const LayerDesc &desc)

@@ -31,9 +31,20 @@ struct WorkloadLayer
      * layers very little). Consumed by the analytical accelerator models.
      */
     double activation_sparsity = 0.0;
+    /**
+     * FNV-1a content hash of `weights` (0 = not computed). Builders and
+     * the workload loader fill it in so caches keyed on weight content
+     * (Bit-Flip preparation, on-disk synthesis) avoid rehashing the
+     * tensors; hand-built layers may leave it 0 and pay an on-demand
+     * hash in the eval layer.
+     */
+    std::uint64_t weights_hash = 0;
 
     /// Expected weight tensor shape for a layer descriptor.
     static Shape weight_shape(const LayerDesc &desc);
+
+    /// FNV-1a hash of the weight tensor contents (computed, not cached).
+    std::uint64_t compute_weights_hash() const;
 };
 
 /// A complete benchmark network.
@@ -49,6 +60,12 @@ struct Workload
      * substitution #2).
      */
     double error_sensitivity = 40.0;
+    /**
+     * Content hash over the layer weight hashes and descriptors
+     * (0 = not computed). Identifies the synthesized instance for the
+     * on-disk synthesis cache and the Bit-Flip preparation cache.
+     */
+    std::uint64_t content_hash = 0;
     std::vector<WorkloadLayer> layers;
 
     std::int64_t total_macs() const;

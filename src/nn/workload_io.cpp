@@ -1,0 +1,230 @@
+#include "nn/workload_io.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace bitwave {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42574c44;  // "BWLD"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f != nullptr) {
+            std::fclose(f);
+        }
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+write_bytes(std::FILE *f, const void *p, std::size_t n)
+{
+    return std::fwrite(p, 1, n, f) == n;
+}
+
+bool
+read_bytes(std::FILE *f, void *p, std::size_t n)
+{
+    return std::fread(p, 1, n, f) == n;
+}
+
+template <typename T>
+bool
+write_pod(std::FILE *f, const T &v)
+{
+    return write_bytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+bool
+read_pod(std::FILE *f, T *v)
+{
+    return read_bytes(f, v, sizeof(T));
+}
+
+bool
+write_string(std::FILE *f, const std::string &s)
+{
+    const auto n = static_cast<std::uint64_t>(s.size());
+    return write_pod(f, n) && write_bytes(f, s.data(), s.size());
+}
+
+bool
+read_string(std::FILE *f, std::string *s)
+{
+    std::uint64_t n = 0;
+    if (!read_pod(f, &n) || n > (1u << 20)) {
+        return false;
+    }
+    s->resize(static_cast<std::size_t>(n));
+    return read_bytes(f, s->data(), s->size());
+}
+
+bool
+write_desc(std::FILE *f, const LayerDesc &d)
+{
+    const auto kind = static_cast<std::uint32_t>(d.kind);
+    return write_string(f, d.name) && write_pod(f, kind) &&
+        write_pod(f, d.batch) && write_pod(f, d.k) && write_pod(f, d.c) &&
+        write_pod(f, d.oy) && write_pod(f, d.ox) && write_pod(f, d.fy) &&
+        write_pod(f, d.fx) && write_pod(f, d.stride);
+}
+
+bool
+read_desc(std::FILE *f, LayerDesc *d)
+{
+    std::uint32_t kind = 0;
+    if (!read_string(f, &d->name) || !read_pod(f, &kind) ||
+        kind > static_cast<std::uint32_t>(LayerKind::kLstm)) {
+        return false;
+    }
+    d->kind = static_cast<LayerKind>(kind);
+    return read_pod(f, &d->batch) && read_pod(f, &d->k) &&
+        read_pod(f, &d->c) && read_pod(f, &d->oy) && read_pod(f, &d->ox) &&
+        read_pod(f, &d->fy) && read_pod(f, &d->fx) &&
+        read_pod(f, &d->stride);
+}
+
+}  // namespace
+
+std::string
+workload_cache_dir()
+{
+    const char *dir = std::getenv("BITWAVE_WORKLOAD_CACHE");
+    return dir != nullptr ? std::string(dir) : std::string();
+}
+
+std::string
+workload_cache_path(const std::string &dir, const std::string &name,
+                    std::uint64_t seed)
+{
+    std::string file = name;
+    for (char &c : file) {
+        if (c == '/' || c == ' ') {
+            c = '_';
+        }
+    }
+    return strprintf("%s/%s-seed%016llx-v%u.bwl", dir.c_str(), file.c_str(),
+                     static_cast<unsigned long long>(seed), kVersion);
+}
+
+bool
+save_workload(const Workload &workload, const std::string &path)
+{
+    // Per-writer temp name: concurrent cold-miss processes writing the
+    // same cache entry must not interleave into one file; last rename
+    // wins with a complete image either way.
+    const std::string tmp = strprintf(
+        "%s.tmp.%ld", path.c_str(), static_cast<long>(::getpid()));
+    {
+        FilePtr f(std::fopen(tmp.c_str(), "wb"));
+        if (!f) {
+            return false;
+        }
+        bool ok = write_pod(f.get(), kMagic) &&
+            write_pod(f.get(), kVersion) &&
+            write_string(f.get(), workload.name) &&
+            write_string(f.get(), workload.metric_name) &&
+            write_pod(f.get(), workload.base_metric) &&
+            write_pod(f.get(), workload.error_sensitivity) &&
+            write_pod(f.get(), workload.content_hash) &&
+            write_pod(f.get(),
+                      static_cast<std::uint64_t>(workload.layers.size()));
+        for (const auto &l : workload.layers) {
+            if (!ok) {
+                break;
+            }
+            const Shape &shape = l.weights.shape();
+            ok = write_desc(f.get(), l.desc) &&
+                write_pod(f.get(), l.weight_scale) &&
+                write_pod(f.get(), l.activation_sparsity) &&
+                write_pod(f.get(), l.weights_hash) &&
+                write_pod(f.get(),
+                          static_cast<std::uint64_t>(shape.size()));
+            for (std::size_t d = 0; ok && d < shape.size(); ++d) {
+                ok = write_pod(f.get(), shape[d]);
+            }
+            ok = ok &&
+                write_bytes(f.get(), l.weights.data(),
+                            static_cast<std::size_t>(l.weights.numel()));
+        }
+        if (!ok) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+load_workload(const std::string &path, Workload *out)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        return false;
+    }
+    std::uint32_t magic = 0, version = 0;
+    Workload w;
+    std::uint64_t layer_count = 0;
+    if (!read_pod(f.get(), &magic) || magic != kMagic ||
+        !read_pod(f.get(), &version) || version != kVersion ||
+        !read_string(f.get(), &w.name) ||
+        !read_string(f.get(), &w.metric_name) ||
+        !read_pod(f.get(), &w.base_metric) ||
+        !read_pod(f.get(), &w.error_sensitivity) ||
+        !read_pod(f.get(), &w.content_hash) ||
+        !read_pod(f.get(), &layer_count) || layer_count > (1u << 16)) {
+        return false;
+    }
+    w.layers.resize(static_cast<std::size_t>(layer_count));
+    for (auto &l : w.layers) {
+        std::uint64_t dims = 0;
+        if (!read_desc(f.get(), &l.desc) ||
+            !read_pod(f.get(), &l.weight_scale) ||
+            !read_pod(f.get(), &l.activation_sparsity) ||
+            !read_pod(f.get(), &l.weights_hash) ||
+            !read_pod(f.get(), &dims) || dims > 8) {
+            return false;
+        }
+        Shape shape(static_cast<std::size_t>(dims));
+        for (auto &d : shape) {
+            if (!read_pod(f.get(), &d) || d < 0) {
+                return false;
+            }
+        }
+        if (shape != WorkloadLayer::weight_shape(l.desc)) {
+            return false;
+        }
+        std::vector<std::int8_t> data(
+            static_cast<std::size_t>(shape_numel(shape)));
+        if (!read_bytes(f.get(), data.data(), data.size())) {
+            return false;
+        }
+        l.weights = Int8Tensor(std::move(shape), std::move(data));
+        if (l.weights_hash != l.compute_weights_hash()) {
+            return false;  // bit rot or a stale/corrupt entry
+        }
+    }
+    *out = std::move(w);
+    return true;
+}
+
+}  // namespace bitwave

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Binary serialization of synthesized workloads — the persistence layer
+ * behind the on-disk synthesis cache (BITWAVE_WORKLOAD_CACHE). BERT-Base
+ * synthesis costs seconds per process; a cached load is a single
+ * sequential read.
+ *
+ * The format is an implementation detail of this repository: a tagged
+ * little-endian dump of the workload fields, validated by magic, format
+ * version, and the workload content hash on load. Any mismatch makes the
+ * loader fail soft (return false) so callers fall back to synthesis.
+ */
+#pragma once
+
+#include <string>
+
+#include "nn/workload.hpp"
+
+namespace bitwave {
+
+/// Directory of the on-disk synthesis cache: $BITWAVE_WORKLOAD_CACHE,
+/// empty when the cache is disabled (the default).
+std::string workload_cache_dir();
+
+/// Cache file path of one synthesized (name, seed) instance under @p dir.
+std::string workload_cache_path(const std::string &dir,
+                                const std::string &name,
+                                std::uint64_t seed);
+
+/**
+ * Write @p workload to @p path atomically (temp file + rename), so a
+ * crashed writer never leaves a truncated cache entry behind.
+ * Returns false on any I/O error (best effort — caching is optional).
+ */
+bool save_workload(const Workload &workload, const std::string &path);
+
+/**
+ * Load a workload previously written by save_workload(). Returns false —
+ * leaving @p out untouched — on missing file, bad magic/version, or a
+ * content-hash mismatch.
+ */
+bool load_workload(const std::string &path, Workload *out);
+
+}  // namespace bitwave

@@ -3,25 +3,69 @@
 #include <array>
 #include <memory>
 #include <mutex>
+#include <vector>
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "nn/synthesis.hpp"
+#include "nn/workload_io.hpp"
 
 namespace bitwave {
 
 namespace {
 
-/// Append a layer with weights synthesized from @p profile.
+/**
+ * Deferred weight synthesis: builders queue (descriptor, profile) pairs
+ * and materialize() draws every layer from its own seed stream
+ * (hash of the workload seed and the layer index), so layers synthesize
+ * in parallel with results identical to a serial materialization.
+ */
+struct SynthesisQueue
+{
+    /// When set, materialize() is a no-op: builders then return the
+    /// network *structure* only (descriptors, sparsity metadata, empty
+    /// weights) — the cheap skeleton the on-disk cache validates
+    /// against.
+    static thread_local bool skeleton_only;
+
+    std::vector<WeightProfile> profiles;
+
+    void materialize(Workload &w, std::uint64_t seed) const
+    {
+        if (skeleton_only) {
+            return;
+        }
+        parallel_for(w.layers.size(), [&](std::size_t i) {
+            WorkloadLayer &layer = w.layers[i];
+            Rng rng(hash_combine(hash_combine(kFnvBasis, seed),
+                                 static_cast<std::uint64_t>(i)));
+            layer.weights =
+                synthesize_weights(layer.desc, profiles[i], rng);
+            layer.weights_hash = layer.compute_weights_hash();
+        });
+        std::uint64_t h = fnv1a(w.name.data(), w.name.size());
+        h = hash_combine(h, seed);
+        for (const auto &layer : w.layers) {
+            h = hash_combine(h, layer.weights_hash);
+        }
+        w.content_hash = h;
+    }
+};
+
+thread_local bool SynthesisQueue::skeleton_only = false;
+
+/// Append a layer whose weights materialize() will synthesize later.
 void
 add_layer(Workload &w, LayerDesc desc, const WeightProfile &profile,
-          double act_sparsity, Rng &rng)
+          double act_sparsity, SynthesisQueue &synth)
 {
     WorkloadLayer layer;
     layer.desc = std::move(desc);
-    layer.weights = synthesize_weights(layer.desc, profile, rng);
     layer.weight_scale = 0.02f;  // representative per-tensor scale
     layer.activation_sparsity = act_sparsity;
     w.layers.push_back(std::move(layer));
+    synth.profiles.push_back(profile);
 }
 
 /**
@@ -59,7 +103,7 @@ workload_name(WorkloadId id)
 Workload
 build_resnet18(std::uint64_t seed)
 {
-    Rng rng(seed);
+    SynthesisQueue synth;
     Workload w;
     w.name = "ResNet18";
     w.metric_name = "top-1";
@@ -68,7 +112,7 @@ build_resnet18(std::uint64_t seed)
 
     // Stem. Input image has no value sparsity.
     add_layer(w, make_conv("conv1", 64, 3, 112, 112, 7, 7, 2),
-              cnn_profile(0.0, 0.03), 0.0, rng);
+              cnn_profile(0.0, 0.03), 0.0, synth);
 
     // Residual stages. Post-ReLU activation sparsity ~0.4 throughout.
     struct Stage { int channels, size, blocks; };
@@ -96,7 +140,7 @@ build_resnet18(std::uint64_t seed)
                       make_conv(strprintf("l%d.%d.conv1", s + 1, b),
                                 st.channels, in_ch, st.size, st.size, 3, 3,
                                 down ? 2 : 1),
-                      prof, 0.4, rng);
+                      prof, 0.4, synth);
             ++conv_idx;
             add_layer(w,
                       make_conv(strprintf("l%d.%d.conv2", s + 1, b),
@@ -104,27 +148,28 @@ build_resnet18(std::uint64_t seed)
                                 3, 3, 1),
                       cnn_profile(static_cast<double>(conv_idx) / total_convs,
                                   0.04),
-                      0.4, rng);
+                      0.4, synth);
             ++conv_idx;
             if (down) {
                 add_layer(w,
                           make_pointwise(strprintf("l%d.%d.down", s + 1, b),
                                          st.channels, prev, st.size, st.size),
-                          cnn_profile(depth, 0.04), 0.4, rng);
+                          cnn_profile(depth, 0.04), 0.4, synth);
             }
         }
         prev = st.channels;
     }
 
     add_layer(w, make_linear("fc", 1000, 512), cnn_profile(1.0, 0.04), 0.4,
-              rng);
+              synth);
+    synth.materialize(w, seed);
     return w;
 }
 
 Workload
 build_mobilenet_v2(std::uint64_t seed)
 {
-    Rng rng(seed);
+    SynthesisQueue synth;
     Workload w;
     w.name = "MobileNetV2";
     w.metric_name = "top-1";
@@ -132,7 +177,7 @@ build_mobilenet_v2(std::uint64_t seed)
     w.error_sensitivity = 6.0;
 
     add_layer(w, make_conv("conv0", 32, 3, 112, 112, 3, 3, 2),
-              cnn_profile(0.0, 0.03, 6.0), 0.0, rng);
+              cnn_profile(0.0, 0.03, 6.0), 0.0, synth);
 
     // Inverted residual settings (t, c, n, s) from the MobileNetV2 paper.
     struct Block { int t, c, n, s; };
@@ -153,20 +198,20 @@ build_mobilenet_v2(std::uint64_t seed)
                 add_layer(w,
                           make_pointwise(strprintf("L.%d.pw_exp", layer_no),
                                          exp_ch, in_ch, size, size),
-                          cnn_profile(depth, 0.03, 6.0), 0.35, rng);
+                          cnn_profile(depth, 0.03, 6.0), 0.35, synth);
                 ++layer_no;
             }
             add_layer(w,
                       make_depthwise(strprintf("L.%d.dw", layer_no), exp_ch,
                                      out_size, out_size, 3, stride),
-                      cnn_profile(depth, 0.03, 6.0), 0.35, rng);
+                      cnn_profile(depth, 0.03, 6.0), 0.35, synth);
             ++layer_no;
             // Projection layer has a linear (no ReLU) output, but its
             // *input* comes from ReLU6.
             add_layer(w,
                       make_pointwise(strprintf("L.%d.pw_proj", layer_no),
                                      blk.c, exp_ch, out_size, out_size),
-                      cnn_profile(depth, 0.03, 6.0), 0.35, rng);
+                      cnn_profile(depth, 0.03, 6.0), 0.35, synth);
             ++layer_no;
             in_ch = blk.c;
             size = out_size;
@@ -174,16 +219,17 @@ build_mobilenet_v2(std::uint64_t seed)
     }
 
     add_layer(w, make_pointwise("L.51.conv_last", 1280, 320, 7, 7),
-              cnn_profile(1.0, 0.03, 6.0), 0.35, rng);
-    add_layer(w, make_linear("fc", 1000, 1280), cnn_profile(1.0, 0.03, 6.0), 0.35,
-              rng);
+              cnn_profile(1.0, 0.03, 6.0), 0.35, synth);
+    add_layer(w, make_linear("fc", 1000, 1280),
+              cnn_profile(1.0, 0.03, 6.0), 0.35, synth);
+    synth.materialize(w, seed);
     return w;
 }
 
 Workload
 build_cnn_lstm(std::uint64_t seed, std::int64_t timesteps)
 {
-    Rng rng(seed);
+    SynthesisQueue synth;
     Workload w;
     w.name = "CNN-LSTM";
     w.metric_name = "PESQ";
@@ -192,27 +238,28 @@ build_cnn_lstm(std::uint64_t seed, std::int64_t timesteps)
 
     // Conv front-end over the spectrogram (257 bins x T frames).
     add_layer(w, make_conv("conv1", 32, 1, 128, timesteps, 5, 5, 2),
-              cnn_profile(0.1, 0.05, 5.0), 0.0, rng);
+              cnn_profile(0.1, 0.05, 5.0), 0.0, synth);
     add_layer(w, make_conv("conv2", 64, 32, 64, timesteps, 3, 3, 2),
-              cnn_profile(0.2, 0.05, 5.0), 0.4, rng);
+              cnn_profile(0.2, 0.05, 5.0), 0.4, synth);
     // Feature projection into the recurrent stack.
     add_layer(w, make_linear("fc_in", 256, 256, timesteps),
-              cnn_profile(0.4, 0.05, 4.0), 0.4, rng);
+              cnn_profile(0.4, 0.05, 4.0), 0.4, synth);
     // LSTM stack: sigmoid/tanh gates yield near-zero activation sparsity,
     // the property that sinks value-sparsity accelerators on this net.
     add_layer(w, make_lstm("LSTM.0", 256, 256, timesteps),
-              cnn_profile(0.7, 0.06, 2.8, 0.0), 0.05, rng);
+              cnn_profile(0.7, 0.06, 2.8, 0.0), 0.05, synth);
     add_layer(w, make_lstm("LSTM.1", 256, 256, timesteps),
-              cnn_profile(0.9, 0.06, 2.8, 0.0), 0.05, rng);
+              cnn_profile(0.9, 0.06, 2.8, 0.0), 0.05, synth);
     add_layer(w, make_linear("fc_out", 257, 256, timesteps),
-              cnn_profile(1.0, 0.05, 3.0), 0.05, rng);
+              cnn_profile(1.0, 0.05, 3.0), 0.05, synth);
+    synth.materialize(w, seed);
     return w;
 }
 
 Workload
 build_bert_base(std::uint64_t seed, std::int64_t tokens)
 {
-    Rng rng(seed);
+    SynthesisQueue synth;
     Workload w;
     w.name = "Bert-Base";
     w.metric_name = "F1";
@@ -240,25 +287,26 @@ build_bert_base(std::uint64_t seed, std::int64_t tokens)
             layer_attn.scale = 34.0;
         }
         add_layer(w, make_linear(strprintf("layer.%d.q", l), h, h, tokens),
-                  layer_attn, 0.0, rng);
+                  layer_attn, 0.0, synth);
         add_layer(w, make_linear(strprintf("layer.%d.k", l), h, h, tokens),
-                  layer_attn, 0.0, rng);
+                  layer_attn, 0.0, synth);
         add_layer(w, make_linear(strprintf("layer.%d.v", l), h, h, tokens),
-                  layer_attn, 0.0, rng);
+                  layer_attn, 0.0, synth);
         add_layer(w,
                   make_linear(strprintf("layer.%d.attn_out", l), h, h,
                               tokens),
-                  layer_attn, 0.0, rng);
+                  layer_attn, 0.0, synth);
         // GeLU leaves ~10 % exact zeros after quantization.
         add_layer(w,
                   make_linear(strprintf("layer.%d.ffn_in", l), 4 * h, h,
                               tokens),
-                  ffn, 0.0, rng);
+                  ffn, 0.0, synth);
         add_layer(w,
                   make_linear(strprintf("layer.%d.ffn_out", l), h, 4 * h,
                               tokens),
-                  ffn, 0.10, rng);
+                  ffn, 0.10, synth);
     }
+    synth.materialize(w, seed);
     return w;
 }
 
@@ -274,17 +322,86 @@ build_workload(WorkloadId id, std::uint64_t seed)
     fatal("unknown workload id");
 }
 
+Workload
+build_workload_skeleton(WorkloadId id)
+{
+    SynthesisQueue::skeleton_only = true;
+    Workload w = build_workload(id);
+    SynthesisQueue::skeleton_only = false;
+    return w;
+}
+
+namespace {
+
+/// A cached workload is only served if it still matches the structure
+/// the current builders would produce — a builder change (layer shapes,
+/// topology, metadata) silently invalidates old cache entries instead
+/// of silently serving them. Weight-profile-only changes are invisible
+/// to the skeleton; bump workload_io's format version for those.
+bool
+matches_current_builder(const Workload &loaded, WorkloadId id)
+{
+    const Workload skeleton = build_workload_skeleton(id);
+    if (loaded.name != skeleton.name ||
+        loaded.metric_name != skeleton.metric_name ||
+        loaded.base_metric != skeleton.base_metric ||
+        loaded.error_sensitivity != skeleton.error_sensitivity ||
+        loaded.layers.size() != skeleton.layers.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < skeleton.layers.size(); ++i) {
+        const LayerDesc &a = loaded.layers[i].desc;
+        const LayerDesc &b = skeleton.layers[i].desc;
+        if (a.name != b.name || a.kind != b.kind || a.batch != b.batch ||
+            a.k != b.k || a.c != b.c || a.oy != b.oy || a.ox != b.ox ||
+            a.fy != b.fy || a.fx != b.fx || a.stride != b.stride ||
+            loaded.layers[i].activation_sparsity !=
+                skeleton.layers[i].activation_sparsity ||
+            loaded.layers[i].weight_scale !=
+                skeleton.layers[i].weight_scale) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
 const Workload &
 get_workload(WorkloadId id)
 {
-    static std::array<std::unique_ptr<Workload>, 4> cache;
-    static std::mutex mutex;
-    const auto idx = static_cast<std::size_t>(id);
-    std::lock_guard<std::mutex> lock(mutex);
-    if (!cache[idx]) {
-        cache[idx] = std::make_unique<Workload>(build_workload(id));
-    }
-    return *cache[idx];
+    // Per-workload memoization: each entry synthesizes at most once per
+    // process under its own flag, so concurrent first touches of
+    // *different* workloads no longer serialize behind one global mutex
+    // (BERT synthesis used to block every other workload's first use).
+    struct Entry
+    {
+        std::once_flag once;
+        std::unique_ptr<Workload> workload;
+    };
+    static std::array<Entry, 4> cache;
+    Entry &entry = cache[static_cast<std::size_t>(id)];
+    std::call_once(entry.once, [&] {
+        constexpr std::uint64_t kSeed = 0x5eed;
+        const std::string dir = workload_cache_dir();
+        if (!dir.empty()) {
+            const std::string path =
+                workload_cache_path(dir, workload_name(id), kSeed);
+            auto loaded = std::make_unique<Workload>();
+            if (load_workload(path, loaded.get()) &&
+                matches_current_builder(*loaded, id)) {
+                entry.workload = std::move(loaded);
+                return;
+            }
+            entry.workload =
+                std::make_unique<Workload>(build_workload(id, kSeed));
+            save_workload(*entry.workload, path);  // best effort
+            return;
+        }
+        entry.workload =
+            std::make_unique<Workload>(build_workload(id, kSeed));
+    });
+    return *entry.workload;
 }
 
 }  // namespace bitwave

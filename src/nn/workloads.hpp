@@ -40,6 +40,11 @@ const char *workload_name(WorkloadId id);
 /// Build a workload with freshly synthesized weights.
 Workload build_workload(WorkloadId id, std::uint64_t seed = 0x5eed);
 
+/// Build a workload's structure only — descriptors and metadata, empty
+/// weight tensors. Cheap; the on-disk synthesis cache validates loaded
+/// entries against this so stale caches never survive builder changes.
+Workload build_workload_skeleton(WorkloadId id);
+
 /**
  * Cached singleton per workload (seed 0x5eed). BERT-Base synthesizes
  * ~85M weights, so benches and tests share one instance.

@@ -108,7 +108,8 @@ BitWaveNpu::compress_rows(const Int8Tensor &weights, const LayerDesc &desc,
 
 LayerSimResult
 BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
-                      const Int8Tensor *weights, bool compute_output) const
+                      const Int8Tensor *weights, bool compute_output,
+                      LayerContext ctx) const
 {
     if (compute_output && config_.repr != Representation::kSignMagnitude) {
         fatal("BitWaveNpu: functional execution requires sign-magnitude");
@@ -181,7 +182,11 @@ BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
     result.cycles_lockstep = lockstep * rev;
     result.group_passes = group_passes_once * revisits;
     result.nonzero_columns_streamed = nz_streamed_once * revisits;
-    result.weight_bits_fetched = weight_bits_once * revisits;
+    // The fetcher's double buffer holds the active weight tile across
+    // spatial revisits, so the compressed stream (columns + index)
+    // crosses the SRAM weight port once per layer sweep — and DRAM once
+    // per layer.
+    result.weight_bits_fetched = weight_bits_once;
     result.weight_bits_dram = weight_bits_once;
     result.output_words = desc.output_count();
 
@@ -194,6 +199,13 @@ BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
         static_cast<std::int64_t>(groups_per_row) * group_size *
         su.factor(Dim::kOX) * kWordBits * revisits;
 
+    // Activations cross DRAM only at the network boundary (the Fig. 16
+    // residency assumption the analytical model applies): first layers
+    // stream their input in, last layers drain their output.
+    result.act_bits_dram =
+        (ctx.first_layer ? desc.input_count() * kWordBits : 0) +
+        (ctx.last_layer ? desc.output_count() * kWordBits : 0);
+
     // ---- SRAM / DRAM composition (Eq. 5) ---------------------------------
     BankedSram act_sram(config_.act_sram_bytes, config_.act_sram_banks,
                         config_.sram_word_bits);
@@ -204,9 +216,16 @@ BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
         static_cast<double>(config_.act_sram_banks *
                             config_.sram_word_bits);
     result.dram_cycles = dram_.transfer_cycles(
-        static_cast<double>(result.weight_bits_dram));
+        static_cast<double>(result.weight_bits_dram +
+                            result.act_bits_dram));
     LatencyParts lat;
     lat.compute_cycles = result.cycles_decoupled;
+    // The compressed weight stream (non-zero columns + ZCIP index)
+    // occupies the physical weight port; fetch-bound layers pace on it
+    // (the same accounting the analytical model applies).
+    lat.weight_fetch_cycles =
+        static_cast<double>(result.weight_bits_fetched) /
+        static_cast<double>(config_.weight_port_bits);
     lat.act_fetch_cycles = result.act_fetch_cycles;
     lat.dram_cycles = result.dram_cycles;
     lat.output_write_cycles =
@@ -228,9 +247,14 @@ BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
     activity.sram_read_bits =
         static_cast<double>(result.weight_bits_fetched +
                             result.act_bits_fetched);
+    // Input streamed from DRAM lands in the activation SRAM first, the
+    // same spill the model charges via its sram_write_act composition.
     activity.sram_write_bits =
-        static_cast<double>(result.output_words) * kWordBits;
-    activity.dram_bits = static_cast<double>(result.weight_bits_dram);
+        static_cast<double>(result.output_words) * kWordBits +
+        (ctx.first_layer
+             ? static_cast<double>(desc.input_count()) * kWordBits : 0.0);
+    activity.dram_bits = static_cast<double>(result.weight_bits_dram +
+                                             result.act_bits_dram);
     activity.cycles = result.total_cycles;
     result.energy = price_energy(activity, tech_, dram_);
 

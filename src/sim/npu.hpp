@@ -29,6 +29,7 @@
 #include "energy/dram.hpp"
 #include "energy/pricing.hpp"
 #include "energy/tech.hpp"
+#include "nn/traverse.hpp"
 #include "nn/workload.hpp"
 #include "sim/bce.hpp"
 #include "sim/sram.hpp"
@@ -42,6 +43,8 @@ struct NpuConfig
     std::vector<SpatialUnrolling> dataflows;  ///< Defaults to Table I.
     std::int64_t weight_sram_bytes = 256 * 1024;
     std::int64_t act_sram_bytes = 256 * 1024;
+    /// SRAM->array weight bandwidth (Table I: W BW <= 1024 bits/cycle).
+    std::int64_t weight_port_bits = 1024;
     int act_sram_banks = 16;
     int sram_word_bits = 64;
     bool dense_mode = false;  ///< ZCIP dense mode: no skipping/index.
@@ -73,6 +76,10 @@ struct LayerSimResult
     std::int64_t nonzero_columns_streamed = 0;
     std::int64_t weight_bits_fetched = 0;  ///< Compressed incl. index.
     std::int64_t weight_bits_dram = 0;
+    /// Activation bits crossing DRAM: network input read on the first
+    /// layer, output written back on the last (LayerContext flags) —
+    /// intermediate feature maps stay on chip, as in the model.
+    std::int64_t act_bits_dram = 0;
     std::int64_t act_bits_fetched = 0;
     std::int64_t output_words = 0;
 
@@ -104,11 +111,17 @@ class BitWaveNpu
      * @param compute_output Functional execution of every MAC through the
      *                       BCE datapath (bit-exact, slower); cycle and
      *                       energy accounting is identical either way.
+     * @param ctx            Position of the layer in the network: first
+     *                       layers read their input from DRAM and last
+     *                       layers write their output back, contributing
+     *                       to DRAM cycles/energy exactly as in the
+     *                       analytical model.
      */
     LayerSimResult run_layer(const WorkloadLayer &layer,
                              const Int8Tensor *input = nullptr,
                              const Int8Tensor *weights = nullptr,
-                             bool compute_output = true) const;
+                             bool compute_output = true,
+                             LayerContext ctx = {}) const;
 
     const NpuConfig &config() const { return config_; }
 

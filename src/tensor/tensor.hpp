@@ -75,7 +75,10 @@ class Tensor
     std::vector<T> &storage() { return data_; }
     const std::vector<T> &storage() const { return data_; }
 
-    T &operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+    T &operator[](std::int64_t i)
+    {
+        return data_[static_cast<std::size_t>(i)];
+    }
     const T &operator[](std::int64_t i) const
     {
         return data_[static_cast<std::size_t>(i)];

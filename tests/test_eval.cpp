@@ -10,11 +10,13 @@
 #include <cmath>
 #include <memory>
 
+#include "bitflip/bitflip.hpp"
 #include "core/pipeline.hpp"
 #include "energy/pricing.hpp"
 #include "eval/runner.hpp"
 #include "nn/synthesis.hpp"
 #include "nn/workloads.hpp"
+#include "sparsity/stats.hpp"
 
 namespace bitwave {
 namespace {
@@ -222,6 +224,145 @@ TEST(ScenarioRunner, NThreadsBitIdenticalToOneThread)
                       b[i].layers[l].energy.total_pj);
         }
     }
+}
+
+TEST(ScenarioRunner, IntraScenarioSplittingIsBitIdentical)
+{
+    // One scenario, many shards: splitting by layer ranges across N
+    // threads must reproduce the unsplit single-thread result bit for
+    // bit — including the sim engine, whose per-layer RNG streams are
+    // derived from (scenario seed, layer index), never from shards.
+    for (const auto engine :
+         {eval::EngineKind::kAnalytical, eval::EngineKind::kCycleSim,
+          eval::EngineKind::kStats}) {
+        eval::Scenario s;
+        s.custom_workload = std::make_shared<Workload>(tiny_workload());
+        s.engine = engine;
+        s.accel = make_bitwave(BitWaveVariant::kDfSm);
+        s.bitflip.mode = eval::BitflipSpec::Mode::kUniform;
+
+        eval::RunnerOptions unsplit;
+        unsplit.threads = 1;
+        unsplit.shard_layers = 0;  // whole scenario in one task
+        eval::RunnerOptions split;
+        split.threads = 4;
+        split.shard_layers = 1;  // one task per layer
+
+        eval::RunnerReport report;
+        const auto a = eval::ScenarioRunner(unsplit).run({s});
+        const auto b = eval::ScenarioRunner(split).run({s}, &report);
+        EXPECT_EQ(report.shards, 3);
+        ASSERT_EQ(a.size(), 1u);
+        ASSERT_EQ(b.size(), 1u);
+        EXPECT_EQ(a[0].total_cycles, b[0].total_cycles);
+        EXPECT_EQ(a[0].energy.total_pj, b[0].energy.total_pj);
+        EXPECT_EQ(a[0].nominal_macs, b[0].nominal_macs);
+        ASSERT_EQ(a[0].layers.size(), b[0].layers.size());
+        for (std::size_t l = 0; l < a[0].layers.size(); ++l) {
+            EXPECT_EQ(a[0].layers[l].layer_name, b[0].layers[l].layer_name);
+            EXPECT_EQ(a[0].layers[l].total_cycles,
+                      b[0].layers[l].total_cycles);
+            EXPECT_EQ(a[0].layers[l].energy.total_pj,
+                      b[0].layers[l].energy.total_pj);
+        }
+    }
+}
+
+TEST(ScenarioRunner, ShardedEvaluationMatchesEvaluateScenario)
+{
+    // The runner's prepare/evaluate-range/finalize pipeline must agree
+    // with the direct evaluate_scenario() path for the same seed.
+    const auto net = std::make_shared<Workload>(tiny_workload());
+    eval::Scenario s;
+    s.custom_workload = net;
+    s.accel = make_scnn();
+    const auto direct =
+        eval::evaluate_scenario(s, eval::scenario_rng_seed(s, 0));
+    eval::RunnerOptions options;
+    options.threads = 2;
+    options.shard_layers = 2;
+    const auto batch = eval::ScenarioRunner(options).run({s});
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(direct.total_cycles, batch[0].total_cycles);
+    EXPECT_EQ(direct.energy.total_pj, batch[0].energy.total_pj);
+}
+
+// --------------------------------------------------------- prep caches ---
+
+TEST(PrepCache, CachedBitflipSharesOnePreparedTensor)
+{
+    const Workload net = tiny_workload();
+    const auto &weights = net.layers[0].weights;
+    const auto a = eval::cached_bitflip(weights, 0, 16, 4);
+    const auto b = eval::cached_bitflip(weights, 0, 16, 4);
+    ASSERT_TRUE(a != nullptr);
+    EXPECT_EQ(a.get(), b.get()) << "repeated prep must hit the cache";
+    // Cache hit correctness: identical to a fresh flip.
+    const Int8Tensor fresh = bitflip_tensor(weights, 16, 4);
+    ASSERT_EQ(a->numel(), fresh.numel());
+    for (std::int64_t i = 0; i < fresh.numel(); ++i) {
+        ASSERT_EQ((*a)[i], fresh[i]) << "at " << i;
+    }
+    // A different flip target is a different entry.
+    const auto c = eval::cached_bitflip(weights, 0, 16, 5);
+    EXPECT_NE(a.get(), c.get());
+}
+
+TEST(PrepCache, PrepareWeightsOnlyFlipsSelectedLayers)
+{
+    const auto net = std::make_shared<Workload>(tiny_workload());
+    eval::Scenario s;
+    s.custom_workload = net;
+    s.bitflip.mode = eval::BitflipSpec::Mode::kUniform;
+    const std::vector<std::size_t> selection = {1};
+    const auto prepared = eval::prepare_weights(s, *net, &selection);
+    ASSERT_EQ(prepared.size(), net->layers.size());
+    EXPECT_EQ(prepared[0], nullptr);
+    EXPECT_NE(prepared[1], nullptr);
+    EXPECT_EQ(prepared[2], nullptr);
+}
+
+TEST(PrepCache, HeavyLayerSetCoversTheWeightShare)
+{
+    const Workload net = tiny_workload();
+    eval::BitflipSpec spec;
+    spec.mode = eval::BitflipSpec::Mode::kHeavyLayers;
+    spec.weight_share = 0.5;
+    const auto heavy = eval::bitflip_layer_set(net, spec);
+    ASSERT_FALSE(heavy.empty());
+    std::int64_t covered = 0;
+    for (std::size_t i : heavy) {
+        covered += net.layers[i].desc.weight_count();
+    }
+    EXPECT_GE(static_cast<double>(covered),
+              0.5 * static_cast<double>(net.total_weights()));
+}
+
+// ------------------------------------------------------------- kStats ---
+
+TEST(StatsEngine, MatchesDirectSparsityAnalysis)
+{
+    const auto net = std::make_shared<Workload>(tiny_workload());
+    eval::Scenario s;
+    s.custom_workload = net;
+    s.engine = eval::EngineKind::kStats;
+    s.stats.bcs = true;
+    const auto r = eval::evaluate_scenario(s);
+    ASSERT_EQ(r.layers.size(), net->layers.size());
+    for (std::size_t l = 0; l < r.layers.size(); ++l) {
+        ASSERT_TRUE(r.layers[l].stats != nullptr);
+        const auto direct = compute_sparsity(net->layers[l].weights);
+        EXPECT_EQ(r.layers[l].stats->sparsity.zero_words,
+                  direct.zero_words);
+        EXPECT_EQ(r.layers[l].stats->sparsity.zero_bits_sm,
+                  direct.zero_bits_sm);
+        EXPECT_GT(r.layers[l].stats->bcs_sm_bits, 0);
+        EXPECT_LE(r.layers[l].stats->bcs_sm_bits,
+                  r.layers[l].stats->weight_bits +
+                      r.layers[l].stats->weight_bits / 8);
+    }
+    EXPECT_EQ(r.engine, "stats");
+    EXPECT_EQ(r.total_cycles, 0.0);
 }
 
 TEST(ScenarioRunner, ResultsComeBackInBatchOrder)

@@ -5,10 +5,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "nn/accuracy.hpp"
 #include "nn/reference.hpp"
 #include "nn/synthesis.hpp"
+#include "nn/workload_io.hpp"
 #include "nn/workloads.hpp"
 #include "sparsity/bitcolumn.hpp"
 #include "sparsity/stats.hpp"
@@ -128,6 +133,89 @@ TEST(Workloads, BuildersAreDeterministic)
     for (std::size_t i = 0; i < a.layers.size(); ++i) {
         EXPECT_EQ(a.layers[i].weights, b.layers[i].weights);
     }
+    // Per-layer seed streams: content hashes are populated and seeds
+    // actually matter.
+    EXPECT_NE(a.content_hash, 0u);
+    EXPECT_EQ(a.content_hash, b.content_hash);
+    EXPECT_NE(a.content_hash, build_cnn_lstm(124).content_hash);
+    for (const auto &layer : a.layers) {
+        EXPECT_NE(layer.weights_hash, 0u);
+        EXPECT_EQ(layer.weights_hash, layer.compute_weights_hash());
+    }
+}
+
+TEST(WorkloadIo, SaveLoadRoundTripIsLossless)
+{
+    // Cold-vs-warm equivalence of the on-disk synthesis cache: a load
+    // must reproduce the built workload exactly.
+    const Workload built = build_cnn_lstm(7, /*timesteps=*/4);
+    const std::string path =
+        ::testing::TempDir() + "/bitwave_roundtrip.bwl";
+    ASSERT_TRUE(save_workload(built, path));
+
+    Workload loaded;
+    ASSERT_TRUE(load_workload(path, &loaded));
+    EXPECT_EQ(loaded.name, built.name);
+    EXPECT_EQ(loaded.metric_name, built.metric_name);
+    EXPECT_DOUBLE_EQ(loaded.base_metric, built.base_metric);
+    EXPECT_DOUBLE_EQ(loaded.error_sensitivity, built.error_sensitivity);
+    EXPECT_EQ(loaded.content_hash, built.content_hash);
+    ASSERT_EQ(loaded.layers.size(), built.layers.size());
+    for (std::size_t i = 0; i < built.layers.size(); ++i) {
+        EXPECT_EQ(loaded.layers[i].desc.name, built.layers[i].desc.name);
+        EXPECT_EQ(loaded.layers[i].desc.kind, built.layers[i].desc.kind);
+        EXPECT_EQ(loaded.layers[i].weights, built.layers[i].weights);
+        EXPECT_EQ(loaded.layers[i].weights_hash,
+                  built.layers[i].weights_hash);
+        EXPECT_DOUBLE_EQ(loaded.layers[i].activation_sparsity,
+                         built.layers[i].activation_sparsity);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, LoadRejectsMissingAndCorruptFiles)
+{
+    Workload out;
+    EXPECT_FALSE(load_workload("/nonexistent/nowhere.bwl", &out));
+
+    // A truncated file (as a crashed writer without the atomic rename
+    // would have produced) must fail soft, not crash or half-load.
+    const Workload built = build_cnn_lstm(7, /*timesteps=*/4);
+    const std::string path =
+        ::testing::TempDir() + "/bitwave_truncated.bwl";
+    ASSERT_TRUE(save_workload(built, path));
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(std::remove(path.c_str()), 0);
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::vector<char> prefix(static_cast<std::size_t>(size / 2));
+    // Rewrite only the first half of a valid file.
+    {
+        const std::string full =
+            ::testing::TempDir() + "/bitwave_full.bwl";
+        ASSERT_TRUE(save_workload(built, full));
+        std::FILE *src = std::fopen(full.c_str(), "rb");
+        ASSERT_NE(src, nullptr);
+        ASSERT_EQ(std::fread(prefix.data(), 1, prefix.size(), src),
+                  prefix.size());
+        std::fclose(src);
+        std::remove(full.c_str());
+    }
+    ASSERT_EQ(std::fwrite(prefix.data(), 1, prefix.size(), f),
+              prefix.size());
+    std::fclose(f);
+    EXPECT_FALSE(load_workload(path, &out));
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, CachePathIsStable)
+{
+    EXPECT_EQ(workload_cache_path("/tmp/cache", "CNN-LSTM", 0x5eed),
+              "/tmp/cache/CNN-LSTM-seed0000000000005eed-v1.bwl");
 }
 
 TEST(Workloads, LayerIndexLookup)

@@ -297,6 +297,60 @@ TEST(SimCycles, MeanColumnsMatchesAnalyticalStats)
                 0.5);
 }
 
+TEST(SimCycles, LayerContextAddsBoundaryDramTraffic)
+{
+    // First layers read their input from DRAM, last layers write their
+    // output back; interior layers move no activations off chip — the
+    // residency assumption shared with the analytical model.
+    SimFixture fx(make_conv("c", 16, 32, 8, 8, 3, 3));
+    BitWaveNpu npu;
+    const auto interior =
+        npu.run_layer(fx.layer, &fx.input, nullptr, false);
+    EXPECT_EQ(interior.act_bits_dram, 0);
+
+    LayerContext first;
+    first.first_layer = true;
+    const auto as_first =
+        npu.run_layer(fx.layer, &fx.input, nullptr, false, first);
+    EXPECT_EQ(as_first.act_bits_dram,
+              fx.layer.desc.input_count() * kWordBits);
+
+    LayerContext both = first;
+    both.last_layer = true;
+    const auto as_both =
+        npu.run_layer(fx.layer, &fx.input, nullptr, false, both);
+    EXPECT_EQ(as_both.act_bits_dram,
+              (fx.layer.desc.input_count() +
+               fx.layer.desc.output_count()) * kWordBits);
+
+    // The extra traffic shows up in DRAM occupancy, total cycles
+    // (Eq. 5 serializes DRAM), and DRAM energy — compute is untouched.
+    EXPECT_GT(as_both.dram_cycles, interior.dram_cycles);
+    EXPECT_GT(as_both.total_cycles, interior.total_cycles);
+    EXPECT_GT(as_both.energy.dram_pj, interior.energy.dram_pj);
+    EXPECT_EQ(as_both.cycles_decoupled, interior.cycles_decoupled);
+}
+
+TEST(SimCycles, TotalCyclesMatchAnalyticalModelWithContext)
+{
+    // With boundary DRAM wired through, total_cycles (not just compute)
+    // agrees between the engines on first/last layers.
+    const auto &w = get_workload(WorkloadId::kCnnLstm);
+    BitWaveNpu npu;
+    AcceleratorModel model(make_bitwave(BitWaveVariant::kDfSm));
+    for (std::size_t l : {std::size_t{0}, w.layers.size() - 1}) {
+        LayerContext ctx;
+        ctx.first_layer = l == 0;
+        ctx.last_layer = l + 1 == w.layers.size();
+        const auto &layer = w.layers[l];
+        const auto sim =
+            npu.run_layer(layer, nullptr, nullptr, false, ctx);
+        const auto mod = model.model_layer(layer, nullptr, ctx);
+        EXPECT_NEAR(sim.total_cycles / mod.total_cycles, 1.0, 0.15)
+            << layer.desc.name;
+    }
+}
+
 TEST(SimValidation, SimWithinTenPercentOfAnalyticalModel)
 {
     // The paper validates its analytical model against the BitWave RTL
