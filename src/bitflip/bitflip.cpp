@@ -158,6 +158,142 @@ bitflip_group(std::span<std::int8_t> group, int target_zero_columns)
         fatal("bitflip_group: target %d out of [0, 8]", target_zero_columns);
     }
 
+    // Group profile: counts per distinct magnitude (split by sign) plus
+    // the negatives' squared-magnitude sum. Every candidate cost and
+    // every post-re-rounding occupancy is a function of this profile, so
+    // the greedy loop never touches the elements again until the final
+    // materialization. All sums stay in int64 exactly as the scalar
+    // oracle accumulates them, so selections are bit-identical.
+    int cnt_all[128] = {};
+    int cnt_neg[128] = {};
+    std::uint8_t distinct[128];
+    int n_distinct = 0;
+    int n_neg = 0;
+    std::int64_t neg_sq = 0;
+    for (const std::int8_t v : group) {
+        const int m = sm_magnitude(v);
+        if (m != 0 && cnt_all[m]++ == 0) {
+            distinct[n_distinct++] = static_cast<std::uint8_t>(m);
+        }
+        if (v < 0) {
+            ++cnt_neg[m];
+            ++n_neg;
+            neg_sq += static_cast<std::int64_t>(m) * m;
+        }
+    }
+
+    // Occupancy of the original group (magnitude columns + sign column).
+    std::uint8_t occ_cur = n_neg > 0 ? 0x80 : 0x00;
+    for (int i = 0; i < n_distinct; ++i) {
+        occ_cur |= distinct[i];
+    }
+
+    int mask = occ_cur & 0x7F;
+    bool sign_allowed = (occ_cur & 0x80) != 0;
+
+    // Squared re-rounding error of the ORIGINAL weights under a config.
+    const auto cost_of = [&](int cand_mask, bool sign) {
+        const auto &err2 =
+            err2_table()[static_cast<std::size_t>(cand_mask)];
+        std::int64_t cost = 0;
+        for (int i = 0; i < n_distinct; ++i) {
+            const int m = distinct[i];
+            const int count =
+                sign ? cnt_all[m] : cnt_all[m] - cnt_neg[m];
+            cost += static_cast<std::int64_t>(count) *
+                err2[static_cast<std::size_t>(m)];
+        }
+        if (!sign) {
+            cost += neg_sq;  // negatives re-round to 0 at distance m
+        }
+        return static_cast<double>(cost);
+    };
+
+    // Occupancy the group WOULD have after re-rounding under a config —
+    // exactly occupancy(materialize(originals, mask, sign)).
+    const auto occ_of = [&](int cand_mask, bool sign) {
+        const auto &nearest =
+            nearest_table()[static_cast<std::size_t>(cand_mask)];
+        std::uint8_t occ = 0;
+        bool sign_used = false;
+        for (int i = 0; i < n_distinct; ++i) {
+            const int m = distinct[i];
+            const std::uint8_t nm = nearest[static_cast<std::size_t>(m)];
+            if (cnt_all[m] - cnt_neg[m] > 0) {
+                occ |= nm;
+            }
+            if (cnt_neg[m] > 0 && sign) {
+                occ |= nm;
+                sign_used = sign_used || nm != 0;
+            }
+        }
+        return static_cast<std::uint8_t>(occ | (sign_used ? 0x80 : 0x00));
+    };
+
+    while (kWordBits - popcount8(occ_cur) < target_zero_columns) {
+        double best_cost = std::numeric_limits<double>::infinity();
+        int best_mask = mask;
+        bool best_sign = sign_allowed;
+
+        for (int b = 0; b < kMagnitudeBits; ++b) {
+            if (!((occ_cur >> b) & 1)) {
+                continue;
+            }
+            const int cand_mask = mask & ~(1 << b);
+            const double cost = cost_of(cand_mask, sign_allowed);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_mask = cand_mask;
+                best_sign = sign_allowed;
+            }
+        }
+        if (sign_allowed && (occ_cur & 0x80) != 0) {
+            const double cost = cost_of(mask, false);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_mask = mask;
+                best_sign = false;
+            }
+        }
+        if (best_mask == mask && best_sign == sign_allowed) {
+            panic("bitflip_group: no clearable column but target unmet");
+        }
+        mask = best_mask;
+        sign_allowed = best_sign;
+        occ_cur = occ_of(mask, sign_allowed);
+    }
+
+    // Materialize once and account the distance in element order (the
+    // same double accumulation order as the scalar oracle).
+    GroupFlipResult result;
+    result.zero_columns = kWordBits - popcount8(occ_cur);
+    result.squared_error = 0.0;
+    const auto &nearest = nearest_table()[static_cast<std::size_t>(mask)];
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        const std::int8_t v = group[i];
+        const std::int8_t flipped = [&] {
+            if (v < 0 && !sign_allowed) {
+                return static_cast<std::int8_t>(0);
+            }
+            const int nm = nearest[static_cast<std::size_t>(
+                sm_magnitude(v))];
+            return static_cast<std::int8_t>(v < 0 ? -nm : nm);
+        }();
+        const double d = static_cast<double>(v) -
+            static_cast<double>(flipped);
+        result.squared_error += d * d;
+        group[i] = flipped;
+    }
+    return result;
+}
+
+GroupFlipResult
+bitflip_group_scalar(std::span<std::int8_t> group, int target_zero_columns)
+{
+    if (target_zero_columns < 0 || target_zero_columns > 8) {
+        fatal("bitflip_group: target %d out of [0, 8]", target_zero_columns);
+    }
+
     const std::vector<std::int8_t> originals(group.begin(), group.end());
     const std::span<const std::int8_t> orig{originals.data(),
                                             originals.size()};

@@ -40,9 +40,20 @@ struct GroupFlipResult
  * when bit0/bit1 are cleared but bit2 stays available).
  *
  * @param target_zero_columns in [0, 8]; 8 forces the all-zero group.
+ *
+ * The greedy search scores candidates against a per-group magnitude
+ * profile (counts per distinct magnitude) instead of walking every
+ * element per candidate, and materializes the group once at the end —
+ * selections, flipped values and reported errors are bit-identical to
+ * bitflip_group_scalar().
  */
 GroupFlipResult bitflip_group(std::span<std::int8_t> group,
                               int target_zero_columns);
+
+/// Element-at-a-time oracle for bitflip_group() (tests and the
+/// micro-kernel bench): scores every candidate against every element.
+GroupFlipResult bitflip_group_scalar(std::span<std::int8_t> group,
+                                     int target_zero_columns);
 
 /**
  * Exhaustive per-group variant: tries every subset of columns to clear

@@ -62,12 +62,14 @@ FlipSearch::strategy_compression_ratio(const FlipStrategy &strategy)
         const Key key{l, cfg.group_size, cfg.zero_columns};
         auto it = ratios_.find(key);
         if (it == ratios_.end()) {
-            const auto compressed = bcs_compress(
+            // Size accounting only — bit-identical to materializing the
+            // compression, at a fraction of the cost.
+            const auto measured = bcs_measure(
                 flipped_layer(l, cfg), cfg.group_size,
                 Representation::kSignMagnitude);
             it = ratios_
                      .emplace(key, static_cast<double>(
-                                       compressed.compressed_bits()))
+                                       measured.compressed_bits()))
                      .first;
         }
         original_bits += workload_.layers[l].weights.numel() * 8;

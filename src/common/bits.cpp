@@ -4,6 +4,12 @@
 
 namespace bitwave {
 
+const char *
+representation_name(Representation repr)
+{
+    return repr == Representation::kTwosComplement ? "2C" : "SM";
+}
+
 std::uint8_t
 to_sign_magnitude(std::int8_t value)
 {

@@ -22,6 +22,15 @@
 
 namespace bitwave {
 
+/// Binary representation used when analyzing bit-level structure.
+enum class Representation {
+    kTwosComplement,  ///< Standard int8 storage format.
+    kSignMagnitude,   ///< Bit7 sign, bits6..0 magnitude.
+};
+
+/// Human-readable name of a representation ("2C" / "SM").
+const char *representation_name(Representation repr);
+
 /// Number of bits in a quantized operand word.
 inline constexpr int kWordBits = 8;
 

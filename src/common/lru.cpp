@@ -1,0 +1,21 @@
+#include "common/lru.hpp"
+
+#include <cstdlib>
+
+namespace bitwave {
+
+std::size_t
+cache_capacity_from_env(std::size_t fallback)
+{
+    const char *env = std::getenv("BITWAVE_CACHE_ENTRIES");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        const long long v = std::strtoll(env, &end, 10);
+        if (end != nullptr && *end == '\0' && v > 0) {
+            return static_cast<std::size_t>(v);
+        }
+    }
+    return fallback > 0 ? fallback : 1;
+}
+
+}  // namespace bitwave

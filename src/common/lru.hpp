@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A small thread-safe LRU cache for the process-wide preparation caches
+ * (Bit-Flip twins, packed bit planes, workload synthesis, layer stats).
+ *
+ * Entries build exactly once under a per-entry once_flag, so concurrent
+ * first requests for the same key never duplicate work and builds of
+ * different keys never serialize. Eviction drops the cache's reference
+ * only; holders of the returned shared_ptr (including an in-flight
+ * builder) keep the value alive.
+ *
+ * Every cache reads its capacity from the BITWAVE_CACHE_ENTRIES
+ * environment variable (one knob for all of them), falling back to a
+ * per-cache default, so long-running batches can bound residency.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace bitwave {
+
+/**
+ * Capacity of a process-wide cache in entries: the value of
+ * BITWAVE_CACHE_ENTRIES when set to a positive integer, else
+ * @p fallback. Read per call; never returns 0.
+ */
+std::size_t cache_capacity_from_env(std::size_t fallback);
+
+/**
+ * Thread-safe LRU map from Key to immutable shared values.
+ *
+ * @tparam Key   hashable, equality-comparable, copyable key.
+ * @tparam Value cached value type (held as shared_ptr<const Value>).
+ */
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache
+{
+  public:
+    /// @p capacity entries are retained; at least 1 is enforced.
+    explicit LruCache(std::size_t capacity)
+        : capacity_(capacity > 0 ? capacity : 1)
+    {
+    }
+
+    /**
+     * Return the cached value for @p key, building it via `build()`
+     * (a callable returning Value) on the first request. The returned
+     * pointer stays valid after eviction. @p was_hit, when non-null,
+     * reports whether the key was already resident.
+     */
+    template <typename Build>
+    std::shared_ptr<const Value> get_or_build(const Key &key, Build &&build,
+                                              bool *was_hit = nullptr)
+    {
+        std::shared_ptr<Entry> entry;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = map_.find(key);
+            if (was_hit != nullptr) {
+                *was_hit = it != map_.end();
+            }
+            if (it != map_.end()) {
+                order_.splice(order_.begin(), order_, it->second);
+                entry = *it->second;
+                ++hits_;
+            } else {
+                entry = std::make_shared<Entry>();
+                order_.push_front(entry);
+                map_.emplace(key, order_.begin());
+                entry->key = key;
+                ++misses_;
+                while (map_.size() > capacity_) {
+                    map_.erase(order_.back()->key);
+                    order_.pop_back();
+                }
+            }
+        }
+        std::call_once(entry->once, [&] {
+            entry->value = std::make_shared<const Value>(build());
+        });
+        return entry->value;
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return map_.size();
+    }
+    std::size_t capacity() const { return capacity_; }
+    std::int64_t hits() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hits_;
+    }
+    std::int64_t misses() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return misses_;
+    }
+
+  private:
+    struct Entry
+    {
+        Key key{};
+        std::once_flag once;
+        std::shared_ptr<const Value> value;
+    };
+
+    mutable std::mutex mutex_;
+    std::list<std::shared_ptr<Entry>> order_;  ///< Front = most recent.
+    std::unordered_map<Key,
+                       typename std::list<std::shared_ptr<Entry>>::iterator,
+                       Hash>
+        map_;
+    std::size_t capacity_;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+};
+
+}  // namespace bitwave

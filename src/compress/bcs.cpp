@@ -55,7 +55,8 @@ BcsCompressed::ideal_compression_ratio() const
 }
 
 BcsSizeInfo
-bcs_measure(const Int8Tensor &tensor, int group_size, Representation repr)
+bcs_measure_scalar(const Int8Tensor &tensor, int group_size,
+                   Representation repr)
 {
     if (group_size < 1 || group_size > 64) {
         fatal("bcs_measure: group_size must be in [1, 64], got %d",
@@ -76,8 +77,34 @@ bcs_measure(const Int8Tensor &tensor, int group_size, Representation repr)
     return info;
 }
 
+BcsSizeInfo
+bcs_measure(const BitPlanes &planes, int group_size)
+{
+    if (group_size < 1 || group_size > 64) {
+        fatal("bcs_measure: group_size must be in [1, 64], got %d",
+              group_size);
+    }
+    BcsSizeInfo info;
+    info.group_size = group_size;
+    info.element_count = planes.n;
+    if (planes.n == 0) {
+        return info;
+    }
+    info.groups = scan_group_count(planes.n, planes.n, group_size);
+    info.nonzero_columns =
+        scan_nonzero_column_total(planes, planes.n, group_size);
+    return info;
+}
+
+BcsSizeInfo
+bcs_measure(const Int8Tensor &tensor, int group_size, Representation repr)
+{
+    return bcs_measure(pack_bitplanes(tensor, repr), group_size);
+}
+
 BcsCompressed
-bcs_compress(const Int8Tensor &tensor, int group_size, Representation repr)
+bcs_compress_scalar(const Int8Tensor &tensor, int group_size,
+                    Representation repr)
 {
     if (group_size < 1 || group_size > 64) {
         fatal("bcs_compress: group_size must be in [1, 64], got %d",
@@ -105,6 +132,59 @@ bcs_compress(const Int8Tensor &tensor, int group_size, Representation repr)
         out.groups.push_back(std::move(g));
     }
     return out;
+}
+
+BcsCompressed
+bcs_compress(const BitPlanes &planes, const Shape &shape, int group_size)
+{
+    if (group_size < 1 || group_size > 64) {
+        fatal("bcs_compress: group_size must be in [1, 64], got %d",
+              group_size);
+    }
+    if (shape_numel(shape) != planes.n) {
+        fatal("bcs_compress: shape %s does not match %lld packed elements",
+              shape_to_string(shape).c_str(),
+              static_cast<long long>(planes.n));
+    }
+    BcsCompressed out;
+    out.group_size = group_size;
+    out.repr = planes.repr;
+    out.element_count = planes.n;
+    out.shape = shape;
+    if (planes.n == 0) {
+        return out;
+    }
+
+    const std::int64_t groups =
+        scan_group_count(planes.n, planes.n, group_size);
+    std::vector<std::uint8_t> idx(static_cast<std::size_t>(groups));
+    scan_group_indexes(planes, planes.n, group_size, idx.data());
+
+    out.groups.resize(static_cast<std::size_t>(groups));
+    for (std::int64_t g = 0; g < groups; ++g) {
+        const std::int64_t start = g * group_size;
+        const int len = static_cast<int>(
+            std::min<std::int64_t>(group_size, planes.n - start));
+        BcsGroup &grp = out.groups[static_cast<std::size_t>(g)];
+        grp.index = idx[static_cast<std::size_t>(g)];
+        grp.columns.reserve(
+            static_cast<std::size_t>(popcount8(grp.index)));
+        for (int b = 0; b < kWordBits; ++b) {
+            if (test_bit(grp.index, b)) {
+                // A payload column IS the plane segment: weight j of the
+                // group at bit j, exactly the scalar column_bits() word.
+                grp.columns.push_back(planes.segment(b, start, len));
+            }
+        }
+    }
+    return out;
+}
+
+BcsCompressed
+bcs_compress(const Int8Tensor &tensor, int group_size, Representation repr)
+{
+    return bcs_compress(pack_bitplanes(tensor, repr), tensor.shape(),
+                        group_size);
 }
 
 Int8Tensor
@@ -150,10 +230,13 @@ bcs_decompress(const BcsCompressed &compressed)
 int
 best_hardware_group_size(const Int8Tensor &tensor, Representation repr)
 {
+    // One pack serves all candidate group sizes; the size accounting is
+    // bit-identical to materializing each compression.
+    const BitPlanes planes = pack_bitplanes(tensor, repr);
     int best_g = kHardwareGroupSizes[0];
     double best_cr = -1.0;
     for (int g : kHardwareGroupSizes) {
-        const double cr = bcs_compress(tensor, g, repr).compression_ratio();
+        const double cr = bcs_measure(planes, g).compression_ratio();
         if (cr > best_cr) {
             best_cr = cr;
             best_g = g;

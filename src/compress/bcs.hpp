@@ -96,16 +96,32 @@ struct BcsSizeInfo
 };
 
 /// Measure the BCS storage of @p tensor without building the stream.
+/// The tensor overload packs bit planes and runs the word-parallel
+/// kernel; pass pre-packed planes to amortize the pack across kernels.
 BcsSizeInfo bcs_measure(const Int8Tensor &tensor, int group_size,
                         Representation repr);
+BcsSizeInfo bcs_measure(const BitPlanes &planes, int group_size);
+
+/// Element-at-a-time oracle for the packed measure (tests / bench).
+BcsSizeInfo bcs_measure_scalar(const Int8Tensor &tensor, int group_size,
+                               Representation repr);
 
 /**
  * Compress @p tensor with group size @p group_size in representation
  * @p repr. The final partial group (if any) is zero-padded; the pad is
- * dropped again on decompression via `element_count`.
+ * dropped again on decompression via `element_count`. The payload
+ * columns are gathered straight from the packed bit planes (a group's
+ * column IS a plane segment); pass pre-packed planes plus the source
+ * shape to amortize the pack.
  */
 BcsCompressed bcs_compress(const Int8Tensor &tensor, int group_size,
                            Representation repr);
+BcsCompressed bcs_compress(const BitPlanes &planes, const Shape &shape,
+                           int group_size);
+
+/// Element-at-a-time oracle for the packed compressor (tests / bench).
+BcsCompressed bcs_compress_scalar(const Int8Tensor &tensor, int group_size,
+                                  Representation repr);
 
 /// Invert bcs_compress exactly (BCS is lossless).
 Int8Tensor bcs_decompress(const BcsCompressed &compressed);

@@ -26,37 +26,18 @@ ColumnCycleStats::mean_ceil_cycles(int bit_columns) const
     return total / static_cast<double>(groups);
 }
 
+namespace {
+
+/// Shared tail of the cycle statistics: mean and lockstep-synchronized
+/// occupancy from the per-(row, group) index masks.
 ColumnCycleStats
-column_cycle_stats(const Int8Tensor &weights, const LayerDesc &desc,
-                   int group_size, std::int64_t ku, Representation repr)
+cycle_stats_from_indexes(const std::vector<std::uint8_t> &idx,
+                         const LayerDesc &desc, std::int64_t rows,
+                         std::int64_t groups_per_row, std::int64_t ku)
 {
-    if (group_size < 1 || ku < 1) {
-        fatal("column_cycle_stats: group_size and ku must be >= 1");
-    }
     ColumnCycleStats stats;
-
-    // Weights are C-innermost: view as [rows, C] with rows = K*FY*FX
-    // (or [1, numel] for layouts without a C axis, e.g. depthwise).
     const bool has_c_axis = desc.kind != LayerKind::kDepthwiseConv;
-    const std::int64_t c_len = has_c_axis ? desc.c : weights.numel();
-    const std::int64_t rows = has_c_axis ? weights.numel() / c_len : 1;
-    const std::int64_t groups_per_row = ceil_div(c_len, group_size);
     const std::int64_t fyx = desc.fy * desc.fx;
-
-    // Per-row group indexes.
-    std::vector<std::uint8_t> idx(
-        static_cast<std::size_t>(rows * groups_per_row));
-    for (std::int64_t r = 0; r < rows; ++r) {
-        for (std::int64_t g = 0; g < groups_per_row; ++g) {
-            const std::int64_t start = r * c_len + g * group_size;
-            const std::int64_t len =
-                std::min<std::int64_t>(group_size, c_len - g * group_size);
-            idx[static_cast<std::size_t>(r * groups_per_row + g)] =
-                column_index({weights.data() + start,
-                              static_cast<std::size_t>(len)},
-                             repr);
-        }
-    }
 
     // Mean occupancy.
     std::int64_t total_nz = 0;
@@ -100,6 +81,69 @@ column_cycle_stats(const Int8Tensor &weights, const LayerDesc &desc,
         ? sync_total / static_cast<double>(sync_steps)
         : stats.mean_cycles_per_group;
     return stats;
+}
+
+}  // namespace
+
+ColumnCycleStats
+column_cycle_stats(const BitPlanes &planes, const LayerDesc &desc,
+                   int group_size, std::int64_t ku)
+{
+    if (group_size < 1 || ku < 1) {
+        fatal("column_cycle_stats: group_size and ku must be >= 1");
+    }
+    // Weights are C-innermost: view as [rows, C] with rows = K*FY*FX
+    // (or [1, numel] for layouts without a C axis, e.g. depthwise).
+    const bool has_c_axis = desc.kind != LayerKind::kDepthwiseConv;
+    const std::int64_t c_len = has_c_axis ? desc.c : planes.n;
+    const std::int64_t rows = has_c_axis && c_len > 0
+        ? planes.n / c_len : 1;
+    const std::int64_t groups_per_row = ceil_div(c_len, group_size);
+
+    std::vector<std::uint8_t> idx(
+        static_cast<std::size_t>(rows * groups_per_row));
+    if (planes.n > 0) {
+        scan_group_indexes(planes, c_len, group_size, idx.data());
+    }
+    return cycle_stats_from_indexes(idx, desc, rows, groups_per_row, ku);
+}
+
+ColumnCycleStats
+column_cycle_stats(const Int8Tensor &weights, const LayerDesc &desc,
+                   int group_size, std::int64_t ku, Representation repr)
+{
+    return column_cycle_stats(pack_bitplanes(weights, repr), desc,
+                              group_size, ku);
+}
+
+ColumnCycleStats
+column_cycle_stats_scalar(const Int8Tensor &weights, const LayerDesc &desc,
+                          int group_size, std::int64_t ku,
+                          Representation repr)
+{
+    if (group_size < 1 || ku < 1) {
+        fatal("column_cycle_stats: group_size and ku must be >= 1");
+    }
+    const bool has_c_axis = desc.kind != LayerKind::kDepthwiseConv;
+    const std::int64_t c_len = has_c_axis ? desc.c : weights.numel();
+    const std::int64_t rows = has_c_axis && c_len > 0
+        ? weights.numel() / c_len : 1;
+    const std::int64_t groups_per_row = ceil_div(c_len, group_size);
+
+    std::vector<std::uint8_t> idx(
+        static_cast<std::size_t>(rows * groups_per_row));
+    for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t g = 0; g < groups_per_row; ++g) {
+            const std::int64_t start = r * c_len + g * group_size;
+            const std::int64_t len =
+                std::min<std::int64_t>(group_size, c_len - g * group_size);
+            idx[static_cast<std::size_t>(r * groups_per_row + g)] =
+                column_index({weights.data() + start,
+                              static_cast<std::size_t>(len)},
+                             repr);
+        }
+    }
+    return cycle_stats_from_indexes(idx, desc, rows, groups_per_row, ku);
 }
 
 double

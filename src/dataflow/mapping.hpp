@@ -48,10 +48,23 @@ struct ColumnCycleStats
  * with @p ku kernels synchronized in lockstep.
  *
  * @param repr Representation whose zero columns are skippable.
+ *
+ * The tensor overload packs bit planes internally; pass pre-packed
+ * planes (e.g. the shared content-hash cache) to amortize the pack
+ * across scenarios sweeping the same weights.
  */
 ColumnCycleStats column_cycle_stats(const Int8Tensor &weights,
                                     const LayerDesc &desc, int group_size,
                                     std::int64_t ku, Representation repr);
+ColumnCycleStats column_cycle_stats(const BitPlanes &planes,
+                                    const LayerDesc &desc, int group_size,
+                                    std::int64_t ku);
+
+/// Element-at-a-time oracle for the packed analysis (tests / bench).
+ColumnCycleStats column_cycle_stats_scalar(const Int8Tensor &weights,
+                                           const LayerDesc &desc,
+                                           int group_size, std::int64_t ku,
+                                           Representation repr);
 
 /**
  * Per-weight-word bit-serial statistics for accelerators that skip zero

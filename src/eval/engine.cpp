@@ -8,6 +8,7 @@
 
 #include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "common/lru.hpp"
 #include "compress/bcs.hpp"
 #include "compress/csr.hpp"
 #include "compress/zre.hpp"
@@ -82,46 +83,86 @@ from_sim(const LayerSimResult &r)
     return e;
 }
 
-/// The kStats engine: weight sparsity and (opt-in) codec statistics.
+/// Build one layer's statistics record from packed bit planes (both
+/// representations share the content-hash plane cache).
+LayerStatsEval
+build_layer_stats(const StatsSpec &spec, const Int8Tensor &w,
+                  std::uint64_t weights_hash)
+{
+    const int group = spec.group_size;
+    LayerStatsEval stats;
+    const auto p2c = shared_bitplanes(
+        w, Representation::kTwosComplement, weights_hash);
+    const auto psm = shared_bitplanes(
+        w, Representation::kSignMagnitude, weights_hash);
+    stats.sparsity = compute_sparsity(*p2c, *psm);
+    if (spec.column_stats) {
+        stats.columns_2c = analyze_bit_columns(*p2c, group);
+        stats.columns_sm = analyze_bit_columns(*psm, group);
+    }
+    stats.weight_bits = w.numel() * 8;
+    if (spec.reference_codecs) {
+        const auto zre = zre_compress(w);
+        stats.zre_bits = zre.compressed_bits();
+        stats.zre_ideal_bits = zre.payload_bits();
+        const auto csr = csr_compress(w, w.dim(0));
+        stats.csr_bits = csr.compressed_bits();
+        stats.csr_ideal_bits = csr.payload_bits();
+    }
+    if (spec.bcs) {
+        const auto bcs_sm = bcs_measure(*psm, group);
+        stats.bcs_sm_bits = bcs_sm.compressed_bits();
+        stats.bcs_sm_ideal_bits = bcs_sm.payload_bits();
+        const auto bcs_2c = bcs_measure(*p2c, group);
+        stats.bcs_2c_bits = bcs_2c.compressed_bits();
+        stats.bcs_2c_ideal_bits = bcs_2c.payload_bits();
+    }
+    return stats;
+}
+
+/// The kStats engine: weight sparsity and (opt-in) codec statistics,
+/// memoized process-wide by (tensor content, StatsSpec) — repeated
+/// stats sweeps over the same weights pay only a map lookup.
 LayerEval
 layer_stats(const Scenario &scenario, const WorkloadLayer &layer,
-            const Int8Tensor *weights)
+            const Int8Tensor *weights, std::uint64_t weights_hash)
 {
     const Int8Tensor &w = weights != nullptr ? *weights : layer.weights;
-    const int group = scenario.stats.group_size;
+    const StatsSpec &spec = scenario.stats;
 
-    auto stats = std::make_shared<LayerStatsEval>();
-    stats->sparsity = compute_sparsity(w);
-    if (scenario.stats.column_stats) {
-        stats->columns_2c = analyze_bit_columns(
-            w, group, Representation::kTwosComplement);
-        stats->columns_sm = analyze_bit_columns(
-            w, group, Representation::kSignMagnitude);
+    if (weights == nullptr) {
+        weights_hash = layer.weights_hash;
     }
-    stats->weight_bits = w.numel() * 8;
-    if (scenario.stats.reference_codecs) {
-        const auto zre = zre_compress(w);
-        stats->zre_bits = zre.compressed_bits();
-        stats->zre_ideal_bits = zre.payload_bits();
-        const auto csr = csr_compress(w, w.dim(0));
-        stats->csr_bits = csr.compressed_bits();
-        stats->csr_ideal_bits = csr.payload_bits();
+    if (weights_hash == 0) {
+        weights_hash = fnv1a(w.data(),
+                             static_cast<std::size_t>(w.numel()));
     }
-    if (scenario.stats.bcs) {
-        const auto bcs_sm =
-            bcs_measure(w, group, Representation::kSignMagnitude);
-        stats->bcs_sm_bits = bcs_sm.compressed_bits();
-        stats->bcs_sm_ideal_bits = bcs_sm.payload_bits();
-        const auto bcs_2c =
-            bcs_measure(w, group, Representation::kTwosComplement);
-        stats->bcs_2c_bits = bcs_2c.compressed_bits();
-        stats->bcs_2c_ideal_bits = bcs_2c.payload_bits();
+    std::uint64_t key = hash_combine(
+        weights_hash, static_cast<std::uint64_t>(spec.group_size));
+    key = hash_combine(
+        key,
+        static_cast<std::uint64_t>((spec.column_stats ? 1 : 0) |
+                                   (spec.bcs ? 2 : 0) |
+                                   (spec.reference_codecs ? 4 : 0)));
+    // The CSR record depends on the leading dimension, so the full
+    // shape is part of the identity, not just the byte content.
+    key = hash_combine(key, static_cast<std::uint64_t>(w.rank()));
+    for (const std::int64_t d : w.shape()) {
+        key = hash_combine(key, static_cast<std::uint64_t>(d));
     }
+
+    static LruCache<std::uint64_t, LayerStatsEval> memo(
+        cache_capacity_from_env(256));
+    bool was_hit = false;
+    auto stats = memo.get_or_build(
+        key, [&] { return build_layer_stats(spec, w, weights_hash); },
+        &was_hit);
 
     LayerEval e;
     e.layer_name = layer.desc.name;
     e.cycles_per_group = stats->columns_sm.mean_nonzero_columns();
     e.stats = std::move(stats);
+    e.stats_from_memo = was_hit;
     return e;
 }
 
@@ -145,7 +186,10 @@ prepare_scenario(const Scenario &scenario)
         prep.owned = scenario.custom_workload;
         prep.workload = prep.owned.get();
     } else if (scenario.workload_seed == kCachedWorkloadSeed) {
-        prep.workload = &get_workload(scenario.workload);
+        // Hold the shared instance through the prep keepalive so the
+        // LRU can evict it once the last evaluation finishes.
+        prep.owned = shared_workload(scenario.workload);
+        prep.workload = prep.owned.get();
     } else {
         prep.owned = std::make_shared<Workload>(
             build_workload(scenario.workload, scenario.workload_seed));
@@ -198,29 +242,39 @@ evaluate_layer_range(const Scenario &scenario, const ScenarioPrep &prep,
         ctx.first_layer = l == 0;
         ctx.last_layer = l + 1 == w.layers.size();
         std::shared_ptr<const Int8Tensor> prepared = prep.weights[l];
+        // Content identity of the evaluated tensor when derivable
+        // without re-hashing: flipped twins have a hash that is a pure
+        // function of (original hash, flip spec). Explicit overrides
+        // stay 0 (downstream hashes on the fly).
+        std::uint64_t prepared_hash = 0;
         if (!prepared && prep.flip[l]) {
             prepared = cached_bitflip(w.layers[l].weights,
                                       w.layers[l].weights_hash,
                                       scenario.bitflip.group_size,
                                       scenario.bitflip.zero_columns);
+            prepared_hash = flipped_weights_hash(
+                w.layers[l].weights_hash, scenario.bitflip.group_size,
+                scenario.bitflip.zero_columns,
+                w.layers[l].weights.numel());
         }
         return std::tuple(std::cref(w.layers[l]), std::move(prepared),
-                          ctx, l);
+                          ctx, l, prepared_hash);
     };
 
     switch (scenario.engine) {
       case EngineKind::kAnalytical: {
         const AcceleratorModel model(scenario.accel);
         for (std::size_t s = begin; s < end; ++s) {
-            const auto [layer, weights, ctx, l] = layer_inputs(s);
+            const auto [layer, weights, ctx, l, whash] = layer_inputs(s);
+            (void)l;
             out.push_back(from_model(
-                model.model_layer(layer, weights.get(), ctx)));
+                model.model_layer(layer, weights.get(), ctx, whash)));
         }
         break;
       }
       case EngineKind::kCycleSim: {
         for (std::size_t s = begin; s < end; ++s) {
-            const auto [layer, weights, ctx, l] = layer_inputs(s);
+            const auto [layer, weights, ctx, l, whash] = layer_inputs(s);
             // Each layer draws from its own (scenario, layer) stream so
             // sharded evaluation is bit-identical to serial.
             NpuConfig cfg = scenario.npu;
@@ -231,15 +285,17 @@ evaluate_layer_range(const Scenario &scenario, const ScenarioPrep &prep,
             // by the simulator's own tests, not by scenario sweeps.
             out.push_back(from_sim(
                 npu.run_layer(layer, nullptr, weights.get(),
-                              /*compute_output=*/false, ctx)));
+                              /*compute_output=*/false, ctx, whash)));
         }
         break;
       }
       case EngineKind::kStats: {
         for (std::size_t s = begin; s < end; ++s) {
-            const auto [layer, weights, ctx, l] = layer_inputs(s);
+            const auto [layer, weights, ctx, l, whash] = layer_inputs(s);
             (void)ctx;
-            out.push_back(layer_stats(scenario, layer, weights.get()));
+            (void)l;
+            out.push_back(
+                layer_stats(scenario, layer, weights.get(), whash));
         }
         break;
       }
@@ -277,6 +333,7 @@ finalize_scenario(const Scenario &scenario, const ScenarioPrep &prep,
         out.energy += out.layers[s].energy;
         out.nominal_macs +=
             prep.workload->layers[prep.layers[s]].desc.macs();
+        out.stats_memo_hits += out.layers[s].stats_from_memo ? 1 : 0;
     }
     return out;
 }

@@ -69,6 +69,8 @@ struct LayerEval
     EnergyBreakdown energy;      ///< Shared Eq. (4) pricing.
     /// Statistics record (kStats engine only, shared not copied).
     std::shared_ptr<const LayerStatsEval> stats;
+    /// kStats only: the record came from the process-wide stats memo.
+    bool stats_from_memo = false;
 };
 
 /// Unified workload-level result of one scenario.
@@ -85,6 +87,12 @@ struct ScenarioResult
     EnergyBreakdown energy;
     std::int64_t nominal_macs = 0;  ///< Dense MACs of evaluated layers.
     double wall_seconds = 0.0;      ///< Host-side evaluation cost.
+    /// Layers whose kStats record was served by the content-hash stats
+    /// memo (0 for the other engines): warm stats sweeps hit on every
+    /// layer and skip the tensor scans entirely. A cache diagnostic
+    /// like wall_seconds — scheduling-dependent for concurrent
+    /// identical scenarios, and excluded from the determinism contract.
+    std::int64_t stats_memo_hits = 0;
 
     /// Wall-clock at the tech frequency, in ms.
     double runtime_ms(const TechParams &tech = default_tech()) const;

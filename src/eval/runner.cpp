@@ -68,7 +68,7 @@ ScenarioRunner::run(const std::vector<Scenario> &scenarios,
             }
         }
         for (WorkloadId id : distinct) {
-            get_workload(id);
+            shared_workload(id);  // warm the LRU; preps re-fetch cheaply
         }
     }
 

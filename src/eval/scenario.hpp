@@ -145,6 +145,18 @@ std::vector<std::shared_ptr<const Int8Tensor>>
 alias_weight_override(const Scenario &scenario, const Workload &workload);
 
 /**
+ * Deterministic content identity of the Bit-Flipped twin of a tensor
+ * whose own content identity is @p weights_hash: the flip is a pure
+ * function of (content, group, zero_cols), so this derived hash lets
+ * the downstream content-keyed caches (bit planes, stats memo) identify
+ * the prepared tensor without re-hashing its bytes. Also the Bit-Flip
+ * preparation cache's own key. Returns 0 when @p weights_hash is 0
+ * (unknown content).
+ */
+std::uint64_t flipped_weights_hash(std::uint64_t weights_hash, int group,
+                                   int zero_cols, std::int64_t numel);
+
+/**
  * Process-wide content-hash cache of Bit-Flip weight preparation: the
  * flipped twin of one weight tensor under one (group, zero-column)
  * target. Repeated (workload, flip-spec) pairs across scenarios and

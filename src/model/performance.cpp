@@ -8,6 +8,7 @@
 #include "compress/bcs.hpp"
 #include "compress/zre.hpp"
 #include "sparsity/stats.hpp"
+#include "tensor/bitplane.hpp"
 
 namespace bitwave {
 
@@ -45,8 +46,8 @@ AcceleratorModel::AcceleratorModel(AcceleratorConfig config,
 
 LayerResult
 AcceleratorModel::model_layer(const WorkloadLayer &layer,
-                              const Int8Tensor *weights,
-                              LayerContext ctx) const
+                              const Int8Tensor *weights, LayerContext ctx,
+                              std::uint64_t weights_hash) const
 {
     const Int8Tensor &w = weights != nullptr ? *weights : layer.weights;
     // Matmul layers map their token batch onto OX (im2col view) on
@@ -57,6 +58,20 @@ AcceleratorModel::model_layer(const WorkloadLayer &layer,
 
     LayerResult r;
     r.layer_name = desc.name;
+
+    // Shared packed bit planes for the bit-column kernels, fetched (or
+    // packed once) from the content-hash cache so scenario sweeps over
+    // the same weights never re-pack. Lazy: baseline machines that never
+    // touch bit columns never pay for packing.
+    std::shared_ptr<const BitPlanes> planes;
+    const auto weight_planes = [&]() -> const BitPlanes & {
+        if (!planes) {
+            planes = shared_bitplanes(
+                w, config_.weight_repr,
+                weights == nullptr ? layer.weights_hash : weights_hash);
+        }
+        return *planes;
+    };
 
     // ---- STEP1: dataflow selection & dense activity ----------------------
     const SpatialUnrolling &su = select_su(desc, config_.dataflows);
@@ -113,8 +128,8 @@ AcceleratorModel::model_layer(const WorkloadLayer &layer,
             // throughput follows the MEAN occupancy (the sync-limited
             // variant is exercised by the ablation bench).
             const ColumnCycleStats cc = column_cycle_stats(
-                w, desc, static_cast<int>(su.group_size()),
-                su.factor(Dim::kK), config_.weight_repr);
+                weight_planes(), desc, static_cast<int>(su.group_size()),
+                su.factor(Dim::kK));
             cycles_per_pass = cc.mean_ceil_cycles(su.bit_columns);
             mac_energy_scale = cc.mean_cycles_per_group / 8.0;
             mean_columns_per_group = cc.mean_cycles_per_group;
@@ -175,7 +190,7 @@ AcceleratorModel::model_layer(const WorkloadLayer &layer,
     if (config_.compress_weights) {
         if (config_.sparsity == SparsityMode::kWeightBitColumn) {
             const auto compressed = bcs_measure(
-                w, static_cast<int>(su.group_size()), config_.weight_repr);
+                weight_planes(), static_cast<int>(su.group_size()));
             cf.weight_fetch_ratio = 1.0 / compressed.compression_ratio();
             // BCS fetch savings come from skipped column cycles; the
             // remaining on-chip overhead is the 8b index per group.

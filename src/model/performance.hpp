@@ -81,14 +81,22 @@ class AcceleratorModel
     /**
      * Model one layer.
      *
-     * @param layer     Layer descriptor + weights + activation sparsity.
-     * @param weights   Optional replacement weights (e.g. Bit-Flipped);
-     *                  defaults to the layer's own tensor.
-     * @param ctx       Position of the layer in the network.
+     * @param layer        Layer descriptor + weights + activation
+     *                     sparsity.
+     * @param weights      Optional replacement weights (e.g.
+     *                     Bit-Flipped); defaults to the layer's own
+     *                     tensor.
+     * @param ctx          Position of the layer in the network.
+     * @param weights_hash Content hash of @p weights when known (e.g.
+     *                     eval::flipped_weights_hash); 0 hashes on the
+     *                     fly for the shared bit-plane cache. Ignored
+     *                     when @p weights is null (the layer's own
+     *                     weights_hash applies).
      */
     LayerResult model_layer(const WorkloadLayer &layer,
                             const Int8Tensor *weights = nullptr,
-                            LayerContext ctx = {}) const;
+                            LayerContext ctx = {},
+                            std::uint64_t weights_hash = 0) const;
 
     /**
      * Model a workload; @p weights optionally overrides every layer's

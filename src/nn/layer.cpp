@@ -43,6 +43,32 @@ LayerDesc::output_count() const
     return batch * k * oy * ox;
 }
 
+WeightRowGeometry
+weight_row_geometry(const LayerDesc &desc)
+{
+    WeightRowGeometry g;
+    switch (desc.kind) {
+      case LayerKind::kConv:
+      case LayerKind::kPointwiseConv:
+        g.rows = desc.k * desc.fy * desc.fx;
+        g.row_len = desc.c;
+        g.rows_per_kernel = desc.fy * desc.fx;
+        break;
+      case LayerKind::kDepthwiseConv:
+        g.rows = desc.k;
+        g.row_len = desc.fy * desc.fx;
+        g.rows_per_kernel = 1;
+        break;
+      case LayerKind::kLinear:
+      case LayerKind::kLstm:
+        g.rows = desc.k;
+        g.row_len = desc.c;
+        g.rows_per_kernel = 1;
+        break;
+    }
+    return g;
+}
+
 std::string
 LayerDesc::to_string() const
 {

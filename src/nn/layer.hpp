@@ -69,6 +69,23 @@ struct LayerDesc
     std::string to_string() const;
 };
 
+/**
+ * Row view of a layer's weight tensor in its C-innermost storage layout:
+ * `rows` rows of `row_len` consecutive elements, `rows_per_kernel` rows
+ * per output kernel. BCS groups tile each row; the simulator, the
+ * analytical model and the mapping statistics all share this geometry so
+ * their group accounting cannot drift apart.
+ */
+struct WeightRowGeometry
+{
+    std::int64_t rows = 0;
+    std::int64_t row_len = 0;
+    std::int64_t rows_per_kernel = 1;
+};
+
+/// Weight-row geometry of @p desc (rows * row_len == weight_count()).
+WeightRowGeometry weight_row_geometry(const LayerDesc &desc);
+
 /// Convenience builders -----------------------------------------------
 
 /// Standard convolution layer descriptor.

@@ -17,7 +17,10 @@ namespace bitwave {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x42574c44;  // "BWLD"
-constexpr std::uint32_t kVersion = 1;
+// v2: synthesize_weights draws every kernel chunk from its own seed
+// stream (internal sharding), changing the synthesized bytes for the
+// same builder skeleton; the version bump retires v1 cache entries.
+constexpr std::uint32_t kVersion = 2;
 
 struct FileCloser
 {

@@ -7,6 +7,7 @@
 
 #include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "common/lru.hpp"
 #include "common/parallel.hpp"
 #include "nn/synthesis.hpp"
 #include "nn/workload_io.hpp"
@@ -367,41 +368,51 @@ matches_current_builder(const Workload &loaded, WorkloadId id)
 
 }  // namespace
 
-const Workload &
-get_workload(WorkloadId id)
+std::shared_ptr<const Workload>
+shared_workload(WorkloadId id)
 {
-    // Per-workload memoization: each entry synthesizes at most once per
-    // process under its own flag, so concurrent first touches of
-    // *different* workloads no longer serialize behind one global mutex
-    // (BERT synthesis used to block every other workload's first use).
-    struct Entry
-    {
-        std::once_flag once;
-        std::unique_ptr<Workload> workload;
-    };
-    static std::array<Entry, 4> cache;
-    Entry &entry = cache[static_cast<std::size_t>(id)];
-    std::call_once(entry.once, [&] {
+    // Bounded LRU: each resident entry synthesized (or disk-loaded) at
+    // most once under its own flag, so concurrent first touches of
+    // *different* workloads never serialize behind one global mutex.
+    // BITWAVE_CACHE_ENTRIES below 4 bounds how many of the ~10-100 MB
+    // networks stay resident at once; rebuilds are deterministic and
+    // the on-disk cache (BITWAVE_WORKLOAD_CACHE) makes them cheap.
+    static LruCache<int, Workload> cache(cache_capacity_from_env(4));
+    return cache.get_or_build(static_cast<int>(id), [&] {
         constexpr std::uint64_t kSeed = 0x5eed;
         const std::string dir = workload_cache_dir();
         if (!dir.empty()) {
             const std::string path =
                 workload_cache_path(dir, workload_name(id), kSeed);
-            auto loaded = std::make_unique<Workload>();
-            if (load_workload(path, loaded.get()) &&
-                matches_current_builder(*loaded, id)) {
-                entry.workload = std::move(loaded);
-                return;
+            Workload loaded;
+            if (load_workload(path, &loaded) &&
+                matches_current_builder(loaded, id)) {
+                return loaded;
             }
-            entry.workload =
-                std::make_unique<Workload>(build_workload(id, kSeed));
-            save_workload(*entry.workload, path);  // best effort
-            return;
+            Workload built = build_workload(id, kSeed);
+            save_workload(built, path);  // best effort
+            return built;
         }
-        entry.workload =
-            std::make_unique<Workload>(build_workload(id, kSeed));
+        return build_workload(id, kSeed);
     });
-    return *entry.workload;
+}
+
+const Workload &
+get_workload(WorkloadId id)
+{
+    // Pin the shared instance for the process lifetime: references
+    // handed out here must survive LRU eviction. The scenario engine
+    // holds workloads via shared_workload() instead and participates in
+    // the bound.
+    static std::array<std::shared_ptr<const Workload>, 4> pins;
+    static std::mutex pin_mutex;
+    std::shared_ptr<const Workload> w = shared_workload(id);
+    std::lock_guard<std::mutex> lock(pin_mutex);
+    auto &slot = pins[static_cast<std::size_t>(id)];
+    if (!slot) {
+        slot = std::move(w);
+    }
+    return *slot;
 }
 
 }  // namespace bitwave

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "nn/workload.hpp"
 
@@ -46,8 +47,20 @@ Workload build_workload(WorkloadId id, std::uint64_t seed = 0x5eed);
 Workload build_workload_skeleton(WorkloadId id);
 
 /**
- * Cached singleton per workload (seed 0x5eed). BERT-Base synthesizes
- * ~85M weights, so benches and tests share one instance.
+ * Shared synthesized instance of one workload (seed 0x5eed), served from
+ * a bounded LRU (BITWAVE_CACHE_ENTRIES, default all 4 networks) backed
+ * by the optional on-disk synthesis cache. The scenario engine holds
+ * workloads through this handle, so an evicted network frees its ~tens
+ * of MB once the last evaluation drops it; a re-request rebuilds (or
+ * reloads) the identical instance deterministically.
+ */
+std::shared_ptr<const Workload> shared_workload(WorkloadId id);
+
+/**
+ * Reference convenience over shared_workload(): pins the instance for
+ * the process lifetime so the returned reference stays valid across
+ * evictions. Tests and benches use this; long-running services should
+ * prefer shared_workload().
  */
 const Workload &get_workload(WorkloadId id);
 

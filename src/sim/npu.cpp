@@ -32,73 +32,46 @@ BitWaveNpu::BitWaveNpu(NpuConfig config, const TechParams &tech,
     }
 }
 
-namespace {
-
-/// Row geometry of a weight tensor: (rows, row length, rows per kernel).
-struct RowGeometry
-{
-    std::int64_t rows = 0;
-    std::int64_t row_len = 0;
-    std::int64_t rows_per_kernel = 1;
-};
-
-RowGeometry
-row_geometry(const LayerDesc &desc)
-{
-    RowGeometry g;
-    switch (desc.kind) {
-      case LayerKind::kConv:
-      case LayerKind::kPointwiseConv:
-        g.rows = desc.k * desc.fy * desc.fx;
-        g.row_len = desc.c;
-        g.rows_per_kernel = desc.fy * desc.fx;
-        break;
-      case LayerKind::kDepthwiseConv:
-        g.rows = desc.k;
-        g.row_len = desc.fy * desc.fx;
-        g.rows_per_kernel = 1;
-        break;
-      case LayerKind::kLinear:
-      case LayerKind::kLstm:
-        g.rows = desc.k;
-        g.row_len = desc.c;
-        g.rows_per_kernel = 1;
-        break;
-    }
-    return g;
-}
-
-}  // namespace
-
 std::vector<BitWaveNpu::CompressedRow>
-BitWaveNpu::compress_rows(const Int8Tensor &weights, const LayerDesc &desc,
+BitWaveNpu::compress_rows(const BitPlanes &planes, const LayerDesc &desc,
                           int group_size) const
 {
-    const RowGeometry geom = row_geometry(desc);
-    if (geom.rows * geom.row_len != weights.numel()) {
+    const WeightRowGeometry geom = weight_row_geometry(desc);
+    if (geom.rows * geom.row_len != planes.n) {
         fatal("compress_rows: weight tensor does not match layer %s",
               desc.to_string().c_str());
     }
+    // One word-parallel pass yields every group's zero-column index; the
+    // payload gather below then touches only the non-zero planes.
+    const std::int64_t groups_per_row =
+        ceil_div(geom.row_len, group_size);
+    std::vector<std::uint8_t> indexes(
+        static_cast<std::size_t>(geom.rows * groups_per_row));
+    if (planes.n > 0) {
+        scan_group_indexes(planes, geom.row_len, group_size,
+                           indexes.data());
+    }
+
     ZeroColumnIndexParser parser;
     std::vector<CompressedRow> rows(static_cast<std::size_t>(geom.rows));
     for (std::int64_t r = 0; r < geom.rows; ++r) {
         CompressedRow &row = rows[static_cast<std::size_t>(r)];
-        for (std::int64_t c0 = 0; c0 < geom.row_len; c0 += group_size) {
-            const std::int64_t len =
-                std::min<std::int64_t>(group_size, geom.row_len - c0);
-            const std::span<const std::int8_t> grp(
-                weights.data() + r * geom.row_len + c0,
-                static_cast<std::size_t>(len));
+        for (std::int64_t g = 0; g < groups_per_row; ++g) {
+            const std::int64_t c0 = g * group_size;
+            const std::int64_t start = r * geom.row_len + c0;
+            const int len = static_cast<int>(
+                std::min<std::int64_t>(group_size, geom.row_len - c0));
             ZcipDecode decode = config_.dense_mode
                 ? parser.parse_dense(kWordBits)
-                : parser.parse(column_index(grp, config_.repr));
+                : parser.parse(indexes[static_cast<std::size_t>(
+                      r * groups_per_row + g)]);
             std::vector<std::uint64_t> cols;
             cols.reserve(decode.shifts.size());
             for (int shift : decode.shifts) {
-                cols.push_back(column_bits(grp, shift, config_.repr));
+                cols.push_back(planes.segment(shift, start, len));
             }
             row.sign_columns.push_back(
-                column_bits(grp, kWordBits - 1, config_.repr));
+                planes.segment(kWordBits - 1, start, len));
             row.data_columns.push_back(std::move(cols));
             row.decodes.push_back(std::move(decode));
         }
@@ -109,7 +82,7 @@ BitWaveNpu::compress_rows(const Int8Tensor &weights, const LayerDesc &desc,
 LayerSimResult
 BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
                       const Int8Tensor *weights, bool compute_output,
-                      LayerContext ctx) const
+                      LayerContext ctx, std::uint64_t weights_hash) const
 {
     if (compute_output && config_.repr != Representation::kSignMagnitude) {
         fatal("BitWaveNpu: functional execution requires sign-magnitude");
@@ -119,21 +92,26 @@ BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
     const LayerDesc mapped = normalized_for_mapping(desc);
     const SpatialUnrolling &su = select_su(mapped, config_.dataflows);
 
-    // Group size: the SU's C unrolling for standard layers; the BCE width
-    // for layouts without a C axis (depthwise taps).
-    int group_size = static_cast<int>(su.group_size());
-    if (desc.kind == LayerKind::kDepthwiseConv) {
-        group_size = 8;
-    }
-    group_size = std::clamp(group_size, 1, 64);
+    // Group size: the SU's BCS group — the C unrolling for standard
+    // layers, SU7's G unrolling (64) for depthwise. The analytical model
+    // accounts with the same su.group_size(), so the two engines can no
+    // longer drift apart on depthwise layers.
+    const int group_size =
+        std::clamp(static_cast<int>(su.group_size()), 1, 64);
 
     LayerSimResult result;
     result.layer_name = desc.name;
     result.su_name = su.name;
     result.group_size = group_size;
 
-    const auto rows = compress_rows(w, desc, group_size);
-    const RowGeometry geom = row_geometry(desc);
+    // Pack (or fetch from the content-hash cache) the weight bit planes
+    // once; compression, cycle accounting and the functional BCE pass
+    // all read columns straight out of them.
+    const auto planes = shared_bitplanes(
+        w, config_.repr,
+        weights == nullptr ? layer.weights_hash : weights_hash);
+    const auto rows = compress_rows(*planes, desc, group_size);
+    const WeightRowGeometry geom = weight_row_geometry(desc);
     const double bc = static_cast<double>(su.bit_columns);
 
     // ---- Cycle accounting over the temporal tile schedule ---------------

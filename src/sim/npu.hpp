@@ -116,12 +116,17 @@ class BitWaveNpu
      *                       layers write their output back, contributing
      *                       to DRAM cycles/energy exactly as in the
      *                       analytical model.
+     * @param weights_hash   Content hash of @p weights when known (e.g.
+     *                       eval::flipped_weights_hash); 0 hashes on the
+     *                       fly for the shared bit-plane cache. Ignored
+     *                       when @p weights is null.
      */
     LayerSimResult run_layer(const WorkloadLayer &layer,
                              const Int8Tensor *input = nullptr,
                              const Int8Tensor *weights = nullptr,
                              bool compute_output = true,
-                             LayerContext ctx = {}) const;
+                             LayerContext ctx = {},
+                             std::uint64_t weights_hash = 0) const;
 
     const NpuConfig &config() const { return config_; }
 
@@ -134,8 +139,10 @@ class BitWaveNpu
         std::vector<std::uint64_t> sign_columns;
     };
 
-    /// Row-aligned BCS compression of a weight tensor.
-    std::vector<CompressedRow> compress_rows(const Int8Tensor &weights,
+    /// Row-aligned BCS compression of a weight tensor from its packed
+    /// bit planes: indexes come from the word-parallel group scan and
+    /// every payload/sign column is a plane segment gather.
+    std::vector<CompressedRow> compress_rows(const BitPlanes &planes,
                                              const LayerDesc &desc,
                                              int group_size) const;
 

@@ -60,8 +60,8 @@ BitColumnStats::merge(const BitColumnStats &other)
 }
 
 BitColumnStats
-analyze_bit_columns(const Int8Tensor &tensor, int group_size,
-                    Representation repr)
+analyze_bit_columns_scalar(const Int8Tensor &tensor, int group_size,
+                           Representation repr)
 {
     if (group_size < 1) {
         fatal("analyze_bit_columns: group_size must be >= 1, got %d",
@@ -89,23 +89,93 @@ analyze_bit_columns(const Int8Tensor &tensor, int group_size,
     return stats;
 }
 
+BitColumnStats
+analyze_bit_columns(const BitPlanes &planes, int group_size)
+{
+    if (group_size < 1) {
+        fatal("analyze_bit_columns: group_size must be >= 1, got %d",
+              group_size);
+    }
+    BitColumnStats stats;
+    stats.group_size = group_size;
+    stats.repr = planes.repr;
+    if (planes.n == 0) {
+        return stats;
+    }
+    if (group_size <= 64) {
+        // Fused word-parallel histogram — no intermediate mask buffer.
+        scan_zero_column_histogram(planes, planes.n, group_size,
+                                   stats.zero_column_hist);
+    } else {
+        // Oversized groups (> one word): OR the word-level masks of the
+        // covered range. Rare (the hardware set tops out at 64).
+        for (std::int64_t start = 0; start < planes.n;
+             start += group_size) {
+            const std::int64_t len =
+                std::min<std::int64_t>(group_size, planes.n - start);
+            std::uint8_t mask = 0;
+            for (std::int64_t c = 0; c < len; c += 64) {
+                mask |= planes.group_index(
+                    start + c,
+                    static_cast<int>(std::min<std::int64_t>(64, len - c)));
+            }
+            ++stats.zero_column_hist[kWordBits - popcount8(mask)];
+        }
+    }
+    for (int zeros = 0; zeros <= kWordBits; ++zeros) {
+        const std::int64_t groups = stats.zero_column_hist[zeros];
+        stats.groups += groups;
+        stats.columns += groups * kWordBits;
+        stats.zero_columns += groups * zeros;
+    }
+    return stats;
+}
+
+BitColumnStats
+analyze_bit_columns(const Int8Tensor &tensor, int group_size,
+                    Representation repr)
+{
+    return analyze_bit_columns(pack_bitplanes(tensor, repr), group_size);
+}
+
+std::vector<std::uint8_t>
+column_indexes(const BitPlanes &planes, int group_size)
+{
+    if (group_size < 1 || group_size > 64) {
+        fatal("column_indexes: group_size must be in [1, 64], got %d",
+              group_size);
+    }
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(
+        scan_group_count(planes.n, std::max<std::int64_t>(planes.n, 1),
+                         group_size)));
+    scan_group_indexes(planes, std::max<std::int64_t>(planes.n, 1),
+                       group_size, out.data());
+    return out;
+}
+
 std::vector<std::uint8_t>
 column_indexes(const Int8Tensor &tensor, int group_size, Representation repr)
 {
     if (group_size < 1) {
         fatal("column_indexes: group_size must be >= 1, got %d", group_size);
     }
-    std::vector<std::uint8_t> out;
-    const std::int64_t n = tensor.numel();
-    out.reserve(static_cast<std::size_t>(ceil_div(n, group_size)));
-    for (std::int64_t start = 0; start < n; start += group_size) {
-        const std::int64_t len = std::min<std::int64_t>(group_size, n - start);
-        out.push_back(column_index(
-            std::span<const std::int8_t>(tensor.data() + start,
-                                         static_cast<std::size_t>(len)),
-            repr));
+    if (group_size > 64) {
+        // Wide groups fall back to the scalar walk (no hardware uses
+        // them; kept for API completeness).
+        std::vector<std::uint8_t> out;
+        const std::int64_t n = tensor.numel();
+        out.reserve(static_cast<std::size_t>(ceil_div(n, group_size)));
+        for (std::int64_t start = 0; start < n; start += group_size) {
+            const std::int64_t len =
+                std::min<std::int64_t>(group_size, n - start);
+            out.push_back(column_index(
+                std::span<const std::int8_t>(tensor.data() + start,
+                                             static_cast<std::size_t>(len)),
+                repr));
+        }
+        return out;
     }
-    return out;
+    return column_indexes(pack_bitplanes(tensor, repr), group_size);
 }
 
 std::uint64_t

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sparsity/stats.hpp"
+#include "tensor/bitplane.hpp"
 #include "tensor/tensor.hpp"
 
 namespace bitwave {
@@ -68,9 +69,20 @@ struct BitColumnStats
  * arrange by passing weights in [K, FY, FX, C] order when layout matters.
  * A final partial group is padded with zeros (padding cannot destroy a
  * zero column, and the hardware pads the same way).
+ *
+ * The tensor overload packs bit planes internally and runs the
+ * word-parallel kernel; pass pre-packed planes to amortize the pack
+ * across kernels ("pack once, popcount everywhere").
  */
 BitColumnStats analyze_bit_columns(const Int8Tensor &tensor, int group_size,
                                    Representation repr);
+BitColumnStats analyze_bit_columns(const BitPlanes &planes, int group_size);
+
+/// Element-at-a-time oracle for the packed kernel (tests and the
+/// micro-kernel bench); bit-identical to analyze_bit_columns().
+BitColumnStats analyze_bit_columns_scalar(const Int8Tensor &tensor,
+                                          int group_size,
+                                          Representation repr);
 
 /**
  * Per-group column indexes for @p tensor (one uint8 per group, in order).
@@ -78,6 +90,8 @@ BitColumnStats analyze_bit_columns(const Int8Tensor &tensor, int group_size,
  */
 std::vector<std::uint8_t> column_indexes(const Int8Tensor &tensor,
                                          int group_size, Representation repr);
+std::vector<std::uint8_t> column_indexes(const BitPlanes &planes,
+                                         int group_size);
 
 /**
  * Bit-plane view of a group: column b (0..7) as a G-bit vector packed into

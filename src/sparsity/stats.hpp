@@ -11,18 +11,11 @@
 
 #include <cstdint>
 
+#include "common/bits.hpp"  // Representation lives with the bit utilities
+#include "tensor/bitplane.hpp"
 #include "tensor/tensor.hpp"
 
 namespace bitwave {
-
-/// Binary representation used when counting bit-level sparsity.
-enum class Representation {
-    kTwosComplement,  ///< Standard int8 storage format.
-    kSignMagnitude,   ///< Bit7 sign, bits6..0 magnitude.
-};
-
-/// Human-readable name of a representation ("2C" / "SM").
-const char *representation_name(Representation repr);
 
 /// Aggregate sparsity statistics of one tensor.
 struct SparsityStats
@@ -50,5 +43,14 @@ struct SparsityStats
 
 /// Compute sparsity statistics over all elements of @p tensor.
 SparsityStats compute_sparsity(const Int8Tensor &tensor);
+
+/**
+ * Word-parallel sparsity statistics from pre-packed bit planes of the
+ * SAME tensor in both representations: zero words fall out of an OR
+ * across planes, zero bits out of plane popcounts. Bit-identical to
+ * compute_sparsity() on the source tensor.
+ */
+SparsityStats compute_sparsity(const BitPlanes &planes_2c,
+                               const BitPlanes &planes_sm);
 
 }  // namespace bitwave

@@ -146,6 +146,34 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(4, 8, 16, 32),
                        ::testing::Values(1, 3, 5, 7, 8)));
 
+TEST(BitflipGroup, ProfileScoringMatchesScalarOracleBitExactly)
+{
+    // The profile-scored greedy must reproduce the element-at-a-time
+    // oracle exactly: same flipped values, same column selections, same
+    // reported error — on random groups of every size and target, in
+    // both dense and zero-heavy regimes, including the -128 clamp.
+    Rng rng(2024);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const int g_size = 1 + static_cast<int>(rng.uniform_int(0, 63));
+        const int target = static_cast<int>(rng.uniform_int(0, 8));
+        const double zero_prob = rng.bernoulli(0.5) ? 0.0 : 0.4;
+        std::vector<std::int8_t> fast(static_cast<std::size_t>(g_size));
+        for (auto &v : fast) {
+            v = rng.bernoulli(zero_prob)
+                ? 0
+                : static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+        }
+        std::vector<std::int8_t> scalar = fast;
+        const auto rf = bitflip_group({fast.data(), fast.size()}, target);
+        const auto rs =
+            bitflip_group_scalar({scalar.data(), scalar.size()}, target);
+        ASSERT_EQ(fast, scalar)
+            << "trial " << trial << " g=" << g_size << " z=" << target;
+        EXPECT_EQ(rf.zero_columns, rs.zero_columns);
+        EXPECT_DOUBLE_EQ(rf.squared_error, rs.squared_error);
+    }
+}
+
 TEST(BitflipGroup, GreedyCloseToExhaustive)
 {
     // The greedy column choice should rarely be far from the exhaustive

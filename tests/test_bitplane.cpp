@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the packed bit-plane representation and the word-parallel
+ * kernels built on it: pack/segment correctness against per-element
+ * encoding, and bit-identical results between the packed kernels and
+ * their scalar oracles (column statistics, BCS measure/compress, cycle
+ * statistics, sparsity) on randomized tensors in both representations.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/lru.hpp"
+#include "common/rng.hpp"
+#include "compress/bcs.hpp"
+#include "dataflow/mapping.hpp"
+#include "nn/layer.hpp"
+#include "sparsity/bitcolumn.hpp"
+#include "sparsity/stats.hpp"
+#include "tensor/bitplane.hpp"
+
+namespace bitwave {
+namespace {
+
+Int8Tensor
+random_tensor(std::int64_t n, std::uint64_t seed, double zero_prob = 0.3)
+{
+    Rng rng(seed);
+    Int8Tensor t({n});
+    for (std::int64_t i = 0; i < n; ++i) {
+        t[i] = rng.bernoulli(zero_prob)
+            ? 0
+            : static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    }
+    return t;
+}
+
+std::uint8_t
+encode(std::int8_t v, Representation repr)
+{
+    return repr == Representation::kTwosComplement
+        ? static_cast<std::uint8_t>(v) : to_sign_magnitude(v);
+}
+
+constexpr Representation kBothReprs[] = {
+    Representation::kTwosComplement, Representation::kSignMagnitude};
+
+// ------------------------------------------------------------- packing ---
+
+TEST(BitPlanes, PackMatchesPerElementEncoding)
+{
+    // Odd length exercises the padded tail word.
+    const Int8Tensor t = random_tensor(64 * 3 + 17, 11);
+    for (const auto repr : kBothReprs) {
+        const BitPlanes p = pack_bitplanes(t, repr);
+        ASSERT_EQ(p.n, t.numel());
+        ASSERT_EQ(p.words, (t.numel() + 63) / 64);
+        for (std::int64_t e = 0; e < p.n; ++e) {
+            const std::uint8_t enc = encode(t[e], repr);
+            for (int b = 0; b < 8; ++b) {
+                const std::uint64_t word = p.plane(b)[e >> 6];
+                ASSERT_EQ((word >> (e & 63)) & 1ULL,
+                          static_cast<std::uint64_t>((enc >> b) & 1))
+                    << "element " << e << " bit " << b << " repr "
+                    << representation_name(repr);
+            }
+        }
+        // Padding lanes of the tail word stay zero in every plane.
+        for (int b = 0; b < 8; ++b) {
+            const std::uint64_t tail = p.plane(b)[p.words - 1];
+            for (std::int64_t lane = p.n & 63; lane < 64; ++lane) {
+                ASSERT_EQ((tail >> lane) & 1ULL, 0u);
+            }
+        }
+    }
+}
+
+TEST(BitPlanes, SegmentMatchesColumnBits)
+{
+    const Int8Tensor t = random_tensor(300, 23, 0.2);
+    for (const auto repr : kBothReprs) {
+        const BitPlanes p = pack_bitplanes(t, repr);
+        Rng rng(5);
+        for (int trial = 0; trial < 200; ++trial) {
+            const int len = 1 + static_cast<int>(rng.uniform_int(0, 63));
+            const std::int64_t start =
+                rng.uniform_int(0, t.numel() - len);
+            const std::span<const std::int8_t> grp(
+                t.data() + start, static_cast<std::size_t>(len));
+            for (int b = 0; b < 8; ++b) {
+                EXPECT_EQ(p.segment(b, start, len),
+                          column_bits(grp, b, repr));
+            }
+            EXPECT_EQ(p.group_index(start, len), column_index(grp, repr));
+        }
+    }
+}
+
+// ----------------------------------------------- kernel equivalence ---
+
+TEST(BitPlanes, AnalyzeBitColumnsMatchesScalar)
+{
+    // Group sizes cover the SWAR fast path (8..64), the generic path
+    // (non-power-of-two, < 8) and oversized groups (> 64).
+    const int group_sizes[] = {1, 2, 3, 4, 7, 8, 9, 16, 24, 32, 64, 100};
+    for (const std::int64_t n : {1LL, 63LL, 64LL, 1000LL, 4096LL}) {
+        const Int8Tensor t = random_tensor(n, 17 + n);
+        for (const auto repr : kBothReprs) {
+            for (const int g : group_sizes) {
+                const auto scalar =
+                    analyze_bit_columns_scalar(t, g, repr);
+                const auto packed = analyze_bit_columns(t, g, repr);
+                EXPECT_EQ(packed.groups, scalar.groups);
+                EXPECT_EQ(packed.columns, scalar.columns);
+                EXPECT_EQ(packed.zero_columns, scalar.zero_columns);
+                for (int z = 0; z <= 8; ++z) {
+                    EXPECT_EQ(packed.zero_column_hist[z],
+                              scalar.zero_column_hist[z])
+                        << "n=" << n << " g=" << g << " z=" << z;
+                }
+            }
+        }
+    }
+}
+
+TEST(BitPlanes, ColumnIndexesMatchScalarWalk)
+{
+    const Int8Tensor t = random_tensor(777, 31);
+    for (const auto repr : kBothReprs) {
+        for (const int g : {1, 8, 13, 16, 32, 64}) {
+            const auto packed = column_indexes(t, g, repr);
+            std::vector<std::uint8_t> scalar;
+            for (std::int64_t start = 0; start < t.numel(); start += g) {
+                const std::int64_t len =
+                    std::min<std::int64_t>(g, t.numel() - start);
+                scalar.push_back(column_index(
+                    {t.data() + start, static_cast<std::size_t>(len)},
+                    repr));
+            }
+            EXPECT_EQ(packed, scalar) << "g=" << g;
+        }
+    }
+}
+
+TEST(BitPlanes, BcsMeasureAndCompressMatchScalar)
+{
+    for (const std::int64_t n : {64LL, 257LL, 2048LL}) {
+        const Int8Tensor t = random_tensor(n, 41 + n, 0.4);
+        for (const auto repr : kBothReprs) {
+            for (const int g : {1, 4, 8, 11, 16, 32, 64}) {
+                const auto ms = bcs_measure_scalar(t, g, repr);
+                const auto mp = bcs_measure(t, g, repr);
+                EXPECT_EQ(mp.groups, ms.groups);
+                EXPECT_EQ(mp.nonzero_columns, ms.nonzero_columns);
+                EXPECT_EQ(mp.compressed_bits(), ms.compressed_bits());
+
+                const auto cs = bcs_compress_scalar(t, g, repr);
+                const auto cp = bcs_compress(t, g, repr);
+                EXPECT_EQ(cp.element_count, cs.element_count);
+                EXPECT_EQ(cp.shape, cs.shape);
+                ASSERT_EQ(cp.groups.size(), cs.groups.size());
+                for (std::size_t i = 0; i < cs.groups.size(); ++i) {
+                    EXPECT_EQ(cp.groups[i].index, cs.groups[i].index);
+                    EXPECT_EQ(cp.groups[i].columns, cs.groups[i].columns)
+                        << "group " << i << " g=" << g;
+                }
+                // And the compressed stream still round-trips.
+                EXPECT_EQ(bcs_decompress(cp), t);
+            }
+        }
+    }
+}
+
+TEST(BitPlanes, ColumnCycleStatsMatchesScalar)
+{
+    // Conv rows (row_len = C, both 64-aligned and not), linear rows and
+    // the depthwise flat layout all agree with the scalar walk.
+    struct Case
+    {
+        LayerDesc desc;
+        std::int64_t ku;
+    };
+    const Case cases[] = {
+        {make_conv("c", 8, 96, 5, 5, 3, 3), 4},
+        {make_conv("c64", 4, 64, 4, 4, 3, 3), 32},
+        {make_linear("fc", 24, 100, 2), 8},
+        {make_depthwise("dw", 12, 5, 5, 3), 64},
+    };
+    for (const auto &[desc, ku] : cases) {
+        const Int8Tensor w = random_tensor(desc.weight_count(), 59, 0.35);
+        for (const auto repr : kBothReprs) {
+            for (const int g : {8, 16, 64}) {
+                const auto s =
+                    column_cycle_stats_scalar(w, desc, g, ku, repr);
+                const auto p = column_cycle_stats(w, desc, g, ku, repr);
+                EXPECT_EQ(p.groups, s.groups) << desc.name;
+                EXPECT_DOUBLE_EQ(p.mean_cycles_per_group,
+                                 s.mean_cycles_per_group);
+                EXPECT_DOUBLE_EQ(p.sync_cycles_per_group,
+                                 s.sync_cycles_per_group);
+                for (int nz = 0; nz <= 8; ++nz) {
+                    EXPECT_EQ(p.occupancy_hist[nz], s.occupancy_hist[nz]);
+                }
+            }
+        }
+    }
+}
+
+TEST(BitPlanes, ComputeSparsityFromPlanesMatchesScalar)
+{
+    for (const std::int64_t n : {1LL, 64LL, 999LL, 5000LL}) {
+        const Int8Tensor t = random_tensor(n, 71 + n, 0.25);
+        const auto scalar = compute_sparsity(t);
+        const auto packed = compute_sparsity(
+            pack_bitplanes(t, Representation::kTwosComplement),
+            pack_bitplanes(t, Representation::kSignMagnitude));
+        EXPECT_EQ(packed.words, scalar.words);
+        EXPECT_EQ(packed.zero_words, scalar.zero_words);
+        EXPECT_EQ(packed.bits, scalar.bits);
+        EXPECT_EQ(packed.zero_bits_2c, scalar.zero_bits_2c);
+        EXPECT_EQ(packed.zero_bits_sm, scalar.zero_bits_sm);
+    }
+}
+
+// ------------------------------------------------------- shared cache ---
+
+TEST(BitPlanes, SharedPlanesHitTheContentCache)
+{
+    const Int8Tensor t = random_tensor(500, 97);
+    const auto a =
+        shared_bitplanes(t, Representation::kSignMagnitude);
+    const auto b =
+        shared_bitplanes(t, Representation::kSignMagnitude);
+    ASSERT_TRUE(a != nullptr);
+    EXPECT_EQ(a.get(), b.get()) << "same content must share one pack";
+    // The other representation is a distinct entry.
+    const auto c =
+        shared_bitplanes(t, Representation::kTwosComplement);
+    EXPECT_NE(a.get(), c.get());
+    // An identical copy hits by content, not identity.
+    const Int8Tensor copy = t;
+    const auto d =
+        shared_bitplanes(copy, Representation::kSignMagnitude);
+    EXPECT_EQ(a.get(), d.get());
+}
+
+// ------------------------------------------------------------- LRU ---
+
+TEST(LruCache, EvictsLeastRecentlyUsedAndRebuilds)
+{
+    LruCache<int, int> cache(2);
+    int builds = 0;
+    const auto build = [&](int v) {
+        return [&builds, v] {
+            ++builds;
+            return v * 10;
+        };
+    };
+    EXPECT_EQ(*cache.get_or_build(1, build(1)), 10);
+    EXPECT_EQ(*cache.get_or_build(2, build(2)), 20);
+    EXPECT_EQ(builds, 2);
+    // Hit keeps 1 resident...
+    bool hit = false;
+    EXPECT_EQ(*cache.get_or_build(1, build(1), &hit), 10);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(builds, 2);
+    // ...so inserting 3 evicts 2, and 2 rebuilds on the next request.
+    EXPECT_EQ(*cache.get_or_build(3, build(3)), 30);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(*cache.get_or_build(2, build(2), &hit), 20);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(builds, 4);
+    EXPECT_GE(cache.hits(), 1);
+}
+
+TEST(LruCache, EvictedValueStaysAliveThroughHolders)
+{
+    LruCache<int, std::vector<int>> cache(1);
+    const auto held =
+        cache.get_or_build(1, [] { return std::vector<int>{1, 2, 3}; });
+    cache.get_or_build(2, [] { return std::vector<int>{9}; });  // evicts 1
+    EXPECT_EQ(held->size(), 3u) << "holder must outlive eviction";
+}
+
+TEST(LruCache, CapacityEnvOverride)
+{
+    ASSERT_EQ(setenv("BITWAVE_CACHE_ENTRIES", "7", 1), 0);
+    EXPECT_EQ(cache_capacity_from_env(99), 7u);
+    ASSERT_EQ(setenv("BITWAVE_CACHE_ENTRIES", "garbage", 1), 0);
+    EXPECT_EQ(cache_capacity_from_env(99), 99u);
+    ASSERT_EQ(unsetenv("BITWAVE_CACHE_ENTRIES"), 0);
+    EXPECT_EQ(cache_capacity_from_env(99), 99u);
+}
+
+}  // namespace
+}  // namespace bitwave

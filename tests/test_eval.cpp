@@ -365,6 +365,34 @@ TEST(StatsEngine, MatchesDirectSparsityAnalysis)
     EXPECT_EQ(r.total_cycles, 0.0);
 }
 
+TEST(StatsEngine, WarmReRunHitsTheStatsMemo)
+{
+    // Repeated kStats sweeps over the same weights must be served by the
+    // content-hash stats memo; the hit count is surfaced per scenario.
+    const auto net = std::make_shared<Workload>(tiny_workload());
+    eval::Scenario s;
+    s.custom_workload = net;
+    s.engine = eval::EngineKind::kStats;
+    s.stats.group_size = 24;  // spec unique to this test => cold start
+    s.stats.bcs = true;
+
+    const auto cold = eval::evaluate_scenario(s);
+    EXPECT_EQ(cold.stats_memo_hits, 0);
+    const auto warm = eval::evaluate_scenario(s);
+    EXPECT_EQ(warm.stats_memo_hits,
+              static_cast<std::int64_t>(net->layers.size()));
+    // Memoized records are identical (same shared instances).
+    ASSERT_EQ(warm.layers.size(), cold.layers.size());
+    for (std::size_t l = 0; l < warm.layers.size(); ++l) {
+        EXPECT_EQ(warm.layers[l].stats.get(), cold.layers[l].stats.get());
+        EXPECT_TRUE(warm.layers[l].stats_from_memo);
+    }
+    // A different stats spec is a different memo entry.
+    eval::Scenario other = s;
+    other.stats.group_size = 25;
+    EXPECT_EQ(eval::evaluate_scenario(other).stats_memo_hits, 0);
+}
+
 TEST(ScenarioRunner, ResultsComeBackInBatchOrder)
 {
     const auto scenarios = determinism_batch();

@@ -22,14 +22,19 @@ run(const AcceleratorConfig &cfg, WorkloadId id)
     return AcceleratorModel(cfg).model_workload(get_workload(id));
 }
 
-/// Bit-Flip all layers of a workload to a uniform zero-column target.
+/// Bit-Flip all layers of a workload to a uniform zero-column target,
+/// via the process-wide preparation cache (validated by test_eval's
+/// PrepCache suite) so the many figure tests sharing one (net, g, z)
+/// combination flip each tensor once per process.
 std::vector<Int8Tensor>
 flip_all(const Workload &w, int group, int zero_cols)
 {
     std::vector<Int8Tensor> out;
     out.reserve(w.layers.size());
     for (const auto &l : w.layers) {
-        out.push_back(bitflip_tensor(l.weights, group, zero_cols));
+        const auto prepared = eval::cached_bitflip(
+            l.weights, l.weights_hash, group, zero_cols);
+        out.push_back(prepared ? *prepared : l.weights);
     }
     return out;
 }

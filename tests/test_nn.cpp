@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -215,7 +216,7 @@ TEST(WorkloadIo, LoadRejectsMissingAndCorruptFiles)
 TEST(WorkloadIo, CachePathIsStable)
 {
     EXPECT_EQ(workload_cache_path("/tmp/cache", "CNN-LSTM", 0x5eed),
-              "/tmp/cache/CNN-LSTM-seed0000000000005eed-v1.bwl");
+              "/tmp/cache/CNN-LSTM-seed0000000000005eed-v2.bwl");
 }
 
 TEST(Workloads, LayerIndexLookup)
@@ -309,6 +310,30 @@ TEST(Synthesis, ZeroAvoidanceSuppressesZeros)
     p.zero_avoidance = 1.0;
     const auto t = synthesize_weights(make_linear("l", 64, 64), p, rng);
     EXPECT_EQ(compute_sparsity(t).value_sparsity(), 0.0);
+}
+
+TEST(Synthesis, ShardedSynthesisIsThreadInvariant)
+{
+    // synthesize_weights draws every kernel chunk from its own derived
+    // seed stream, so a big layer shards into independent tasks whose
+    // output is a pure function of (shape, profile, rng state) — the
+    // worker count can never change the bytes.
+    WeightProfile p;
+    p.scale = 9.0;
+    p.zero_probability = 0.04;
+    const auto desc = make_linear("ffn", 512, 768);  // multi-chunk layer
+
+    ASSERT_EQ(setenv("BITWAVE_THREADS", "1", 1), 0);
+    Rng serial_rng(42);
+    const auto serial = synthesize_weights(desc, p, serial_rng);
+    ASSERT_EQ(setenv("BITWAVE_THREADS", "4", 1), 0);
+    Rng parallel_rng(42);
+    const auto parallel = synthesize_weights(desc, p, parallel_rng);
+    ASSERT_EQ(unsetenv("BITWAVE_THREADS"), 0);
+
+    EXPECT_EQ(serial, parallel);
+    // And the caller's stream advanced identically either way.
+    EXPECT_EQ(serial_rng.engine()(), parallel_rng.engine()());
 }
 
 TEST(Synthesis, ActivationsRespectReluAndSparsity)

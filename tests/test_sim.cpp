@@ -284,6 +284,68 @@ TEST(SimCycles, BitFlipBalancesLockstepTowardDecoupled)
     EXPECT_LT(after.cycles_decoupled, before.cycles_decoupled);
 }
 
+TEST(SimCycles, PackedAccountingMatchesScalarRecomputation)
+{
+    // The sim's token accounting now reads packed bit planes; recompute
+    // the streamed-column and weight-bit totals with the scalar
+    // column_index oracle over the same row/group geometry and require
+    // exact agreement (the "sim cycle counts" half of the scalar-vs-
+    // packed equivalence contract).
+    const LayerDesc descs[] = {make_conv("conv", 8, 16, 5, 5, 3, 3),
+                               make_depthwise("dw", 12, 5, 5, 3),
+                               make_linear("fc", 24, 40, 3)};
+    for (const LayerDesc &desc : descs) {
+        SimFixture fx(desc, 1234);
+        BitWaveNpu npu;
+        const auto r = npu.run_layer(fx.layer, &fx.input, nullptr, false);
+
+        const auto geom = weight_row_geometry(fx.desc);
+        const LayerDesc mapped = normalized_for_mapping(fx.desc);
+        const SpatialUnrolling &su =
+            select_su(mapped, npu.config().dataflows);
+        const std::int64_t revisits =
+            ceil_div(mapped.ox, su.factor(Dim::kOX)) *
+            ceil_div(mapped.oy, su.factor(Dim::kOY)) * mapped.batch;
+        std::int64_t nz_total = 0, weight_bits = 0, groups = 0;
+        for (std::int64_t row = 0; row < geom.rows; ++row) {
+            for (std::int64_t c0 = 0; c0 < geom.row_len;
+                 c0 += r.group_size) {
+                const std::int64_t len = std::min<std::int64_t>(
+                    r.group_size, geom.row_len - c0);
+                const int nz = popcount8(column_index(
+                    {fx.layer.weights.data() + row * geom.row_len + c0,
+                     static_cast<std::size_t>(len)},
+                    Representation::kSignMagnitude));
+                nz_total += nz;
+                weight_bits += kWordBits +
+                    static_cast<std::int64_t>(nz) * r.group_size;
+                ++groups;
+            }
+        }
+        EXPECT_EQ(r.nonzero_columns_streamed, nz_total * revisits)
+            << fx.desc.name;
+        EXPECT_EQ(r.group_passes, groups * revisits) << fx.desc.name;
+        EXPECT_EQ(r.weight_bits_fetched, weight_bits) << fx.desc.name;
+    }
+}
+
+TEST(SimCycles, DepthwiseGroupSizeMatchesModelAccounting)
+{
+    // Regression for the sim/model split: the simulator used to account
+    // depthwise layers with G = 8 while the analytical model used SU7's
+    // G unrolling (64). Both sides now take the group size from the
+    // selected SU, pinned here to SU7's 64.
+    const LayerDesc dw = make_depthwise("dw", 32, 6, 6, 3);
+    BitWaveNpu npu;
+    const SpatialUnrolling &su = select_su(dw, npu.config().dataflows);
+    EXPECT_EQ(su.name, "SU7");
+    EXPECT_EQ(su.group_size(), 64);
+
+    SimFixture fx(dw, 55);
+    const auto r = npu.run_layer(fx.layer, &fx.input, nullptr, false);
+    EXPECT_EQ(r.group_size, 64) << "sim must follow the SU's BCS group";
+}
+
 TEST(SimCycles, MeanColumnsMatchesAnalyticalStats)
 {
     SimFixture fx(make_conv("c", 16, 32, 8, 8, 3, 3));
