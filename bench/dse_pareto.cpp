@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Design-space exploration bench: enumerate BitWave hardware design
+ * points (SU subsets, uniform group sizes, SMM budgets, weight-buffer
+ * capacities, both mapping policies), evaluate each on ResNet18 +
+ * BERT-Base through the ScenarioRunner, and reduce to the pareto front
+ * over (latency, energy, area).
+ *
+ * The paper's Table I configuration is one of the enumerated points;
+ * the front must contain it (CI validates the emitted
+ * BENCH_dse_pareto.json: non-empty front, >= 200 enumerated points,
+ * Table I SU set present and non-dominated).
+ */
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "search/explore.hpp"
+
+using namespace bitwave;
+
+int
+main()
+{
+    bench::banner("DSE pareto",
+                  "hardware design-space exploration, ResNet18 + BERT");
+    bench::JsonReport json("dse_pareto");
+
+    const search::ExploreSpec spec;  // The default >= 200-point space.
+    eval::RunnerReport report;
+    std::vector<search::DesignPoint> infeasible;
+    eval::RunnerOptions options;
+    std::vector<search::DesignEval> evals;
+    {
+        // explore_designs runs its own ScenarioRunner batch; wrap it to
+        // surface the runner diagnostics in the bench footer.
+        const auto t0 = std::chrono::steady_clock::now();
+        evals = search::explore_designs(spec, options, &infeasible);
+        report.wall_seconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+    }
+
+    const std::size_t enumerated = evals.size() + infeasible.size();
+    std::size_t front_size = 0;
+    bool table1_on_front = false;
+    double table1_cycles = 0.0;
+    for (const auto &e : evals) {
+        if (e.pareto) {
+            ++front_size;
+        }
+        if (e.design.table1_su_set && e.design.smm_budget == 4096 &&
+            e.design.policy == search::MappingPolicy::kCostAware &&
+            e.design.weight_sram_bytes == 256 * 1024) {
+            table1_on_front |= e.pareto;
+            table1_cycles = e.total_cycles;
+        }
+    }
+
+    json.param("workloads", "ResNet18+BertBase");
+    json.param("designs_enumerated", static_cast<double>(enumerated));
+    json.param("designs_feasible", static_cast<double>(evals.size()));
+    json.param("designs_infeasible",
+               static_cast<double>(infeasible.size()));
+    json.param("front_size", static_cast<double>(front_size));
+    json.param("table1_on_front", table1_on_front);
+
+    for (const auto &e : evals) {
+        bench::JsonObject row{
+            {"design", e.design.name},
+            {"su_set", e.design.su_set},
+            {"policy", search::mapping_policy_name(e.design.policy)},
+            {"smm_budget", e.design.smm_budget},
+            {"weight_sram_kb", e.design.weight_sram_bytes / 1024},
+            {"act_sram_kb", e.design.act_sram_bytes / 1024},
+            {"cycles", e.total_cycles},
+            {"energy_pj", e.energy_pj},
+            {"area_mm2", e.area_mm2},
+            {"pareto", e.pareto},
+            {"table1", e.design.table1_su_set &&
+                           e.design.smm_budget == 4096},
+        };
+        for (std::size_t k = 0; k < spec.workloads.size(); ++k) {
+            row.emplace_back(
+                std::string("cycles_") +
+                    workload_name(spec.workloads[k]),
+                e.workload_cycles[k]);
+        }
+        json.add_row(std::move(row));
+    }
+
+    // Human-readable: the front, best-latency first.
+    std::vector<const search::DesignEval *> front;
+    for (const auto &e : evals) {
+        if (e.pareto) {
+            front.push_back(&e);
+        }
+    }
+    std::sort(front.begin(), front.end(),
+              [](const auto *a, const auto *b) {
+                  return a->total_cycles < b->total_cycles;
+              });
+    Table t({"design", "SMM", "W-SRAM", "Mcycles", "energy mJ",
+             "area mm2"});
+    for (const auto *e : front) {
+        t.add_row({e->design.name, std::to_string(e->design.smm_budget),
+                   std::to_string(e->design.weight_sram_bytes / 1024) +
+                       "K",
+                   strprintf("%.2f", e->total_cycles / 1e6),
+                   strprintf("%.2f", e->energy_pj / 1e9),
+                   strprintf("%.3f", e->area_mm2)});
+    }
+    std::printf("pareto front (%zu of %zu feasible, %zu enumerated, "
+                "%zu infeasible pruned):\n%s",
+                front_size, evals.size(), enumerated, infeasible.size(),
+                t.render().c_str());
+    std::printf("\nTable I SU set (4096 SMM, 256K+256K, cost-aware): "
+                "%.2f Mcycles, %s the pareto front.\n",
+                table1_cycles / 1e6,
+                table1_on_front ? "ON" : "NOT on");
+    std::printf("[explore wall %.2fs]\n", report.wall_seconds);
+    return table1_on_front && enumerated >= 200 ? 0 : 1;
+}

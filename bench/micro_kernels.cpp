@@ -17,6 +17,7 @@
 #include "bitflip/bitflip.hpp"
 #include "common/rng.hpp"
 #include "compress/bcs.hpp"
+#include "compress/zre.hpp"
 #include "dataflow/mapping.hpp"
 #include "nn/layer.hpp"
 #include "nn/synthesis.hpp"
@@ -179,6 +180,20 @@ main()
                s.zero_words == p.zero_words &&
                    s.zero_bits_2c == p.zero_bits_2c &&
                    s.zero_bits_sm == p.zero_bits_sm);
+    }
+
+    {  // ZRE encoding (SWAR non-zero mask scan vs per-element walk).
+        ZreCompressed s, p;
+        const double scalar_ms =
+            time_ms([&] { s = zre_compress_scalar(w); });
+        const double packed_ms = time_ms([&] { p = zre_compress(w); });
+        bool identical = s.entries.size() == p.entries.size();
+        for (std::size_t i = 0; identical && i < s.entries.size(); ++i) {
+            identical = s.entries[i].zero_run == p.entries[i].zero_run &&
+                s.entries[i].value == p.entries[i].value;
+        }
+        report(json, table, "zre_compress", scalar_ms, packed_ms,
+               identical);
     }
 
     {  // Bit-Flip (profile-scored greedy vs per-element scoring).

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Explore the BitWave hardware design space from the command line:
+ * enumerate SU sets, group sizes, SMM budgets and weight-buffer
+ * capacities, evaluate every feasible design on the chosen workloads
+ * through the parallel ScenarioRunner, and print the pareto front over
+ * (latency, energy, area).
+ *
+ * Run: ./explore_design [workload ...] [--threads N] [--all]
+ *   workload   any of resnet18 mobilenetv2 cnnlstm bert
+ *              (default: resnet18 bert — the dse_pareto bench pair)
+ *   --all      print every feasible design, not just the front
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/table.hpp"
+#include "search/explore.hpp"
+
+using namespace bitwave;
+
+int
+main(int argc, char **argv)
+{
+    search::ExploreSpec spec;
+    spec.workloads.clear();
+    eval::RunnerOptions options;
+    bool print_all = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "resnet18") == 0) {
+            spec.workloads.push_back(WorkloadId::kResNet18);
+        } else if (std::strcmp(argv[i], "mobilenetv2") == 0) {
+            spec.workloads.push_back(WorkloadId::kMobileNetV2);
+        } else if (std::strcmp(argv[i], "cnnlstm") == 0) {
+            spec.workloads.push_back(WorkloadId::kCnnLstm);
+        } else if (std::strcmp(argv[i], "bert") == 0) {
+            spec.workloads.push_back(WorkloadId::kBertBase);
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            options.threads = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--all") == 0) {
+            print_all = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [resnet18|mobilenetv2|cnnlstm|bert "
+                         "...] [--threads N] [--all]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (spec.workloads.empty()) {
+        spec.workloads = {WorkloadId::kResNet18, WorkloadId::kBertBase};
+    }
+
+    std::vector<search::DesignPoint> infeasible;
+    const auto evals =
+        search::explore_designs(spec, options, &infeasible);
+
+    std::printf("explored %zu feasible designs (%zu pruned: weight "
+                "buffer cannot hold the active Ku-tile)\n\n",
+                evals.size(), infeasible.size());
+
+    std::vector<std::string> header{"design", "SMM", "W-SRAM",
+                                    "Mcycles", "energy mJ", "area mm2"};
+    for (WorkloadId id : spec.workloads) {
+        header.insert(header.end() - 2,
+                      std::string(workload_name(id)) + " Mcyc");
+    }
+    Table t(header);
+    std::vector<const search::DesignEval *> shown;
+    for (const auto &e : evals) {
+        if (print_all || e.pareto) {
+            shown.push_back(&e);
+        }
+    }
+    std::sort(shown.begin(), shown.end(), [](const auto *a, const auto *b) {
+        return a->total_cycles < b->total_cycles;
+    });
+    for (const auto *e : shown) {
+        std::vector<std::string> row{
+            e->design.name + (e->pareto ? " *" : ""),
+            std::to_string(e->design.smm_budget),
+            std::to_string(e->design.weight_sram_bytes / 1024) + "K",
+            strprintf("%.2f", e->total_cycles / 1e6)};
+        for (double c : e->workload_cycles) {
+            row.push_back(strprintf("%.2f", c / 1e6));
+        }
+        row.push_back(strprintf("%.2f", e->energy_pj / 1e9));
+        row.push_back(strprintf("%.3f", e->area_mm2));
+        t.add_row(std::move(row));
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n* = pareto-optimal over (latency, energy, area); the "
+                "paper's Table I set is the TableI/cost design.\n");
+    return 0;
+}

@@ -1,9 +1,49 @@
 #include "compress/zre.hpp"
 
+#include <bit>
+#include <cstring>
+
 #include "common/bits.hpp"
 #include "common/logging.hpp"
 
 namespace bitwave {
+
+namespace {
+
+/// Bit k set iff byte k of @p v is non-zero (SWAR zero-byte test +
+/// multiply compaction; all (k, j) partial products land on distinct
+/// bits, so the multiply cannot carry).
+// The mask scan maps byte k of a loaded word to element offset k,
+// which holds only for little-endian loads (every supported target).
+static_assert(std::endian::native == std::endian::little,
+              "zre_compress's SWAR scan assumes little-endian loads");
+
+inline std::uint64_t
+nonzero_byte_bits(std::uint64_t v)
+{
+    const std::uint64_t kHi = 0x8080808080808080ULL;
+    // Bit 7 of each byte: set iff the byte's low 7 bits are non-zero
+    // (the per-byte add cannot carry: 0x7F + 0x7F < 0x100), OR'd with
+    // the byte's own bit 7 — exact, unlike the borrowing (v - 0x01..)
+    // trick, which false-flags 0x01 bytes that follow a zero byte.
+    const std::uint64_t low7 = (v & ~kHi) + ~kHi;
+    const std::uint64_t nz = ((low7 | v) & kHi) >> 7;  // bit0 per byte
+    return (nz * 0x0102040810204080ULL) >> 56;
+}
+
+/// Fold @p zeros newly seen zeros into the running counter, emitting the
+/// saturated padding entries exactly as the one-by-one loop would.
+inline void
+absorb_zeros(std::vector<ZreEntry> &entries, int &run, std::int64_t zeros)
+{
+    run += static_cast<int>(zeros);
+    while (run >= 16) {
+        entries.push_back({15, 0});
+        run -= 16;
+    }
+}
+
+}  // namespace
 
 std::int64_t
 ZreCompressed::compressed_bits() const
@@ -43,6 +83,74 @@ ZreCompressed::ideal_compression_ratio() const
 
 ZreCompressed
 zre_compress(const Int8Tensor &tensor)
+{
+    ZreCompressed out;
+    out.shape = tensor.shape();
+    out.element_count = tensor.numel();
+
+    const std::int8_t *data = tensor.data();
+    const std::int64_t n = tensor.numel();
+
+    // One cheap mask pass sizes the stream (values + padding bound) so
+    // the emit pass below never reallocates.
+    const std::int64_t whole = n & ~std::int64_t{63};
+    std::vector<std::uint64_t> masks(
+        static_cast<std::size_t>(whole / 64));
+    std::int64_t nonzeros = 0;
+    for (std::int64_t chunk = 0; chunk < whole; chunk += 64) {
+        std::uint64_t mask = 0;
+        for (int w = 0; w < 8; ++w) {
+            std::uint64_t v;
+            std::memcpy(&v, data + chunk + 8 * w, sizeof v);
+            mask |= nonzero_byte_bits(v) << (8 * w);
+        }
+        masks[static_cast<std::size_t>(chunk / 64)] = mask;
+        nonzeros += std::popcount(mask);
+    }
+    out.entries.reserve(static_cast<std::size_t>(
+        nonzeros + (n - whole) + (n - nonzeros) / 15 + 2));
+
+    int run = 0;
+    std::int64_t chunk = 0;
+    for (; chunk + 64 <= n; chunk += 64) {
+        std::uint64_t mask = masks[static_cast<std::size_t>(chunk / 64)];
+        if (mask == ~std::uint64_t{0} && run == 0) {
+            // Fully dense chunk: straight-line emit, no bit scanning.
+            for (int j = 0; j < 64; ++j) {
+                out.entries.push_back({0, data[chunk + j]});
+            }
+            continue;
+        }
+        std::int64_t prev = 0;
+        while (mask != 0) {
+            const int j = std::countr_zero(mask);
+            mask &= mask - 1;
+            absorb_zeros(out.entries, run, j - prev);
+            out.entries.push_back({static_cast<std::uint8_t>(run),
+                                   data[chunk + j]});
+            run = 0;
+            prev = j + 1;
+        }
+        absorb_zeros(out.entries, run, 64 - prev);
+    }
+    for (std::int64_t i = chunk; i < n; ++i) {
+        const std::int8_t v = data[i];
+        if (v == 0) {
+            absorb_zeros(out.entries, run, 1);
+            continue;
+        }
+        out.entries.push_back({static_cast<std::uint8_t>(run), v});
+        run = 0;
+    }
+    if (run > 0) {
+        // Close a trailing zero run so decode can restore the exact length.
+        out.entries.push_back({static_cast<std::uint8_t>(run - 1), 0});
+    }
+    return out;
+}
+
+ZreCompressed
+zre_compress_scalar(const Int8Tensor &tensor)
 {
     ZreCompressed out;
     out.shape = tensor.shape();

@@ -43,8 +43,20 @@ struct ZreCompressed
     double ideal_compression_ratio() const;
 };
 
-/// Encode @p tensor (flat order) into a ZRE stream.
+/**
+ * Encode @p tensor (flat order) into a ZRE stream.
+ *
+ * Word-parallel: a SWAR scan derives a 64-element non-zero mask per
+ * chunk (the same "operate on packed lanes" treatment the bit-plane
+ * kernels got), so sparse stretches advance 64 elements per word test
+ * and only the surviving values are touched individually. This was the
+ * last per-element walk on the SCNN fig14 critical path.
+ */
 ZreCompressed zre_compress(const Int8Tensor &tensor);
+
+/// Element-at-a-time oracle for zre_compress (tests / bench);
+/// bit-identical entry stream.
+ZreCompressed zre_compress_scalar(const Int8Tensor &tensor);
 
 /// Invert zre_compress exactly.
 Int8Tensor zre_decompress(const ZreCompressed &compressed);

@@ -17,6 +17,7 @@
 
 #include "dataflow/mapping.hpp"
 #include "dataflow/su.hpp"
+#include "search/cost.hpp"
 #include "sparsity/stats.hpp"
 
 namespace bitwave {
@@ -56,6 +57,15 @@ struct AcceleratorConfig
     Representation weight_repr = Representation::kTwosComplement;
     /// Candidate dataflows; more than one = runtime-reconfigurable.
     std::vector<SpatialUnrolling> dataflows;
+    /**
+     * How the per-layer SU is picked from `dataflows`. The default
+     * replays the historic utilization ranking bit for bit;
+     * kCostAware ranks by the mapping cost model's Eq. (5) latency
+     * (search/cost.hpp) — only meaningful for the bit-column-serial
+     * machines, other styles keep the utilization choice.
+     */
+    search::MappingPolicy mapping_policy =
+        search::MappingPolicy::kUtilization;
     MemoryHierarchy memory;
 
     /// Lanes that advance in lockstep (Pragmatic sync, BitWave Ku).

@@ -1,0 +1,212 @@
+#include "search/cost.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+#include "common/lru.hpp"
+#include "nn/layer.hpp"
+
+namespace bitwave::search {
+
+const char *
+mapping_policy_name(MappingPolicy policy)
+{
+    switch (policy) {
+      case MappingPolicy::kUtilization: return "utilization";
+      case MappingPolicy::kCostAware: return "cost-aware";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Identity of one column-cycle analysis: tensor content + representation
+/// + every descriptor field the analysis reads (group tiling, lockstep
+/// tile, row geometry).
+std::uint64_t
+cycle_stats_key(const BitPlanes &planes, const LayerDesc &desc,
+                int group_size, std::int64_t ku,
+                std::uint64_t content_hash)
+{
+    std::uint64_t key = hash_combine(
+        content_hash, static_cast<std::uint64_t>(planes.repr));
+    key = hash_combine(key, static_cast<std::uint64_t>(group_size));
+    key = hash_combine(key, static_cast<std::uint64_t>(ku));
+    const bool depthwise = desc.kind == LayerKind::kDepthwiseConv;
+    key = hash_combine(key, depthwise ? 1 : 0);
+    key = hash_combine(key, static_cast<std::uint64_t>(desc.k));
+    key = hash_combine(key, static_cast<std::uint64_t>(desc.c));
+    return hash_combine(key,
+                        static_cast<std::uint64_t>(desc.fy * desc.fx));
+}
+
+}  // namespace
+
+std::shared_ptr<const ColumnCycleStats>
+cached_cycle_stats(const BitPlanes &planes, const LayerDesc &desc,
+                   int group_size, std::int64_t ku,
+                   std::uint64_t content_hash)
+{
+    if (content_hash == 0) {
+        return std::make_shared<const ColumnCycleStats>(
+            column_cycle_stats(planes, desc, group_size, ku));
+    }
+    static LruCache<std::uint64_t, ColumnCycleStats> memo(
+        cache_capacity_from_env(4096));
+    return memo.get_or_build(
+        cycle_stats_key(planes, desc, group_size, ku, content_hash),
+        [&] { return column_cycle_stats(planes, desc, group_size, ku); });
+}
+
+std::shared_ptr<const BcsSizeInfo>
+cached_bcs_size(const BitPlanes &planes, int group_size,
+                std::uint64_t content_hash)
+{
+    if (content_hash == 0) {
+        return std::make_shared<const BcsSizeInfo>(
+            bcs_measure(planes, group_size));
+    }
+    std::uint64_t key = hash_combine(
+        content_hash, static_cast<std::uint64_t>(planes.repr));
+    key = hash_combine(key, static_cast<std::uint64_t>(group_size));
+    static LruCache<std::uint64_t, BcsSizeInfo> memo(
+        cache_capacity_from_env(4096));
+    return memo.get_or_build(
+        key, [&] { return bcs_measure(planes, group_size); });
+}
+
+MappingCost
+mapping_cost(const LayerDesc &desc, const SpatialUnrolling &su,
+             const BitPlanes *planes, std::uint64_t content_hash,
+             const MappingCostConfig &cfg, const TechParams &tech,
+             const DramModel &dram)
+{
+    if (planes == nullptr &&
+        (cfg.skip_zero_columns || cfg.compress_weights)) {
+        fatal("mapping_cost: weight planes required for BCS pricing");
+    }
+
+    MappingCost r;
+    r.utilization = spatial_utilization(desc, su);
+    const double macs = static_cast<double>(desc.macs());
+    const std::int64_t iterations = temporal_iterations(desc, su);
+    const int group = static_cast<int>(su.group_size());
+
+    // Bit-column occupancy — the term-for-term mirror of model_layer's
+    // ComputeStyle::kBitColumnSerial branch.
+    double cycles_per_pass = 0.0;
+    double mac_energy_scale = 1.0;
+    double mean_columns_per_group = 8.0;
+    if (cfg.skip_zero_columns) {
+        const auto cc = cached_cycle_stats(*planes, desc, group,
+                                           su.factor(Dim::kK),
+                                           content_hash);
+        cycles_per_pass = cc->mean_ceil_cycles(su.bit_columns);
+        mac_energy_scale = cc->mean_cycles_per_group / 8.0;
+        mean_columns_per_group = cc->mean_cycles_per_group;
+    } else {
+        cycles_per_pass = 8.0 / static_cast<double>(su.bit_columns);
+    }
+    r.compute_cycles = static_cast<double>(iterations) * cycles_per_pass;
+    r.cycles_per_group = cycles_per_pass;
+
+    CompressionFactors cf;
+    if (cfg.compress_weights && cfg.skip_zero_columns) {
+        const auto compressed =
+            cached_bcs_size(*planes, group, content_hash);
+        cf.weight_fetch_ratio = 1.0 / compressed->compression_ratio();
+        cf.weight_sram_overhead = 1.0 +
+            static_cast<double>(kWordBits) /
+                (cycles_per_pass * static_cast<double>(group));
+    }
+    r.weight_fetch_ratio = cf.weight_fetch_ratio;
+
+    ExecutionProfile exec;
+    exec.utilization = r.utilization;
+    exec.compute_cycles = r.compute_cycles;
+    exec.weight_port_active_bits = std::min(
+        static_cast<double>(su.weight_bandwidth_bits()) *
+            static_cast<double>(su.bit_columns),
+        static_cast<double>(cfg.memory.weight_port_bits));
+    // Compressed stream (payload columns + ZCIP index) crosses the
+    // weight port once per layer sweep — the fetcher's double buffer
+    // holds the active tile across spatial revisits.
+    const WeightRowGeometry geom = weight_row_geometry(desc);
+    const double groups = static_cast<double>(
+        geom.rows * ceil_div(geom.row_len, su.group_size()));
+    exec.weight_stream_bits = groups *
+        (mean_columns_per_group * static_cast<double>(su.group_size()) +
+         kWordBits);
+    exec.weight_stationary = false;
+    exec.c_tiles = ceil_div(desc.c, su.factor(Dim::kC));
+    exec.psum_in_accumulators = false;
+    exec.input_from_dram = cfg.input_from_dram;
+    exec.output_to_dram = cfg.output_to_dram;
+
+    const AccessCounts ac =
+        compute_access_counts(desc, su, cfg.memory, cf, exec);
+    r.dram_cycles = dram.transfer_cycles(ac.dram_total_bits());
+
+    LatencyParts lat;
+    lat.compute_cycles = r.compute_cycles;
+    lat.weight_fetch_cycles = ac.sram_read_weight_bits /
+        static_cast<double>(cfg.memory.weight_port_bits);
+    lat.act_fetch_cycles = ac.sram_read_act_bits /
+        static_cast<double>(cfg.memory.act_port_bits);
+    lat.dram_cycles = r.dram_cycles;
+    lat.output_write_cycles =
+        static_cast<double>(desc.output_count()) * kWordBits /
+        static_cast<double>(cfg.memory.act_port_bits);
+    r.weight_fetch_cycles = lat.weight_fetch_cycles;
+    r.act_fetch_cycles = lat.act_fetch_cycles;
+    r.output_write_cycles = lat.output_write_cycles;
+    r.total_cycles = compose_latency(lat);
+
+    EnergyActivity act;
+    act.mac_units = macs * mac_energy_scale;
+    act.e_mac_pj = tech.e_mac_bit_column_pj;
+    act.sram_read_bits = ac.sram_read_weight_bits + ac.sram_read_act_bits;
+    act.sram_write_bits =
+        ac.sram_write_act_bits + ac.sram_write_weight_bits;
+    act.reg_words = ac.reg_read_words + ac.reg_write_words;
+    act.dram_bits = ac.dram_total_bits();
+    act.cycles = r.total_cycles;
+    r.energy = price_energy(act, tech, dram);
+    return r;
+}
+
+const SpatialUnrolling &
+select_su_cost_aware(const LayerDesc &desc,
+                     const std::vector<SpatialUnrolling> &candidates,
+                     const BitPlanes *planes, std::uint64_t content_hash,
+                     const MappingCostConfig &cfg, const TechParams &tech,
+                     const DramModel &dram)
+{
+    if (candidates.empty()) {
+        fatal("select_su_cost_aware: empty candidate set");
+    }
+    const bool depthwise = desc.kind == LayerKind::kDepthwiseConv;
+    const SpatialUnrolling *best = nullptr;
+    double best_cycles = 0.0;
+    for (const auto &su : candidates) {
+        if (su.depthwise_only && !depthwise) {
+            continue;
+        }
+        const double cycles =
+            mapping_cost(desc, su, planes, content_hash, cfg, tech, dram)
+                .total_cycles;
+        if (best == nullptr || cycles < best_cycles) {
+            best_cycles = cycles;
+            best = &su;
+        }
+    }
+    if (best == nullptr) {
+        // Only depthwise-only SUs offered for a non-depthwise layer.
+        return candidates.front();
+    }
+    return *best;
+}
+
+}  // namespace bitwave::search

@@ -1,0 +1,330 @@
+#include "search/explore.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "energy/breakdown.hpp"
+#include "eval/scenario.hpp"
+#include "nn/layer.hpp"
+
+namespace bitwave::search {
+
+namespace {
+
+/// Short policy suffix for design names.
+const char *
+policy_tag(MappingPolicy policy)
+{
+    return policy == MappingPolicy::kCostAware ? "cost" : "util";
+}
+
+/// Ku-scaled copy of one Table I SU for a different SMM budget.
+SpatialUnrolling
+scaled_su(const SpatialUnrolling &su, std::int64_t budget)
+{
+    SpatialUnrolling out = su;
+    const std::int64_t scale_num = budget;
+    const std::int64_t scale_den = 4096;
+    // Scale the K unrolling (SU7 scales its OX instead: its K carries
+    // the depthwise channels and its bit columns are already maxed).
+    const Dim dim = su.depthwise_only ? Dim::kOX : Dim::kK;
+    const std::int64_t f = su.factor(dim);
+    out.factors[dim] =
+        std::max<std::int64_t>(1, f * scale_num / scale_den);
+    return out;
+}
+
+/// The two uniform-group-size SUs of one Cu: a 1-column SU1-style
+/// geometry (Ku = 32) and a 4-column SU4-style geometry (OXu = 1),
+/// both filling the 4096-SMM budget within the Table I port envelope.
+std::vector<SpatialUnrolling>
+uniform_group_sus(int cu)
+{
+    std::vector<SpatialUnrolling> v;
+    const std::int64_t c = cu;
+    const std::int64_t ox1 = 4096 / (c * 32);
+    if (ox1 >= 1) {
+        SpatialUnrolling one{
+            "C" + std::to_string(cu) + "x1c",
+            {{Dim::kC, c}, {Dim::kOX, ox1}, {Dim::kK, 32}}};
+        v.push_back(std::move(one));
+    }
+    const std::int64_t ku4 = 1024 / c;
+    if (ku4 >= 8) {
+        SpatialUnrolling four{
+            "C" + std::to_string(cu) + "x4c",
+            {{Dim::kC, c}, {Dim::kOX, 1}, {Dim::kK, ku4}}};
+        four.bit_columns = 4;
+        v.push_back(std::move(four));
+    }
+    return v;
+}
+
+/// Raw bytes of the active Ku-tile of @p desc under @p su.
+std::int64_t
+ku_tile_bytes(const LayerDesc &desc, const SpatialUnrolling &su)
+{
+    const WeightRowGeometry geom = weight_row_geometry(desc);
+    const std::int64_t ku =
+        std::min<std::int64_t>(su.factor(Dim::kK), desc.k);
+    return ku * geom.rows_per_kernel * geom.row_len;
+}
+
+}  // namespace
+
+std::vector<DesignPoint>
+enumerate_design_points(const ExploreSpec &spec)
+{
+    std::vector<DesignPoint> out;
+    const auto &sus = bitwave_sus();  // SU1..SU6 + depthwise SU7.
+
+    const auto add = [&](DesignPoint d) { out.push_back(std::move(d)); };
+
+    // --- The canonical Table I design, always present --------------------
+    for (MappingPolicy policy : spec.policies) {
+        DesignPoint d;
+        d.dataflows = sus;
+        d.su_set = "TableI";
+        d.table1_su_set = true;
+        d.policy = policy;
+        d.name = d.su_set + "/" + policy_tag(policy);
+        add(std::move(d));
+    }
+
+    // --- Family A: subsets of the Table I SU set -------------------------
+    if (spec.su_subsets) {
+        for (int with_su7 = 1; with_su7 >= 0; --with_su7) {
+            for (unsigned mask = 1; mask < 64; ++mask) {
+                if (mask == 63 && with_su7 == 1) {
+                    continue;  // The canonical Table I point above.
+                }
+                for (MappingPolicy policy : spec.policies) {
+                    DesignPoint d;
+                    std::string set;
+                    for (int i = 0; i < 6; ++i) {
+                        if (mask & (1u << i)) {
+                            d.dataflows.push_back(sus[
+                                static_cast<std::size_t>(i)]);
+                            set += (set.empty() ? "SU" : "+SU") +
+                                std::to_string(i + 1);
+                        }
+                    }
+                    if (with_su7) {
+                        d.dataflows.push_back(sus[6]);
+                        set += "+SU7";
+                    }
+                    d.su_set = set;
+                    d.policy = policy;
+                    d.name = d.su_set + "/" + policy_tag(policy);
+                    add(std::move(d));
+                }
+            }
+        }
+    }
+
+    // --- Family B: uniform-group-size sets (the {8,16,32,64} axis) ------
+    for (int g : spec.group_sizes) {
+        const auto members = uniform_group_sus(g);
+        if (members.empty()) {
+            continue;
+        }
+        for (MappingPolicy policy : spec.policies) {
+            DesignPoint set;
+            set.dataflows = members;
+            set.su_set = "G" + std::to_string(g);
+            set.policy = policy;
+            set.name = set.su_set + "/" + policy_tag(policy);
+            add(std::move(set));
+            for (const auto &member : members) {
+                DesignPoint single;
+                single.dataflows = {member};
+                single.su_set = member.name;
+                single.policy = policy;
+                single.name = member.name + "/" + policy_tag(policy);
+                add(std::move(single));
+            }
+        }
+    }
+
+    // --- Family C: weight-buffer sweep on the Table I set ----------------
+    for (std::int64_t bytes : spec.weight_sram_options) {
+        if (bytes == 256 * 1024) {
+            continue;  // The family-A Table I point already covers it.
+        }
+        for (MappingPolicy policy : spec.policies) {
+            DesignPoint d;
+            d.dataflows = sus;
+            d.su_set = "TableI";
+            d.table1_su_set = true;
+            d.weight_sram_bytes = bytes;
+            d.policy = policy;
+            d.name = "TableI/w" + std::to_string(bytes / 1024) + "K/" +
+                policy_tag(policy);
+            add(std::move(d));
+        }
+    }
+
+    // --- Family D: SMM budget splits (Ku-scaled Table I sets) ------------
+    for (std::int64_t budget : spec.smm_budgets) {
+        if (budget == 4096) {
+            continue;
+        }
+        for (MappingPolicy policy : spec.policies) {
+            DesignPoint d;
+            for (const auto &su : sus) {
+                d.dataflows.push_back(scaled_su(su, budget));
+            }
+            d.su_set = "TableI@" + std::to_string(budget);
+            d.smm_budget = budget;
+            // The weight buffer scales with the array so the active
+            // Ku-tile stays resident (the feasibility rule below).
+            d.weight_sram_bytes = std::max<std::int64_t>(
+                64 * 1024, 256 * 1024 * budget / 4096);
+            d.policy = policy;
+            d.name = d.su_set + "/" + policy_tag(policy);
+            add(std::move(d));
+        }
+    }
+
+    return out;
+}
+
+AcceleratorConfig
+design_accelerator(const DesignPoint &design)
+{
+    AcceleratorConfig c = make_bitwave(BitWaveVariant::kDfSm);
+    c.name = design.name;
+    c.dataflows = design.dataflows;
+    c.mapping_policy = design.policy;
+    c.memory.weight_sram_bytes = design.weight_sram_bytes;
+    c.memory.act_sram_bytes = design.act_sram_bytes;
+    return c;
+}
+
+bool
+design_feasible(const DesignPoint &design,
+                const std::vector<Workload> &skeletons)
+{
+    for (const Workload &w : skeletons) {
+        for (const WorkloadLayer &layer : w.layers) {
+            const LayerDesc desc = normalized_for_mapping(layer.desc);
+            const bool depthwise =
+                desc.kind == LayerKind::kDepthwiseConv;
+            std::int64_t best = -1;
+            for (const auto &su : design.dataflows) {
+                if (su.depthwise_only && !depthwise) {
+                    continue;
+                }
+                const std::int64_t tile = ku_tile_bytes(desc, su);
+                if (best < 0 || tile < best) {
+                    best = tile;
+                }
+            }
+            if (best < 0 || best > design.weight_sram_bytes) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+double
+design_area_mm2(const DesignPoint &design, const TechParams &tech)
+{
+    BitWaveConfig chip;
+    chip.bce_count =
+        static_cast<int>(design.smm_budget / 8);  // 8 SMMs per BCE.
+    chip.zcip_parsers = std::max<int>(
+        1, static_cast<int>(design.smm_budget / 32));
+    chip.weight_sram_bytes = design.weight_sram_bytes;
+    chip.act_sram_bytes = design.act_sram_bytes;
+    return bitwave_chip_budget(tech, chip).total_area_mm2();
+}
+
+bool
+dominates(const DesignEval &a, const DesignEval &b)
+{
+    if (a.total_cycles > b.total_cycles || a.energy_pj > b.energy_pj ||
+        a.area_mm2 > b.area_mm2) {
+        return false;
+    }
+    return a.total_cycles < b.total_cycles || a.energy_pj < b.energy_pj ||
+        a.area_mm2 < b.area_mm2;
+}
+
+std::vector<std::size_t>
+mark_pareto_front(std::vector<DesignEval> &evals)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < evals.size() && !dominated; ++j) {
+            dominated = j != i && dominates(evals[j], evals[i]);
+        }
+        evals[i].pareto = !dominated;
+        if (!dominated) {
+            front.push_back(i);
+        }
+    }
+    return front;
+}
+
+std::vector<DesignEval>
+explore_designs(const ExploreSpec &spec, const eval::RunnerOptions &options,
+                std::vector<DesignPoint> *infeasible)
+{
+    if (spec.workloads.empty()) {
+        fatal("explore_designs: no workloads in spec");
+    }
+    std::vector<Workload> skeletons;
+    skeletons.reserve(spec.workloads.size());
+    for (WorkloadId id : spec.workloads) {
+        skeletons.push_back(build_workload_skeleton(id));
+    }
+
+    std::vector<DesignPoint> feasible;
+    for (auto &design : enumerate_design_points(spec)) {
+        if (design_feasible(design, skeletons)) {
+            feasible.push_back(std::move(design));
+        } else if (infeasible != nullptr) {
+            infeasible->push_back(std::move(design));
+        }
+    }
+
+    // One analytical Scenario per (design, workload), in enumeration
+    // order — the batch position fixes every derived seed, so the
+    // results are independent of the runner's thread count.
+    std::vector<eval::Scenario> scenarios;
+    scenarios.reserve(feasible.size() * spec.workloads.size());
+    for (const auto &design : feasible) {
+        for (WorkloadId id : spec.workloads) {
+            eval::Scenario s;
+            s.label = design.name + "/" + workload_name(id);
+            s.engine = eval::EngineKind::kAnalytical;
+            s.accel = design_accelerator(design);
+            s.workload = id;
+            scenarios.push_back(std::move(s));
+        }
+    }
+    const auto results = eval::ScenarioRunner(options).run(scenarios);
+
+    std::vector<DesignEval> evals;
+    evals.reserve(feasible.size());
+    for (std::size_t i = 0; i < feasible.size(); ++i) {
+        DesignEval e;
+        e.design = feasible[i];
+        e.area_mm2 = design_area_mm2(e.design);
+        for (std::size_t k = 0; k < spec.workloads.size(); ++k) {
+            const auto &r = results[i * spec.workloads.size() + k];
+            e.workload_cycles.push_back(r.total_cycles);
+            e.total_cycles += r.total_cycles;
+            e.energy_pj += r.energy.total_pj;
+        }
+        evals.push_back(std::move(e));
+    }
+    mark_pareto_front(evals);
+    return evals;
+}
+
+}  // namespace bitwave::search

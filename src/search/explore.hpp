@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Design-space exploration (DSE) over BitWave hardware configurations —
+ * the first subsystem that *searches* the hardware space instead of
+ * replaying the paper's fixed design points.
+ *
+ * A DesignPoint is one buildable NPU instance: a set of spatial
+ * unrollings (the runtime-reconfigurable dataflows of Table I, a subset
+ * of them, or a uniform-group-size alternative), an SMM budget (array
+ * size), weight-buffer capacity, and the mapping policy driving the
+ * per-layer SU choice. The explorer
+ *
+ *   1. enumerates design points from an ExploreSpec (SU subsets, group
+ *      sizes {8, 16, 32, 64}, SMM budget splits, buffer sizes, both
+ *      mapping policies),
+ *   2. prunes designs whose weight buffer cannot hold the active
+ *      Ku-tile of some layer (the residency assumption the latency
+ *      model's once-per-sweep stream accounting relies on),
+ *   3. evaluates each feasible design on the spec's workloads as
+ *      analytical-model Scenarios fanned out through the thread-pool
+ *      eval::ScenarioRunner (deterministic batch order, so N-thread runs
+ *      are bit-identical to 1-thread runs), and
+ *   4. reduces the results to a pareto front over (latency, energy,
+ *      area) with dominated-point pruning.
+ *
+ * The paper's Table I configuration is enumerated as the full-SU-set
+ * design at the published 4096-SMM / 256 KB geometry; the dse_pareto
+ * bench asserts it lands on the front.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/tech.hpp"
+#include "eval/runner.hpp"
+#include "model/accelerator.hpp"
+#include "nn/workloads.hpp"
+#include "search/cost.hpp"
+
+namespace bitwave::search {
+
+/// One buildable hardware configuration.
+struct DesignPoint
+{
+    std::string name;      ///< Unique display name.
+    std::string su_set;    ///< SU-set label ("TableI", "SU1+SU4", "G64").
+    std::vector<SpatialUnrolling> dataflows;
+    std::int64_t smm_budget = 4096;  ///< 1b x 8b multipliers.
+    std::int64_t weight_sram_bytes = 256 * 1024;
+    std::int64_t act_sram_bytes = 256 * 1024;
+    MappingPolicy policy = MappingPolicy::kCostAware;
+    /// This is the paper's Table I SU set (any buffer/policy variant).
+    bool table1_su_set = false;
+};
+
+/// What to enumerate. The defaults reproduce the dse_pareto bench's
+/// space (>= 200 points before feasibility pruning).
+struct ExploreSpec
+{
+    std::vector<WorkloadId> workloads = {WorkloadId::kResNet18,
+                                         WorkloadId::kBertBase};
+    /// Enumerate every non-empty subset of SU1-SU6 (with and without
+    /// SU7) under each policy. The full set is the Table I design.
+    bool su_subsets = true;
+    /// Uniform-group-size SU sets (one 1-column and one 4-column SU of
+    /// the same Cu), per group size, plus each member alone.
+    std::vector<int> group_sizes = {8, 16, 32, 64};
+    /// SMM budgets beside 4096 (Ku-scaled Table I sets; the weight
+    /// buffer scales with the array so the active tile stays resident).
+    std::vector<std::int64_t> smm_budgets = {1024, 2048, 8192};
+    /// Weight-buffer capacities applied to the Table I set (the axis
+    /// the Ku-tile residency constraint binds; infeasible sizes are
+    /// pruned and reported).
+    std::vector<std::int64_t> weight_sram_options = {128 * 1024,
+                                                     256 * 1024,
+                                                     512 * 1024};
+    /// Mapping policies enumerated for the SU-set families.
+    std::vector<MappingPolicy> policies = {MappingPolicy::kUtilization,
+                                           MappingPolicy::kCostAware};
+};
+
+/// Evaluated design point, reduced over the spec's workloads.
+struct DesignEval
+{
+    DesignPoint design;
+    double total_cycles = 0.0;  ///< Sum over workloads.
+    double energy_pj = 0.0;     ///< Sum over workloads.
+    double area_mm2 = 0.0;
+    /// Per-workload modeled cycles, in spec.workloads order.
+    std::vector<double> workload_cycles;
+    bool pareto = false;  ///< Set by mark_pareto_front().
+};
+
+/// All design points of @p spec, in deterministic enumeration order
+/// (feasibility not yet applied).
+std::vector<DesignPoint> enumerate_design_points(const ExploreSpec &spec);
+
+/// The analytical-model accelerator of one design point (a BitWave
+/// +DF+SM machine with the design's dataflows, memory, and policy).
+AcceleratorConfig design_accelerator(const DesignPoint &design);
+
+/**
+ * Whether the design's weight buffer can hold the active Ku-tile of
+ * every layer of every workload under at least one of its legal SUs —
+ * the residency assumption behind the latency model's once-per-sweep
+ * weight-stream accounting (a raw-size screen: the real stream is BCS
+ * compressed, so a fitting raw tile always fits). Uses workload
+ * skeletons (shapes only), so it is cheap enough to gate enumeration.
+ */
+bool design_feasible(const DesignPoint &design,
+                     const std::vector<Workload> &skeletons);
+
+/// Chip area of one design point: the Fig. 18 component budget at the
+/// design's SMM count and SRAM capacities.
+double design_area_mm2(const DesignPoint &design,
+                       const TechParams &tech = default_tech());
+
+/// a dominates b: no worse on latency, energy AND area, strictly
+/// better on at least one.
+bool dominates(const DesignEval &a, const DesignEval &b);
+
+/// Set `pareto` on every non-dominated entry; returns the front's
+/// indices in enumeration order (dominated-point pruning).
+std::vector<std::size_t> mark_pareto_front(std::vector<DesignEval> &evals);
+
+/**
+ * Enumerate, prune, evaluate, and reduce @p spec. Feasible designs are
+ * evaluated as one analytical Scenario per (design, workload), fanned
+ * out through eval::ScenarioRunner with @p options; the result order is
+ * the enumeration order, and every value is a pure function of the spec
+ * (N-thread bit-identical to 1-thread). @p infeasible, when non-null,
+ * receives the pruned designs.
+ */
+std::vector<DesignEval>
+explore_designs(const ExploreSpec &spec,
+                const eval::RunnerOptions &options = {},
+                std::vector<DesignPoint> *infeasible = nullptr);
+
+}  // namespace bitwave::search

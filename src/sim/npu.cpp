@@ -90,7 +90,34 @@ BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
     const Int8Tensor &w = weights != nullptr ? *weights : layer.weights;
     const LayerDesc &desc = layer.desc;
     const LayerDesc mapped = normalized_for_mapping(desc);
-    const SpatialUnrolling &su = select_su(mapped, config_.dataflows);
+
+    // Pack (or fetch from the content-hash cache) the weight bit planes
+    // once; SU selection, compression, cycle accounting and the
+    // functional BCE pass all read columns straight out of them.
+    const std::uint64_t content_hash =
+        weights == nullptr ? layer.weights_hash : weights_hash;
+    const auto planes = shared_bitplanes(w, config_.repr, content_hash);
+
+    const SpatialUnrolling *selected = nullptr;
+    if (config_.mapping_policy == search::MappingPolicy::kCostAware) {
+        // The same offline cost-aware selection the analytical model
+        // replays (search/cost.hpp), so both engines pick one SU.
+        search::MappingCostConfig mcfg;
+        mcfg.repr = config_.repr;
+        mcfg.memory.weight_sram_bytes = config_.weight_sram_bytes;
+        mcfg.memory.act_sram_bytes = config_.act_sram_bytes;
+        mcfg.memory.weight_port_bits = config_.weight_port_bits;
+        mcfg.memory.act_port_bits =
+            config_.act_sram_banks * config_.sram_word_bits;
+        mcfg.skip_zero_columns = !config_.dense_mode;
+        mcfg.compress_weights = !config_.dense_mode;
+        selected = &search::select_su_cost_aware(
+            mapped, config_.dataflows, planes.get(), content_hash, mcfg,
+            tech_, dram_);
+    } else {
+        selected = &select_su(mapped, config_.dataflows);
+    }
+    const SpatialUnrolling &su = *selected;
 
     // Group size: the SU's BCS group — the C unrolling for standard
     // layers, SU7's G unrolling (64) for depthwise. The analytical model
@@ -104,12 +131,6 @@ BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
     result.su_name = su.name;
     result.group_size = group_size;
 
-    // Pack (or fetch from the content-hash cache) the weight bit planes
-    // once; compression, cycle accounting and the functional BCE pass
-    // all read columns straight out of them.
-    const auto planes = shared_bitplanes(
-        w, config_.repr,
-        weights == nullptr ? layer.weights_hash : weights_hash);
     const auto rows = compress_rows(*planes, desc, group_size);
     const WeightRowGeometry geom = weight_row_geometry(desc);
     const double bc = static_cast<double>(su.bit_columns);
@@ -250,73 +271,88 @@ BitWaveNpu::run_layer(const WorkloadLayer &layer, const Int8Tensor *input,
         const std::int64_t iy_n = desc.iy(), ix_n = desc.ix();
         Int32Tensor out({desc.batch, desc.k, desc.oy, desc.ox});
         std::vector<std::int8_t> acts(static_cast<std::size_t>(group_size));
+        std::vector<std::int32_t> accs(static_cast<std::size_t>(desc.k));
+        const std::size_t act_groups =
+            rows.empty() ? 0 : rows.front().decodes.size();
+        const bool depthwise = desc.kind == LayerKind::kDepthwiseConv;
 
+        // Batched gathers: for standard layers a group's activation
+        // vector depends only on (b, oy, ox, f, g), so it is gathered
+        // ONCE per group pass and broadcast to all K kernel rows — the
+        // Ku-lane activation reuse of the real dispatcher — instead of
+        // re-gathering per output channel. Depthwise taps address the
+        // per-channel plane, so they keep the per-kernel gather.
         for (std::int64_t b = 0; b < desc.batch; ++b) {
-            for (std::int64_t k = 0; k < desc.k; ++k) {
-                for (std::int64_t oy = 0; oy < desc.oy; ++oy) {
-                    for (std::int64_t ox = 0; ox < desc.ox; ++ox) {
-                        std::int32_t acc = 0;
-                        for (std::int64_t f = 0; f < geom.rows_per_kernel;
-                             ++f) {
-                            const auto &row = rows[static_cast<std::size_t>(
-                                k * geom.rows_per_kernel + f)];
-                            for (std::size_t g = 0;
-                                 g < row.decodes.size(); ++g) {
-                                const std::int64_t c0 =
-                                    static_cast<std::int64_t>(g) *
-                                    group_size;
-                                const std::int64_t len =
-                                    std::min<std::int64_t>(
-                                        group_size, geom.row_len - c0);
-                                // Gather the group's activations.
+            for (std::int64_t oy = 0; oy < desc.oy; ++oy) {
+                for (std::int64_t ox = 0; ox < desc.ox; ++ox) {
+                    std::fill(accs.begin(), accs.end(), 0);
+                    for (std::int64_t f = 0; f < geom.rows_per_kernel;
+                         ++f) {
+                        const std::int64_t fy = f / desc.fx;
+                        const std::int64_t fx = f % desc.fx;
+                        for (std::size_t g = 0; g < act_groups; ++g) {
+                            const std::int64_t c0 =
+                                static_cast<std::int64_t>(g) * group_size;
+                            const std::int64_t len =
+                                std::min<std::int64_t>(
+                                    group_size, geom.row_len - c0);
+                            if (!depthwise) {
                                 for (std::int64_t j = 0; j < len; ++j) {
                                     std::int64_t idx = 0;
                                     switch (desc.kind) {
                                       case LayerKind::kConv:
                                       case LayerKind::kPointwiseConv: {
-                                        const std::int64_t fy = f / desc.fx;
-                                        const std::int64_t fx = f % desc.fx;
                                         const std::int64_t iy =
                                             oy * desc.stride + fy;
                                         const std::int64_t ix =
                                             ox * desc.stride + fx;
-                                        idx = ((b * desc.c + c0 + j) * iy_n +
-                                               iy) * ix_n + ix;
+                                        idx = ((b * desc.c + c0 + j) *
+                                               iy_n + iy) * ix_n + ix;
                                         break;
                                       }
-                                      case LayerKind::kDepthwiseConv: {
-                                        const std::int64_t tap = c0 + j;
-                                        const std::int64_t fy =
-                                            tap / desc.fx;
-                                        const std::int64_t fx =
-                                            tap % desc.fx;
-                                        const std::int64_t iy =
-                                            oy * desc.stride + fy;
-                                        const std::int64_t ix =
-                                            ox * desc.stride + fx;
-                                        idx = ((b * desc.k + k) * iy_n + iy) *
-                                            ix_n + ix;
-                                        break;
-                                      }
-                                      case LayerKind::kLinear:
-                                      case LayerKind::kLstm:
+                                      default:  // kLinear / kLstm
                                         idx = b * desc.c + c0 + j;
                                         break;
                                     }
                                     acts[static_cast<std::size_t>(j)] =
                                         (*in)[idx];
                                 }
-                                acc += bce_group_pass(
-                                    {acts.data(),
-                                     static_cast<std::size_t>(len)},
-                                    row.decodes[g],
-                                    {row.data_columns[g].data(),
-                                     row.data_columns[g].size()},
-                                    row.sign_columns[g]);
+                            }
+                            for (std::int64_t k = 0; k < desc.k; ++k) {
+                                const auto &row =
+                                    rows[static_cast<std::size_t>(
+                                        k * geom.rows_per_kernel + f)];
+                                if (depthwise) {
+                                    for (std::int64_t j = 0; j < len;
+                                         ++j) {
+                                        const std::int64_t tap = c0 + j;
+                                        const std::int64_t iy =
+                                            oy * desc.stride +
+                                            tap / desc.fx;
+                                        const std::int64_t ix =
+                                            ox * desc.stride +
+                                            tap % desc.fx;
+                                        acts[static_cast<std::size_t>(
+                                            j)] =
+                                            (*in)[((b * desc.k + k) *
+                                                   iy_n + iy) * ix_n +
+                                                  ix];
+                                    }
+                                }
+                                accs[static_cast<std::size_t>(k)] +=
+                                    bce_group_pass(
+                                        {acts.data(),
+                                         static_cast<std::size_t>(len)},
+                                        row.decodes[g],
+                                        {row.data_columns[g].data(),
+                                         row.data_columns[g].size()},
+                                        row.sign_columns[g]);
                             }
                         }
+                    }
+                    for (std::int64_t k = 0; k < desc.k; ++k) {
                         out[((b * desc.k + k) * desc.oy + oy) * desc.ox +
-                            ox] = acc;
+                            ox] = accs[static_cast<std::size_t>(k)];
                     }
                 }
             }

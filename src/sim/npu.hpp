@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "dataflow/su.hpp"
+#include "search/cost.hpp"
 #include "sparsity/stats.hpp"
 #include "energy/dram.hpp"
 #include "energy/pricing.hpp"
@@ -41,6 +42,14 @@ namespace bitwave {
 struct NpuConfig
 {
     std::vector<SpatialUnrolling> dataflows;  ///< Defaults to Table I.
+    /**
+     * Per-layer SU choice: the historic utilization ranking (default,
+     * bit-compatible) or the search/cost.hpp latency ranking — the same
+     * offline ZigZag-style selection the analytical model replays, so
+     * the two engines keep agreeing layer by layer under either policy.
+     */
+    search::MappingPolicy mapping_policy =
+        search::MappingPolicy::kUtilization;
     std::int64_t weight_sram_bytes = 256 * 1024;
     std::int64_t act_sram_bytes = 256 * 1024;
     /// SRAM->array weight bandwidth (Table I: W BW <= 1024 bits/cycle).

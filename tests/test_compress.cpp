@@ -180,6 +180,31 @@ TEST(Zre, RoundTripRandom)
     }
 }
 
+TEST(Zre, WordParallelMatchesScalarOracle)
+{
+    // The SWAR mask scan must reproduce the element-at-a-time stream
+    // entry for entry: sizes exercising whole-word chunks, tails, long
+    // (> 15) runs crossing chunk boundaries, and trailing zeros.
+    for (std::int64_t n : {1LL, 63LL, 64LL, 65LL, 128LL, 1009LL}) {
+        for (double zp : {0.0, 0.5, 0.95, 1.0}) {
+            const auto t = random_tensor(
+                n, 25.0, zp,
+                static_cast<std::uint64_t>(n * 131) +
+                    static_cast<std::uint64_t>(zp * 10) + 7);
+            const auto fast = zre_compress(t);
+            const auto slow = zre_compress_scalar(t);
+            ASSERT_EQ(fast.entries.size(), slow.entries.size())
+                << "n=" << n << " zp=" << zp;
+            for (std::size_t i = 0; i < fast.entries.size(); ++i) {
+                ASSERT_EQ(fast.entries[i].zero_run,
+                          slow.entries[i].zero_run);
+                ASSERT_EQ(fast.entries[i].value, slow.entries[i].value);
+            }
+            EXPECT_EQ(zre_decompress(fast), t);
+        }
+    }
+}
+
 // ---------------------------------------------------------------- CSR ---
 
 TEST(Csr, RoundTripBasic)

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the src/search/ subsystem: the mapping cost model (agreement
+ * with the analytical model, cost-aware SU selection, policy regression
+ * pins) and the design-space explorer (pareto invariants, feasibility
+ * pruning, thread-count determinism).
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "model/performance.hpp"
+#include "nn/synthesis.hpp"
+#include "search/cost.hpp"
+#include "search/explore.hpp"
+#include "sim/npu.hpp"
+#include "tensor/bitplane.hpp"
+
+namespace bitwave {
+namespace {
+
+/// Probe layer with deterministic synthesized weights.
+struct Probe
+{
+    WorkloadLayer layer;
+
+    explicit Probe(LayerDesc desc, std::uint64_t seed = 42)
+    {
+        Rng rng(seed);
+        WeightProfile profile;
+        profile.zero_probability = 0.05;
+        layer.desc = std::move(desc);
+        layer.weights = synthesize_weights(layer.desc, profile, rng);
+        layer.weights_hash = layer.compute_weights_hash();
+        layer.activation_sparsity = 0.35;
+    }
+};
+
+search::MappingCostConfig
+bitwave_cost_config()
+{
+    search::MappingCostConfig cfg;
+    cfg.repr = Representation::kSignMagnitude;
+    cfg.skip_zero_columns = true;
+    cfg.compress_weights = true;
+    return cfg;
+}
+
+// ------------------------------------------------------- cost model ---
+
+TEST(MappingCost, AgreesWithAnalyticalModelPerCandidate)
+{
+    // The cost model must mirror model_layer's bit-column accounting
+    // term for term: forcing the model onto each single candidate SU
+    // must reproduce the candidate's mapping_cost exactly.
+    const LayerDesc probes[] = {
+        make_conv("late", 512, 512, 7, 7, 3, 3),
+        make_linear("ffn_out", 768, 3072, 4),
+        make_pointwise("pw", 96, 16, 112, 112),
+    };
+    for (const auto &desc : probes) {
+        const Probe probe(desc);
+        const LayerDesc mapped = normalized_for_mapping(desc);
+        const auto planes =
+            shared_bitplanes(probe.layer.weights,
+                             Representation::kSignMagnitude,
+                             probe.layer.weights_hash);
+        for (const auto &su : bitwave_sus()) {
+            if (su.depthwise_only) {
+                continue;
+            }
+            auto config = make_bitwave(BitWaveVariant::kDfSm);
+            config.dataflows = {su};
+            const AcceleratorModel model(config);
+            const LayerResult r = model.model_layer(probe.layer);
+            const search::MappingCost c = search::mapping_cost(
+                mapped, su, planes.get(), probe.layer.weights_hash,
+                bitwave_cost_config());
+            EXPECT_NEAR(c.total_cycles, r.total_cycles,
+                        1e-6 * r.total_cycles)
+                << desc.name << " / " << su.name;
+            EXPECT_NEAR(c.compute_cycles, r.compute_cycles,
+                        1e-6 * r.compute_cycles)
+                << desc.name << " / " << su.name;
+            EXPECT_NEAR(c.energy.total_pj, r.energy.total_pj,
+                        1e-6 * r.energy.total_pj)
+                << desc.name << " / " << su.name;
+        }
+    }
+}
+
+TEST(MappingCost, CostAwareNeverWorseThanUtilizationOnProbes)
+{
+    // kCostAware picks the latency argmin over the same candidates, so
+    // its modeled layer latency can never exceed the utilization pick.
+    const LayerDesc probes[] = {
+        make_conv("early", 64, 3, 112, 112, 7, 7, 2),
+        make_conv("late", 512, 512, 7, 7, 3, 3),
+        make_depthwise("dwcv", 96, 56, 56, 3),
+        make_pointwise("pw_late", 320, 1280, 7, 7),
+        make_linear("bert_proj", 768, 768, 4),
+        make_lstm("lstm", 512, 512, 100),
+    };
+    auto util_cfg = make_bitwave(BitWaveVariant::kDfSm);
+    auto cost_cfg = util_cfg;
+    cost_cfg.mapping_policy = search::MappingPolicy::kCostAware;
+    const AcceleratorModel util_model(util_cfg), cost_model(cost_cfg);
+    for (const auto &desc : probes) {
+        const Probe probe(desc);
+        const auto u = util_model.model_layer(probe.layer);
+        const auto c = cost_model.model_layer(probe.layer);
+        EXPECT_LE(c.total_cycles, u.total_cycles * (1.0 + 1e-12))
+            << desc.name;
+    }
+}
+
+TEST(MappingCost, StrictlyImprovesFetchBoundLateConv)
+{
+    // The acceptance probe: the late ResNet-class convolution is
+    // fetch-heavy (512 x 512 x 3 x 3 weights against 7 x 7 outputs).
+    // Utilization ranking picks SU4 (spatial utilization 1.0), but
+    // SU4's Ku = 128 drags 4 bit columns per cycle through group-8
+    // streams; the cost model finds SU2's leaner schedule and strictly
+    // improves the modeled total latency.
+    const Probe probe(make_conv("late", 512, 512, 7, 7, 3, 3));
+    auto util_cfg = make_bitwave(BitWaveVariant::kDfSm);
+    auto cost_cfg = util_cfg;
+    cost_cfg.mapping_policy = search::MappingPolicy::kCostAware;
+    const auto u = AcceleratorModel(util_cfg).model_layer(probe.layer);
+    const auto c = AcceleratorModel(cost_cfg).model_layer(probe.layer);
+    EXPECT_EQ(u.su_name, "SU4");
+    EXPECT_EQ(c.su_name, "SU2");
+    EXPECT_LT(c.total_cycles, u.total_cycles);
+}
+
+TEST(MappingCost, DefaultPolicyIsBitCompatibleUtilization)
+{
+    // The default stays the historic ranking: same enum value, same
+    // selected SU as a direct select_su call.
+    EXPECT_EQ(AcceleratorConfig{}.mapping_policy,
+              search::MappingPolicy::kUtilization);
+    EXPECT_EQ(NpuConfig{}.mapping_policy,
+              search::MappingPolicy::kUtilization);
+    const Probe probe(make_conv("late", 512, 512, 7, 7, 3, 3));
+    const auto cfg = make_bitwave(BitWaveVariant::kDfSm);
+    const auto r = AcceleratorModel(cfg).model_layer(probe.layer);
+    EXPECT_EQ(r.su_name,
+              select_su(probe.layer.desc, cfg.dataflows).name);
+}
+
+// Pin the selected SU for every paper workload layer class under both
+// policies. Where the policies diverge, the comment says why.
+TEST(MappingCost, SelectionPinsPerLayerClass)
+{
+    struct Pin
+    {
+        LayerDesc desc;
+        const char *util_su;
+        const char *cost_su;
+    };
+    const Pin pins[] = {
+        // Early conv: C = 3 starves every Cu; SU1's Cu = 8 loses the
+        // least and its OXu = 16 matches the wide feature map. Both
+        // policies agree — the layer is compute-bound, so utilization
+        // is the right proxy.
+        {make_conv("early", 64, 3, 112, 112, 7, 7, 2), "SU1", "SU1"},
+        // Mid conv: C = 128 fits Cu = 32 exactly and OXu = 4 matches
+        // 28 x 28; SU3 maximizes utilization AND latency. No divergence.
+        {make_conv("mid", 128, 128, 28, 28, 3, 3), "SU3", "SU3"},
+        // Late conv: SU4 reaches utilization 1.0 (OXu = 1 fits the
+        // 7 x 7 map perfectly), but its Ku = 128 / 4-column datapath
+        // wastes whole cycles on sparse group-8 streams (ceil(nz/4)
+        // with nz ~ 3); the cost model picks SU2, whose group-16
+        // stream keeps the weight port and array balanced. DIVERGES.
+        {make_conv("late", 512, 512, 7, 7, 3, 3), "SU4", "SU2"},
+        // Depthwise: only SU7 parallelizes channels without a C axis;
+        // both policies select it (Table I designed it for this class).
+        {make_depthwise("dwcv", 96, 56, 56, 3), "SU7", "SU7"},
+        // Early pointwise: like early conv, the wide map and small C
+        // favor SU1 under both rankings.
+        {make_pointwise("pwcv", 96, 16, 112, 112), "SU1", "SU1"},
+        // Late pointwise (MobileNet head, C = 1280): SU5 wins spatial
+        // utilization via its 4-column budget, but streaming 1280
+        // channels in groups of 16 through 4 columns pays ceil waste;
+        // the cost model prefers SU2's single-column group-16 stream.
+        // DIVERGES.
+        {make_pointwise("pw_late", 320, 1280, 7, 7), "SU5", "SU2"},
+        // BERT projection (tokens = 4 on OX): SU3's OXu = 4 fits the
+        // token batch exactly with utilization 1.0 and the best
+        // latency too — divergence-free.
+        {make_linear("bert_proj", 768, 768, 4), "SU3", "SU3"},
+        // BERT FFN layers behave like the projection (exact Cu / Ku /
+        // OXu fits at utilization 1.0).
+        {make_linear("bert_ffn_in", 3072, 768, 4), "SU3", "SU3"},
+        // LSTM (timesteps on OX): SU3 and SU2 tie near utilization
+        // 1.0, but SU2's group-16 stream beats SU3's group-32 on the
+        // 85 %-of-weights LSTM matrices (bigger groups expose fewer
+        // zero columns). DIVERGES on latency grounds.
+        {make_lstm("lstm", 512, 512, 100), "SU3", "SU2"},
+    };
+    auto util_cfg = make_bitwave(BitWaveVariant::kDfSm);
+    auto cost_cfg = util_cfg;
+    cost_cfg.mapping_policy = search::MappingPolicy::kCostAware;
+    const AcceleratorModel util_model(util_cfg), cost_model(cost_cfg);
+    for (const auto &pin : pins) {
+        const Probe probe(pin.desc);
+        EXPECT_EQ(util_model.model_layer(probe.layer).su_name,
+                  pin.util_su)
+            << pin.desc.name << " (utilization)";
+        EXPECT_EQ(cost_model.model_layer(probe.layer).su_name,
+                  pin.cost_su)
+            << pin.desc.name << " (cost-aware)";
+    }
+}
+
+TEST(MappingCost, SimConsumesTheSameSelection)
+{
+    // The simulator under kCostAware must land on the cost model's
+    // choice (the offline selection both engines replay).
+    const Probe probe(make_conv("late", 512, 512, 7, 7, 3, 3));
+    NpuConfig cfg;
+    cfg.mapping_policy = search::MappingPolicy::kCostAware;
+    const BitWaveNpu npu(cfg);
+    const auto r = npu.run_layer(probe.layer, nullptr, nullptr,
+                                 /*compute_output=*/false);
+    EXPECT_EQ(r.su_name, "SU2");
+
+    const BitWaveNpu util_npu{NpuConfig{}};
+    const auto u = util_npu.run_layer(probe.layer, nullptr, nullptr,
+                                      /*compute_output=*/false);
+    EXPECT_EQ(u.su_name, "SU4");
+}
+
+// --------------------------------------------------------- explorer ---
+
+/// A small but representative exploration space over ResNet18.
+search::ExploreSpec
+small_spec()
+{
+    search::ExploreSpec spec;
+    spec.workloads = {WorkloadId::kResNet18};
+    spec.su_subsets = false;
+    spec.group_sizes = {8, 16, 32, 64};
+    spec.smm_budgets = {2048, 8192};
+    spec.weight_sram_options = {128 * 1024, 256 * 1024, 512 * 1024};
+    return spec;
+}
+
+TEST(Explore, ParetoInvariantsAndTableOnFront)
+{
+    std::vector<search::DesignPoint> infeasible;
+    const auto evals =
+        search::explore_designs(small_spec(), {}, &infeasible);
+    ASSERT_FALSE(evals.empty());
+
+    // Late ResNet18 convs need a 147 KB Ku-tile under the smallest
+    // Table I Ku: the 128 KB weight-buffer variants of the Table I set
+    // must be pruned as infeasible (as must Ku >= 64 singles whose
+    // tile exceeds even 256 KB).
+    bool pruned_128k = false;
+    for (const auto &d : infeasible) {
+        pruned_128k |= d.table1_su_set &&
+            d.weight_sram_bytes == 128 * 1024;
+    }
+    EXPECT_TRUE(pruned_128k);
+
+    // Pareto invariants: no front point dominated, every dominated
+    // point dominated by some front point.
+    std::size_t front = 0;
+    for (const auto &a : evals) {
+        bool dominated_by_front = false;
+        for (const auto &b : evals) {
+            if (&a == &b) {
+                continue;
+            }
+            if (search::dominates(b, a)) {
+                EXPECT_FALSE(a.pareto)
+                    << a.design.name << " dominated by "
+                    << b.design.name;
+                dominated_by_front |= b.pareto;
+            }
+        }
+        if (a.pareto) {
+            ++front;
+        } else {
+            EXPECT_TRUE(dominated_by_front) << a.design.name;
+        }
+    }
+    EXPECT_GT(front, 0u);
+
+    // The canonical Table I design (paper geometry: 4096 SMMs,
+    // 256 KB + 256 KB) is enumerated and non-dominated.
+    bool table1_found = false;
+    for (const auto &e : evals) {
+        if (e.design.table1_su_set && e.design.smm_budget == 4096 &&
+            e.design.weight_sram_bytes == 256 * 1024 &&
+            e.design.policy == search::MappingPolicy::kCostAware) {
+            table1_found = true;
+            EXPECT_TRUE(e.pareto) << "Table I dominated";
+        }
+    }
+    EXPECT_TRUE(table1_found);
+}
+
+TEST(Explore, BitIdenticalAcrossThreadCounts)
+{
+    const auto spec = small_spec();
+    eval::RunnerOptions one, many;
+    one.threads = 1;
+    many.threads = 4;
+    const auto a = search::explore_designs(spec, one);
+    const auto b = search::explore_designs(spec, many);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].design.name, b[i].design.name);
+        EXPECT_EQ(a[i].total_cycles, b[i].total_cycles) << a[i].design.name;
+        EXPECT_EQ(a[i].energy_pj, b[i].energy_pj) << a[i].design.name;
+        EXPECT_EQ(a[i].area_mm2, b[i].area_mm2) << a[i].design.name;
+        EXPECT_EQ(a[i].pareto, b[i].pareto) << a[i].design.name;
+    }
+}
+
+TEST(Explore, AreaScalesWithArrayAndBuffers)
+{
+    search::DesignPoint base;
+    base.dataflows = bitwave_sus();
+    search::DesignPoint big_array = base;
+    big_array.smm_budget = 8192;
+    search::DesignPoint big_buffers = base;
+    big_buffers.weight_sram_bytes = 512 * 1024;
+    EXPECT_GT(search::design_area_mm2(big_array),
+              search::design_area_mm2(base));
+    EXPECT_GT(search::design_area_mm2(big_buffers),
+              search::design_area_mm2(base));
+}
+
+TEST(Explore, EnumerationCoversTheAcceptanceScale)
+{
+    // The bench's default space must offer >= 200 design points.
+    const search::ExploreSpec spec;
+    EXPECT_GE(enumerate_design_points(spec).size(), 200u);
+}
+
+}  // namespace
+}  // namespace bitwave

@@ -241,6 +241,33 @@ TEST_P(SimEquivalence, DenseModeMatchesReferenceBitExactly)
 INSTANTIATE_TEST_SUITE_P(AllLayerKinds, SimEquivalence,
                          ::testing::Range(0, 7));
 
+TEST(SimFunctional, BatchedGatherBitExactOnWideKernelLayers)
+{
+    // The functional BCE pass gathers each group's activations once and
+    // broadcasts them across all K kernels; pin bit-exactness against
+    // the int8 reference on shapes with many kernels (the broadcast
+    // axis), partial tail groups, and strides.
+    const LayerDesc shapes[] = {
+        make_conv("wide", 48, 24, 6, 6, 3, 3),         // C tail at G=16
+        make_conv("strided", 32, 40, 5, 5, 3, 3, 2),
+        make_depthwise("dw", 40, 6, 6, 3),             // per-kernel taps
+        make_linear("fc", 64, 56, 5),
+    };
+    for (const auto &desc : shapes) {
+        SimFixture fx(desc, 0xACE5);
+        BitWaveNpu npu;
+        const auto result = npu.run_layer(fx.layer, &fx.input);
+        ASSERT_TRUE(result.output.has_value());
+        const auto golden =
+            layer_forward_int8(fx.desc, fx.input, fx.layer.weights);
+        ASSERT_EQ(result.output->numel(), golden.numel());
+        for (std::int64_t i = 0; i < golden.numel(); ++i) {
+            ASSERT_EQ((*result.output)[i], golden[i])
+                << desc.name << " element " << i;
+        }
+    }
+}
+
 // --------------------------------------------------------- cycle model ---
 
 TEST(SimCycles, SparseNeverSlowerThanDense)
