@@ -65,6 +65,21 @@ struct JsonValue
 using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
 
 /**
+ * Append the paper-anchor keys CI's deviation gate greps for (`anchor`
+ * and `deviation` on rows; `<prefix>_anchor` / `<prefix>_deviation` on
+ * params via the overload below). One definition keeps the key
+ * contract between the anchored benches (fig14/fig15/fig17) and the
+ * workflow assertion in sync.
+ */
+inline void
+add_anchor(JsonObject &row, double value, double anchor)
+{
+    row.emplace_back("anchor", anchor);
+    row.emplace_back("deviation", value / anchor - 1.0);
+}
+
+
+/**
  * Collects the bench's parameters and result rows and writes
  * `BENCH_<name>.json` (name, params, rows, wall-time) next to the human
  * tables. Written on destruction or by an explicit write().
@@ -202,5 +217,16 @@ class JsonReport
     std::vector<JsonObject> rows_;
     bool written_ = false;
 };
+
+/// Params-block variant of add_anchor(): `<name>`, `<name>_anchor`,
+/// `<name>_deviation`.
+inline void
+add_anchor_param(JsonReport &json, const std::string &name, double value,
+                 double anchor)
+{
+    json.param(name, value);
+    json.param(name + "_anchor", anchor);
+    json.param(name + "_deviation", value / anchor - 1.0);
+}
 
 }  // namespace bitwave::bench

@@ -4,6 +4,8 @@
  * BitWave+DF+SM+BF (lower is better). The accelerator x workload grid
  * runs as one parallel ScenarioRunner batch.
  */
+#include <algorithm>
+
 #include "bench_util.hpp"
 
 using namespace bitwave;
@@ -38,25 +40,58 @@ main()
     eval::RunnerReport report;
     const auto results = eval::ScenarioRunner().run(scenarios, &report);
 
+    // Paper anchors (the new Fig15 test enforces them at +-20 %): SCNN
+    // 13.23x on Bert-Base, every MobileNetV2 baseline inside
+    // [4.09, 5.04], HUAA 2.41x on average. Anchored cells carry
+    // machine-readable `anchor` / `deviation` keys (banded anchors
+    // clamp to the nearest edge, so deviation is 0 inside the band);
+    // CI asserts every emitted deviation stays within +-20 %.
+    constexpr double kScnnBertAnchor = 13.23;
+    constexpr double kMobileBandLo = 4.09, kMobileBandHi = 5.04;
+    constexpr double kHuaaAvgAnchor = 2.41;
+
     const std::size_t per_workload = std::size(baselines) + 1;
     Table t({"network", "SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA",
              "BitWave"});
+    double huaa_ratio_sum = 0.0;
+    std::size_t workloads = 0;
     for (std::size_t w = 0; w * per_workload < results.size(); ++w) {
         const auto *r = &results[w * per_workload];
         const double bw_energy = r[per_workload - 1].energy.total_pj;
         std::vector<std::string> row{r[0].workload};
+        ++workloads;
         for (std::size_t a = 0; a < per_workload; ++a) {
             const double ratio = r[a].energy.total_pj / bw_energy;
             row.push_back(fmt_ratio(ratio));
-            json.add_result(r[a], {{"energy_vs_bitwave", ratio}});
+            bench::JsonObject extra{{"energy_vs_bitwave", ratio}};
+            const bool is_baseline = a < per_workload - 1;
+            double anchor = 0.0;
+            if (r[a].workload == "Bert-Base" &&
+                r[a].accelerator == "SCNN") {
+                anchor = kScnnBertAnchor;
+            } else if (r[a].workload == "MobileNetV2" && is_baseline) {
+                anchor = std::clamp(ratio, kMobileBandLo, kMobileBandHi);
+            }
+            if (anchor > 0.0) {
+                bench::add_anchor(extra, ratio, anchor);
+            }
+            if (r[a].accelerator == "HUAA") {
+                huaa_ratio_sum += ratio;
+            }
+            json.add_result(r[a], std::move(extra));
         }
         t.add_row(std::move(row));
     }
+    const double huaa_avg =
+        huaa_ratio_sum / static_cast<double>(workloads);
+    bench::add_anchor_param(json, "huaa_avg_energy_vs_bitwave", huaa_avg,
+                            kHuaaAvgAnchor);
     std::printf("%s", t.render().c_str());
     std::printf("\npaper anchors: SCNN up to 13.23x on Bert-Base; "
-                "MobileNetV2 baselines 4.09-5.04x; HUAA 2.41x average. "
-                "Expected shape: BitWave lowest, SCNN worst on "
-                "weight-heavy / low-sparsity nets.\n");
+                "MobileNetV2 baselines 4.09-5.04x; HUAA 2.41x average "
+                "(reproduced: %.2fx). Expected shape: BitWave lowest, "
+                "SCNN worst on weight-heavy / low-sparsity nets.\n",
+                huaa_avg);
     bench::print_runner_report(report);
     return 0;
 }

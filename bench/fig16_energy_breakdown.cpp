@@ -35,16 +35,27 @@ main()
                    fmt_percent(r.energy.static_pj / total),
                    fmt_percent(r.energy.dram_pj / total),
                    fmt_double(total * 1e-9, 3)});
-        json.add_result(r, {{"mac_share", r.energy.mac_pj / total},
-                            {"sram_share", r.energy.sram_pj / total},
-                            {"reg_share", r.energy.reg_pj / total},
-                            {"static_share", r.energy.static_pj / total},
-                            {"dram_share", r.energy.dram_pj / total}});
+        json.add_result(
+            r, {{"mac_share", r.energy.mac_pj / total},
+                {"sram_share", r.energy.sram_pj / total},
+                {"reg_share", r.energy.reg_pj / total},
+                {"static_share", r.energy.static_pj / total},
+                {"dram_share", r.energy.dram_pj / total},
+                // Informational mirror of the shape that
+                // Fig16.BreakdownShapesMatchPaper asserts on the model
+                // directly: on chip, BitWave's energy goes to the
+                // datapath and the SRAM stream, not registers or idle
+                // clocks.
+                {"onchip_mac_sram_dominated",
+                 r.energy.mac_pj + r.energy.sram_pj >
+                     r.energy.reg_pj + r.energy.static_pj}});
     }
     std::printf("%s", t.render().c_str());
     std::printf("\npaper: DRAM is the dominant factor, especially for "
                 "weight-intensive networks (all weights cross DRAM at "
-                "least once).\n");
+                "least once). The uncompressed baselines stay "
+                "DRAM-dominated too; SCNN's Bert blowup is on-chip "
+                "(see fig15).\n");
     bench::print_runner_report(report);
     return 0;
 }

@@ -17,6 +17,7 @@
 #include "bitflip/bitflip.hpp"
 #include "common/rng.hpp"
 #include "compress/bcs.hpp"
+#include "compress/csr.hpp"
 #include "compress/zre.hpp"
 #include "dataflow/mapping.hpp"
 #include "nn/layer.hpp"
@@ -194,6 +195,21 @@ main()
         }
         report(json, table, "zre_compress", scalar_ms, packed_ms,
                identical);
+    }
+
+    {  // CSR encoding (bit-plane non-zero mask scan vs element walk).
+        CsrCompressed s, p;
+        const double scalar_ms =
+            time_ms([&] { s = csr_compress_scalar(w, w.dim(0)); });
+        // Production path (eval engine) reuses already-packed 2C
+        // planes, so the pack is not on the timed path here either.
+        const BitPlanes p2c =
+            pack_bitplanes(w, Representation::kTwosComplement);
+        const double packed_ms =
+            time_ms([&] { p = csr_compress(p2c, w, w.dim(0)); });
+        report(json, table, "csr_compress", scalar_ms, packed_ms,
+               s.values == p.values && s.col_indices == p.col_indices &&
+                   s.row_ptr == p.row_ptr);
     }
 
     {  // Bit-Flip (profile-scored greedy vs per-element scoring).

@@ -230,6 +230,22 @@ bitflip_group(std::span<std::int8_t> group, int target_zero_columns)
         return static_cast<std::uint8_t>(occ | (sign_used ? 0x80 : 0x00));
     };
 
+    // Lazy greedy: a candidate's cost can only GROW as columns drop
+    // (fewer allowed bits move every magnitude's nearest representable
+    // value farther; revoking the sign column re-rounds negatives to 0
+    // at distance >= their masked error), so the cost computed for a
+    // candidate in an earlier iteration is a valid lower bound now.
+    // Candidates whose bound already matches or exceeds the running
+    // minimum are skipped without re-evaluating cost_of — the strict-<
+    // comparison means they could never have replaced the minimum —
+    // which keeps the selection (and thus the output) bit-identical to
+    // the eager scalar oracle while eliminating most per-candidate err2
+    // re-evaluations after the first iteration.
+    double bound[kMagnitudeBits];
+    bool bounded[kMagnitudeBits] = {};
+    double sign_bound = 0.0;
+    bool sign_bounded = false;
+
     while (kWordBits - popcount8(occ_cur) < target_zero_columns) {
         double best_cost = std::numeric_limits<double>::infinity();
         int best_mask = mask;
@@ -239,16 +255,24 @@ bitflip_group(std::span<std::int8_t> group, int target_zero_columns)
             if (!((occ_cur >> b) & 1)) {
                 continue;
             }
+            if (bounded[b] && bound[b] >= best_cost) {
+                continue;  // cannot beat the strict minimum
+            }
             const int cand_mask = mask & ~(1 << b);
             const double cost = cost_of(cand_mask, sign_allowed);
+            bound[b] = cost;
+            bounded[b] = true;
             if (cost < best_cost) {
                 best_cost = cost;
                 best_mask = cand_mask;
                 best_sign = sign_allowed;
             }
         }
-        if (sign_allowed && (occ_cur & 0x80) != 0) {
+        if (sign_allowed && (occ_cur & 0x80) != 0 &&
+            !(sign_bounded && sign_bound >= best_cost)) {
             const double cost = cost_of(mask, false);
+            sign_bound = cost;
+            sign_bounded = true;
             if (cost < best_cost) {
                 best_cost = cost;
                 best_mask = mask;

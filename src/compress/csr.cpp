@@ -1,5 +1,7 @@
 #include "compress/csr.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/bits.hpp"
@@ -60,8 +62,11 @@ CsrCompressed::ideal_compression_ratio() const
                  : static_cast<double>(original_bits());
 }
 
+namespace {
+
+/// Argument validation + header fields shared by every encoder.
 CsrCompressed
-csr_compress(const Int8Tensor &tensor, std::int64_t rows)
+csr_header(const Int8Tensor &tensor, std::int64_t rows)
 {
     if (rows <= 0 || tensor.numel() % rows != 0) {
         fatal("csr_compress: rows=%lld must divide numel=%lld",
@@ -72,6 +77,94 @@ csr_compress(const Int8Tensor &tensor, std::int64_t rows)
     out.shape = tensor.shape();
     out.rows = rows;
     out.cols = tensor.numel() / rows;
+    return out;
+}
+
+}  // namespace
+
+CsrCompressed
+csr_compress(const BitPlanes &planes, const Int8Tensor &tensor,
+             std::int64_t rows)
+{
+    CsrCompressed out = csr_header(tensor, rows);
+    if (planes.n != tensor.numel()) {
+        fatal("csr_compress: planes pack %lld elements, tensor has %lld",
+              static_cast<long long>(planes.n),
+              static_cast<long long>(tensor.numel()));
+    }
+
+    // Non-zero element mask, one bit per element: the OR of the eight
+    // planes (zero value <=> all plane bits zero, in either
+    // representation). Plane padding lanes beyond n are zero, so tail
+    // bits never flag.
+    std::vector<std::uint64_t> nz(static_cast<std::size_t>(planes.words));
+    std::int64_t nnz = 0;
+    for (std::int64_t w = 0; w < planes.words; ++w) {
+        std::uint64_t m = 0;
+        for (int b = 0; b < kWordBits; ++b) {
+            m |= planes.plane(b)[w];
+        }
+        nz[static_cast<std::size_t>(w)] = m;
+        nnz += std::popcount(m);
+    }
+    out.values.reserve(static_cast<std::size_t>(nnz));
+    out.col_indices.reserve(static_cast<std::size_t>(nnz));
+    out.row_ptr.reserve(static_cast<std::size_t>(rows) + 1);
+    out.row_ptr.push_back(0);
+
+    const std::int8_t *data = tensor.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const std::int64_t start = r * out.cols;
+        const std::int64_t end = start + out.cols;
+        for (std::int64_t pos = start; pos < end;) {
+            const std::int64_t w = pos >> 6;
+            const int off = static_cast<int>(pos & 63);
+            const int take = static_cast<int>(
+                std::min<std::int64_t>(64 - off, end - pos));
+            std::uint64_t window =
+                nz[static_cast<std::size_t>(w)] >> off;
+            if (take < 64) {
+                window &= (~std::uint64_t{0}) >> (64 - take);
+            }
+            const std::uint64_t full = take == 64
+                ? ~std::uint64_t{0}
+                : ((~std::uint64_t{0}) >> (64 - take));
+            if (window == full) {
+                // Fully dense window: straight-line emit, no bit scan.
+                out.values.insert(out.values.end(), data + pos,
+                                  data + pos + take);
+                for (int j = 0; j < take; ++j) {
+                    out.col_indices.push_back(
+                        static_cast<std::int32_t>(pos + j - start));
+                }
+            } else {
+                while (window != 0) {
+                    const int j = std::countr_zero(window);
+                    window &= window - 1;
+                    out.values.push_back(data[pos + j]);
+                    out.col_indices.push_back(
+                        static_cast<std::int32_t>(pos + j - start));
+                }
+            }
+            pos += take;
+        }
+        out.row_ptr.push_back(static_cast<std::int64_t>(out.values.size()));
+    }
+    return out;
+}
+
+CsrCompressed
+csr_compress(const Int8Tensor &tensor, std::int64_t rows)
+{
+    return csr_compress(
+        pack_bitplanes(tensor, Representation::kTwosComplement), tensor,
+        rows);
+}
+
+CsrCompressed
+csr_compress_scalar(const Int8Tensor &tensor, std::int64_t rows)
+{
+    CsrCompressed out = csr_header(tensor, rows);
     out.row_ptr.reserve(static_cast<std::size_t>(rows) + 1);
     out.row_ptr.push_back(0);
     for (std::int64_t r = 0; r < rows; ++r) {

@@ -7,12 +7,22 @@
  *   - 8 bits per non-zero value,
  *   - ceil(log2(cols)) bits per column index,
  *   - 32 bits per row pointer (rows + 1 of them).
+ *
+ * The encoder is word-parallel on top of tensor/bitplane: the per-word
+ * OR of the eight planes is a 64-element non-zero mask (an element is
+ * zero exactly when every plane bit is zero, in either representation),
+ * so the row walk scans whole words, takes a straight-line path through
+ * fully-dense windows and bit-scans the rest — the same SWAR mask-scan
+ * structure as zre_compress. csr_compress_scalar remains the
+ * element-at-a-time oracle; tests and the micro-kernel bench pin the
+ * two bit-identical.
  */
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "tensor/bitplane.hpp"
 #include "tensor/tensor.hpp"
 
 namespace bitwave {
@@ -40,8 +50,22 @@ struct CsrCompressed
 /**
  * Encode @p tensor as CSR with @p rows rows. @p rows must divide the
  * element count; pass the output-channel count for weight tensors.
+ * Word-parallel (packs bit planes internally; prefer the planes
+ * overload when a shared packing already exists).
  */
 CsrCompressed csr_compress(const Int8Tensor &tensor, std::int64_t rows);
+
+/**
+ * Word-parallel encode reusing pre-packed planes of @p tensor (either
+ * representation — the zero/non-zero mask is representation-invariant).
+ * @p planes must pack exactly @p tensor's elements.
+ */
+CsrCompressed csr_compress(const BitPlanes &planes,
+                           const Int8Tensor &tensor, std::int64_t rows);
+
+/// Element-at-a-time oracle for the word-parallel encoder (tests/bench).
+CsrCompressed csr_compress_scalar(const Int8Tensor &tensor,
+                                  std::int64_t rows);
 
 /// Invert csr_compress exactly.
 Int8Tensor csr_decompress(const CsrCompressed &compressed);

@@ -325,6 +325,15 @@ bit_interleave_cycles(const Int8Tensor &weights, std::int64_t window,
     return steps > 0 ? total / static_cast<double>(steps) : 0.0;
 }
 
+double
+activation_spill_fraction(std::int64_t elements,
+                          const MemoryHierarchy &mem)
+{
+    const double cap = static_cast<double>(mem.act_sram_bytes) * 8.0;
+    const double bits = static_cast<double>(elements) * kWordBits;
+    return bits > cap ? (bits - cap) / bits : 0.0;
+}
+
 AccessCounts
 compute_access_counts(const LayerDesc &desc, const SpatialUnrolling &su,
                       const MemoryHierarchy &mem,
@@ -354,9 +363,9 @@ compute_access_counts(const LayerDesc &desc, const SpatialUnrolling &su,
     }
     out.dram_read_weight_bits = w_stored * weight_passes;
     out.dram_read_act_bits =
-        exec.input_from_dram ? in_bits * cf.act_fetch_ratio : 0.0;
+        in_bits * cf.act_fetch_ratio * exec.input_dram_fraction;
     out.dram_write_act_bits =
-        exec.output_to_dram ? out_bits * cf.act_store_ratio : 0.0;
+        out_bits * cf.act_store_ratio * exec.output_dram_fraction;
 
     // On-chip SRAM. Bit-serial machines pull the active weight port
     // width every compute cycle (skipped columns are never fetched);

@@ -163,11 +163,25 @@ struct ExecutionProfile
     /// the PEs (SCNN's crossbar-fed accumulator SRAM) instead of
     /// round-tripping the activation SRAM across input-channel tiles.
     bool psum_in_accumulators = false;
-    /// Input read from DRAM (first layer / does not fit on chip)?
-    bool input_from_dram = true;
-    /// Output written to DRAM (last layer / does not fit on chip)?
-    bool output_to_dram = true;
+    /// Fraction of the input feature map read from DRAM: 1 for the
+    /// network input, 0 for a resident intermediate map, and the
+    /// non-resident excess share for layer-sequential machines whose
+    /// map exceeds the activation SRAM (partial spill).
+    double input_dram_fraction = 1.0;
+    /// Same for the output feature map (last layer / spilled share).
+    double output_dram_fraction = 1.0;
 };
+
+/**
+ * Share of a feature map of @p elements 8b words that cannot stay
+ * resident in @p mem's activation SRAM — the fraction a
+ * layer-sequential schedule spills to DRAM (0 when the map fits).
+ * The single definition of the residency rule both
+ * AcceleratorModel::model_layer and search's mapping_cost apply, so
+ * the Eq. (4)/(5) mirror cannot drift.
+ */
+double activation_spill_fraction(std::int64_t elements,
+                                 const MemoryHierarchy &mem);
 
 /**
  * Compute the per-layer access counts for @p desc under @p su and

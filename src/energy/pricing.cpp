@@ -21,9 +21,17 @@ price_energy(const EnergyActivity &activity, const TechParams &tech,
              const DramModel &dram)
 {
     EnergyBreakdown e;
-    e.mac_pj = activity.mac_units * activity.e_mac_pj;
+    // Datapath energy: effective MAC work plus the baseline-only churn
+    // terms (crossbar-conflict arbitration, per-lane serial overhead).
+    // Both extra terms are exactly 0.0 for BitWave activities, so the
+    // BitWave numbers are bit-identical to the pre-recalibration model.
+    e.mac_pj = activity.mac_units * activity.e_mac_pj +
+        activity.crossbar_replays * activity.e_crossbar_pj +
+        activity.lane_overhead_cycles * activity.e_lane_overhead_pj;
     e.sram_pj = activity.sram_read_bits * tech.e_sram_read_per_bit_pj +
-        activity.sram_write_bits * tech.e_sram_write_per_bit_pj;
+        activity.sram_write_bits * tech.e_sram_write_per_bit_pj +
+        activity.accbank_bits * tech.e_accbank_per_bit_pj +
+        activity.codec_words * tech.e_codec_per_word_pj;
     e.reg_pj = activity.reg_words * tech.e_reg_per_word_pj;
     e.dram_pj = dram.transfer_energy_pj(activity.dram_bits);
     e.static_pj = activity.cycles * tech.e_static_per_cycle_pj;

@@ -26,6 +26,26 @@ struct EnergyActivity
     double reg_words = 0.0;  ///< Operand register reads + writes.
     double dram_bits = 0.0;
     double cycles = 0.0;     ///< Runtime carrying static/clock-tree power.
+
+    // --- Baseline-machine activity (zero on BitWave configurations) ----
+    /// Accumulator-bank RMW traffic (SCNN's crossbar-fed partial-sum
+    /// banks), priced at TechParams::e_accbank_per_bit_pj into sram_pj.
+    double accbank_bits = 0.0;
+    /// Sparse-codec encode/decode words (ZRE/CSR class), priced at
+    /// TechParams::e_codec_per_word_pj into sram_pj.
+    double codec_words = 0.0;
+    /// Products replayed through the planar output crossbar on
+    /// token-starved matmul tiles (SCNN): each replay re-arbitrates the
+    /// full OXu x OYu port set. Priced per replay by e_crossbar_pj into
+    /// mac_pj — like e_mac_pj, a machine-calibrated unit carried with
+    /// the activity.
+    double crossbar_replays = 0.0;
+    double e_crossbar_pj = 0.0;
+    /// Per-lane per-compute-cycle datapath overhead (bit-serial shift
+    /// registers, lane sync, online bit scheduling), priced by
+    /// e_lane_overhead_pj into mac_pj.
+    double lane_overhead_cycles = 0.0;
+    double e_lane_overhead_pj = 0.0;
 };
 
 /// Eq. (4) energy components, pJ.

@@ -37,6 +37,13 @@ struct TechParams
     double e_sram_write_per_bit_pj = 0.045;
     double e_reg_per_word_pj = 0.006;        ///< Operand register access.
     double e_dram_per_bit_pj = 6.0;          ///< DDR3L/LPDDR3 class.
+    /// Small banked accumulator SRAM next to the PEs (SCNN's crossbar-fed
+    /// banks): short bit lines, no H-tree — ~5x cheaper than the 256 KB
+    /// macro per bit.
+    double e_accbank_per_bit_pj = 0.010;
+    /// Sparse codec (ZRE/CSR class) encode/decode logic per 8b word
+    /// crossing the compressed boundary.
+    double e_codec_per_word_pj = 0.03;
     /// Clock tree + leakage charged per active cycle (17.56 mW class
     /// chip at 250 MHz carries a few mW of non-datapath power).
     double e_static_per_cycle_pj = 14.0;

@@ -105,7 +105,8 @@ build_layer_stats(const StatsSpec &spec, const Int8Tensor &w,
         const auto zre = zre_compress(w);
         stats.zre_bits = zre.compressed_bits();
         stats.zre_ideal_bits = zre.payload_bits();
-        const auto csr = csr_compress(w, w.dim(0));
+        // Word-parallel CSR over the already-packed 2C planes.
+        const auto csr = csr_compress(*p2c, w, w.dim(0));
         stats.csr_bits = csr.compressed_bits();
         stats.csr_ideal_bits = csr.payload_bits();
     }

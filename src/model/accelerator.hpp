@@ -100,6 +100,35 @@ struct AcceleratorConfig
      */
     bool planar_crossbar = false;
 
+    // --- Energy-side knobs (Fig. 15/16/17 calibration) -----------------
+    /**
+     * Layer-sequential execution: intermediate feature maps that exceed
+     * the activation SRAM spill to DRAM between layers (the baseline
+     * machines' layer-by-layer schedules). BitWave keeps intermediates
+     * on chip via depth-first halo tiling, so its variants leave this
+     * off — only the network input/output cross DRAM.
+     */
+    bool layer_sequential_dram = false;
+    /**
+     * Crossbar-conflict arbitration energy, pJ per product REPLAY on
+     * token-starved matmul tiles: each effective product re-issues
+     * (starvation - 1) extra times on average, and every replay
+     * re-arbitrates the full OXu x OYu output-port set (64 ports at
+     * ~2 pJ of wire + mux + bank-precharge energy each). Calibrated —
+     * together with value_imbalance and kPlanarStarvationExponent —
+     * against the paper's Fig. 15 SCNN / Bert-Base 13.23x energy
+     * anchor, the same way the latency side was pinned to Fig. 14.
+     * Only read when planar_crossbar is set.
+     */
+    double e_crossbar_conflict_pj = 0.0;
+    /**
+     * Per-lane per-compute-cycle datapath overhead, pJ: the bit-serial
+     * machines' operand shift registers and lane-sync logic (Stripes /
+     * Pragmatic) plus Bitlet's online significance scheduling — energy
+     * their papers' PE figures carry outside the MAC itself.
+     */
+    double e_lane_overhead_pj = 0.0;
+
     /// MAC/cycle at full utilization (8b x 8b equivalents).
     std::int64_t peak_macs_per_cycle() const;
 };

@@ -142,8 +142,17 @@ mapping_cost(const LayerDesc &desc, const SpatialUnrolling &su,
     exec.weight_stationary = false;
     exec.c_tiles = ceil_div(desc.c, su.factor(Dim::kC));
     exec.psum_in_accumulators = false;
-    exec.input_from_dram = cfg.input_from_dram;
-    exec.output_to_dram = cfg.output_to_dram;
+    // Same residency rule as model_layer: layer-sequential machines
+    // spill the non-resident excess of maps that overflow the
+    // activation SRAM (shared activation_spill_fraction definition).
+    const auto spill_fraction = [&](std::int64_t elements) {
+        return cfg.layer_sequential_dram
+            ? activation_spill_fraction(elements, cfg.memory) : 0.0;
+    };
+    exec.input_dram_fraction =
+        cfg.input_from_dram ? 1.0 : spill_fraction(desc.input_count());
+    exec.output_dram_fraction =
+        cfg.output_to_dram ? 1.0 : spill_fraction(desc.output_count());
 
     const AccessCounts ac =
         compute_access_counts(desc, su, cfg.memory, cf, exec);

@@ -68,6 +68,14 @@ struct MappingCostConfig
     /// (layer, machine), not of network position.
     bool input_from_dram = false;
     bool output_to_dram = false;
+    /// Mirror of AcceleratorConfig::layer_sequential_dram: feature maps
+    /// exceeding the activation SRAM spill to DRAM. Off for every
+    /// BitWave configuration (halo tiling); mirrored so a hypothetical
+    /// bit-column machine with a layer-sequential schedule still prices
+    /// term-for-term against model_layer. (The other energy-side knobs —
+    /// accumulator banks, planar crossbar, lane overhead — cannot occur
+    /// on a bit-column-serial machine, so they have no mirror here.)
+    bool layer_sequential_dram = false;
 };
 
 /// Modeled execution of one (layer, SU) candidate.

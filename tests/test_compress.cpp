@@ -247,6 +247,39 @@ TEST(Csr, RoundTripRandom)
     }
 }
 
+TEST(Csr, WordParallelMatchesScalarOracle)
+{
+    // The bit-plane mask-scan encoder must reproduce the
+    // element-at-a-time oracle exactly — values, column indices and row
+    // pointers — across sparsity regimes, row widths that straddle
+    // 64-element word boundaries, and both packing representations.
+    struct Geometry { std::int64_t rows, cols; };
+    const Geometry geoms[] = {{32, 48}, {7, 37}, {1, 200}, {64, 64},
+                              {5, 1}};
+    for (double zp : {0.0, 0.3, 0.9, 1.0}) {
+        for (const auto &g : geoms) {
+            const auto t = random_tensor(
+                g.rows * g.cols, 25.0, zp,
+                static_cast<std::uint64_t>(zp * 100) + 13 *
+                    static_cast<std::uint64_t>(g.cols));
+            const auto s = csr_compress_scalar(t, g.rows);
+            const auto p = csr_compress(t, g.rows);
+            EXPECT_EQ(s.values, p.values) << zp << " " << g.cols;
+            EXPECT_EQ(s.col_indices, p.col_indices) << zp << " " << g.cols;
+            EXPECT_EQ(s.row_ptr, p.row_ptr) << zp << " " << g.cols;
+            // Pre-packed planes, either representation: the non-zero
+            // mask is representation-invariant.
+            const auto sm = csr_compress(
+                pack_bitplanes(t, Representation::kSignMagnitude), t,
+                g.rows);
+            EXPECT_EQ(s.values, sm.values);
+            EXPECT_EQ(s.col_indices, sm.col_indices);
+            EXPECT_EQ(s.row_ptr, sm.row_ptr);
+            EXPECT_EQ(csr_decompress(p), t);
+        }
+    }
+}
+
 // ------------------------------------------------- cross-codec shape ---
 
 TEST(CrossCodec, BcsBeatsValueCodecsAtLowValueSparsity)

@@ -246,8 +246,8 @@ TEST(AccessCounts, DramCarriesCompressedWeightsOnce)
     exec.utilization = 1.0;
     exec.compute_cycles = 1000.0;
     exec.weight_port_active_bits = 512.0;
-    exec.input_from_dram = false;
-    exec.output_to_dram = false;
+    exec.input_dram_fraction = 0.0;
+    exec.output_dram_fraction = 0.0;
     const auto ac = compute_access_counts(d, su, mem, cf, exec);
     EXPECT_DOUBLE_EQ(ac.dram_read_weight_bits,
                      static_cast<double>(d.weight_count()) * 8 * 0.5);
@@ -262,8 +262,8 @@ TEST(AccessCounts, FirstAndLastLayerActivationsCrossDram)
     MemoryHierarchy mem;
     CompressionFactors cf;
     ExecutionProfile exec;
-    exec.input_from_dram = true;
-    exec.output_to_dram = true;
+    exec.input_dram_fraction = 1.0;
+    exec.output_dram_fraction = 1.0;
     exec.compute_cycles = 10.0;
     exec.weight_port_active_bits = 64.0;
     const auto ac = compute_access_counts(d, su, mem, cf, exec);

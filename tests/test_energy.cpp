@@ -7,6 +7,7 @@
 
 #include "energy/breakdown.hpp"
 #include "energy/dram.hpp"
+#include "energy/pricing.hpp"
 #include "energy/tech.hpp"
 
 namespace bitwave {
@@ -67,6 +68,108 @@ TEST(Dram, TransferCyclesAtChannelWidth)
     const auto &d = default_dram();
     EXPECT_DOUBLE_EQ(d.transfer_cycles(6400),
                      6400.0 / d.bits_per_accel_cycle);
+}
+
+// ------------------------------------------- Eq. (4) pricing edge cases ---
+
+TEST(Pricing, ZeroCycleLayerCarriesZeroStaticEnergy)
+{
+    // A layer that occupies no cycles must accrue no static/clock-tree
+    // energy (and an all-zero activity prices to exactly zero — the
+    // DRAM burst-activation overhead only triggers on moved bits).
+    EnergyActivity a;
+    a.mac_units = 100.0;
+    a.e_mac_pj = 0.1;
+    a.sram_read_bits = 1024.0;
+    a.cycles = 0.0;
+    const auto e = price_energy(a, default_tech(), default_dram());
+    EXPECT_EQ(e.static_pj, 0.0);
+    const auto zero =
+        price_energy(EnergyActivity{}, default_tech(), default_dram());
+    EXPECT_EQ(zero.total_pj, 0.0);
+    EXPECT_EQ(zero.dram_pj, 0.0);
+}
+
+TEST(Pricing, AccumulateKeepsTotalsConsistentWithComponentSums)
+{
+    EnergyActivity a;
+    a.mac_units = 3.0;
+    a.e_mac_pj = 0.0852;
+    a.sram_read_bits = 777.0;
+    a.sram_write_bits = 123.0;
+    a.reg_words = 9.0;
+    a.dram_bits = 4096.0;
+    a.cycles = 55.0;
+    a.accbank_bits = 64.0;
+    a.codec_words = 17.0;
+    EnergyBreakdown sum = price_energy(a, default_tech(), default_dram());
+    a.crossbar_replays = 11.0;
+    a.e_crossbar_pj = 126.0;
+    a.lane_overhead_cycles = 2048.0;
+    a.e_lane_overhead_pj = 0.012;
+    const EnergyBreakdown b =
+        price_energy(a, default_tech(), default_dram());
+    sum += b;
+    EXPECT_NEAR(sum.total_pj,
+                sum.mac_pj + sum.sram_pj + sum.reg_pj + sum.dram_pj +
+                    sum.static_pj,
+                sum.total_pj * 1e-12);
+}
+
+TEST(Pricing, DramBitsPriceIdenticallyEverywhere)
+{
+    // Eq. (4) must route DRAM bits through the one DramModel unchanged,
+    // regardless of what else the activity carries — the property that
+    // keeps the model, the simulator, and the search/cost memos pricing
+    // identical dram_bits to identical picojoules.
+    const auto &dram = default_dram();
+    for (double bits : {64.0, 511.0, 512.0, 513.0, 1.5e9}) {
+        EnergyActivity plain;
+        plain.dram_bits = bits;
+        EnergyActivity loaded = plain;
+        loaded.mac_units = 1e6;
+        loaded.e_mac_pj = 0.0684;
+        loaded.accbank_bits = 1e5;
+        loaded.crossbar_replays = 1e4;
+        loaded.e_crossbar_pj = 126.0;
+        const auto &tech = default_tech();
+        EXPECT_EQ(price_energy(plain, tech, dram).dram_pj,
+                  dram.transfer_energy_pj(bits));
+        EXPECT_EQ(price_energy(loaded, tech, dram).dram_pj,
+                  dram.transfer_energy_pj(bits));
+    }
+}
+
+TEST(Pricing, BaselineActivityTermsPriceAsDocumented)
+{
+    // The recalibration terms are exact linear prices — and all of them
+    // vanish on a default (BitWave-shaped) activity, which is what keeps
+    // the BitWave numbers bit-identical across the recalibration.
+    const auto &tech = default_tech();
+    const auto &dram = default_dram();
+    EnergyActivity base;
+    base.mac_units = 10.0;
+    base.e_mac_pj = 0.0684;
+    base.sram_read_bits = 100.0;
+    const auto e0 = price_energy(base, tech, dram);
+
+    EnergyActivity acc = base;
+    acc.accbank_bits = 640.0;
+    EXPECT_DOUBLE_EQ(price_energy(acc, tech, dram).sram_pj,
+                     e0.sram_pj + 640.0 * tech.e_accbank_per_bit_pj);
+
+    EnergyActivity codec = base;
+    codec.codec_words = 30.0;
+    EXPECT_DOUBLE_EQ(price_energy(codec, tech, dram).sram_pj,
+                     e0.sram_pj + 30.0 * tech.e_codec_per_word_pj);
+
+    EnergyActivity xbar = base;
+    xbar.crossbar_replays = 5.0;
+    xbar.e_crossbar_pj = 126.0;
+    xbar.lane_overhead_cycles = 1000.0;
+    xbar.e_lane_overhead_pj = 0.01;
+    EXPECT_DOUBLE_EQ(price_energy(xbar, tech, dram).mac_pj,
+                     e0.mac_pj + 5.0 * 126.0 + 1000.0 * 0.01);
 }
 
 TEST(Breakdown, TotalsMatchSectionVD)

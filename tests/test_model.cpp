@@ -6,6 +6,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <map>
+
 #include "bitflip/bitflip.hpp"
 #include "eval/scenario.hpp"
 #include "model/accelerator.hpp"
@@ -256,6 +259,75 @@ TEST(Fig14, ScnnCollapsesOnLowValueSparsityNetworks)
         EXPECT_GT(scnn.total_cycles / bw.total_cycles, 5.0)
             << workload_name(id);
     }
+}
+
+TEST(Fig15, EnergyVsBitwaveMatchesPaperAnchors)
+{
+    // The headline Fig. 15 bars under the paper's protocol (the same
+    // heavy-layer Bit-Flip configuration the Fig. 14 anchors use):
+    // SCNN burns 13.23x BitWave's energy on Bert-Base, every baseline
+    // lands in 4.09-5.04x on MobileNetV2, and HUAA averages 2.41x
+    // across the benchmark networks. The energy-side calibration
+    // (accumulator-bank RMW, crossbar-conflict replays, layer-
+    // sequential spills, lane overheads) is pinned to these anchors
+    // within the same +-20 % reproduction tolerance as Fig. 14.
+    // One BitWave denominator per workload, reused by every anchor.
+    std::map<WorkloadId, double> bw_energy;
+    for (auto id : kAllWorkloads) {
+        const auto &w = get_workload(id);
+        const auto flipped = eval::flip_heavy_layers(w, 0.8, 16, 5);
+        bw_energy[id] =
+            AcceleratorModel(make_bitwave(BitWaveVariant::kDfSmBf))
+                .model_workload(w, &flipped)
+                .energy.total_pj;
+    }
+
+    const double scnn_bert =
+        run(make_scnn(), WorkloadId::kBertBase).energy.total_pj /
+        bw_energy[WorkloadId::kBertBase];
+    EXPECT_NEAR(scnn_bert / 13.23, 1.0, 0.20)
+        << "SCNN/Bert-Base: " << scnn_bert << "x vs paper 13.23x";
+
+    const AcceleratorConfig baselines[] = {make_scnn(), make_stripes(),
+                                           make_pragmatic(), make_bitlet(),
+                                           make_huaa()};
+    for (const auto &cfg : baselines) {
+        const double ratio =
+            run(cfg, WorkloadId::kMobileNetV2).energy.total_pj /
+            bw_energy[WorkloadId::kMobileNetV2];
+        EXPECT_GT(ratio, 4.09 * 0.80) << cfg.name << " on MobileNetV2";
+        EXPECT_LT(ratio, 5.04 * 1.20) << cfg.name << " on MobileNetV2";
+    }
+
+    double huaa_sum = 0.0;
+    for (auto id : kAllWorkloads) {
+        huaa_sum +=
+            run(make_huaa(), id).energy.total_pj / bw_energy[id];
+    }
+    const double huaa_avg = huaa_sum / std::size(kAllWorkloads);
+    EXPECT_NEAR(huaa_avg / 2.41, 1.0, 0.20)
+        << "HUAA average: " << huaa_avg << "x vs paper 2.41x";
+}
+
+TEST(Fig16, BreakdownShapesMatchPaper)
+{
+    // Breakdown shapes after the energy recalibration: the uncompressed
+    // baselines stream every weight bit through DRAM, which stays their
+    // single dominant component on the weight-heavy net; SCNN's Bert
+    // blowup is on-chip churn (crossbar replays + accumulator banks),
+    // not DRAM; and BitWave's on-chip energy is MAC+SRAM-dominated
+    // (datapath and stream traffic, not registers or idle clocks).
+    for (const auto &cfg : {make_stripes(), make_huaa()}) {
+        const auto r = run(cfg, WorkloadId::kBertBase);
+        EXPECT_GT(r.energy.dram_pj, 0.5 * r.energy.total_pj) << cfg.name;
+    }
+    const auto scnn = run(make_scnn(), WorkloadId::kBertBase);
+    EXPECT_GT(scnn.energy.mac_pj + scnn.energy.sram_pj,
+              scnn.energy.dram_pj);
+    const auto bw = run(make_bitwave(BitWaveVariant::kDfSm),
+                        WorkloadId::kResNet18);
+    EXPECT_GT(bw.energy.mac_pj + bw.energy.sram_pj,
+              bw.energy.reg_pj + bw.energy.static_pj);
 }
 
 TEST(Fig15, ScnnIsLeastEnergyEfficientOnWeightHeavyNets)

@@ -84,6 +84,10 @@ TEST(MappingCost, AgreesWithAnalyticalModelPerCandidate)
             EXPECT_NEAR(c.energy.total_pj, r.energy.total_pj,
                         1e-6 * r.energy.total_pj)
                 << desc.name << " / " << su.name;
+            // DRAM bits must price identically through both Eq. (4)
+            // paths — same bits, same DramModel, same picojoules.
+            EXPECT_DOUBLE_EQ(c.energy.dram_pj, r.energy.dram_pj)
+                << desc.name << " / " << su.name;
         }
     }
 }
