@@ -6,12 +6,17 @@
  * Times the element-at-a-time oracles against the word-parallel kernels
  * that replaced them on every hot path (bit-column statistics, BCS
  * measure/compress, mapping cycle statistics, sparsity, Bit-Flip), and
- * verifies bit-identical results in the same run. Emits
- * BENCH_micro_kernels.json; CI validates the JSON and the equivalence
- * flags like the other bench reports.
+ * verifies bit-identical results in the same run, and closes with a
+ * `runner_scaling` row timing the work-stealing runner core serial vs
+ * parallel on a warm batch. Emits BENCH_micro_kernels.json; CI
+ * validates the JSON and the equivalence flags like the other bench
+ * reports.
  */
+#include <algorithm>
 #include <chrono>
 #include <functional>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "bitflip/bitflip.hpp"
@@ -241,6 +246,49 @@ main()
             1);
         report(json, table, "bitflip_group", scalar_ms, packed_ms,
                fast == scalar);
+    }
+
+    // ------------------------------------------------ runner scaling ---
+    // Not a bit-plane kernel: the work-stealing runner core, timed as
+    // 1-thread vs N-thread wall on a small warm analytical batch so the
+    // kernel report also tracks the scheduler. "scalar" is the serial
+    // run, "packed" the parallel one; `identical` asserts the N-thread
+    // results match the serial ones bit for bit.
+    {
+        std::vector<eval::Scenario> batch;
+        for (const WorkloadId id :
+             {WorkloadId::kMobileNetV2, WorkloadId::kCnnLstm}) {
+            eval::Scenario s;
+            s.engine = eval::EngineKind::kAnalytical;
+            s.workload = id;
+            batch.push_back(std::move(s));
+        }
+        const auto run_with = [&](int threads) {
+            eval::RunnerOptions options;
+            options.threads = threads;
+            options.shard_layers = 4;
+            return eval::ScenarioRunner(options).run(batch);
+        };
+        const auto golden = run_with(1);  // warm every cache, untimed
+        const int threads = static_cast<int>(std::max(
+            2u, std::thread::hardware_concurrency()));
+        std::vector<eval::ScenarioResult> serial, parallel;
+        const double serial_ms = time_ms([&] { serial = run_with(1); });
+        const double parallel_ms =
+            time_ms([&] { parallel = run_with(threads); });
+        bool identical = serial.size() == golden.size() &&
+                         parallel.size() == golden.size();
+        for (std::size_t i = 0; identical && i < golden.size(); ++i) {
+            identical = serial[i].total_cycles == golden[i].total_cycles &&
+                        parallel[i].total_cycles ==
+                            golden[i].total_cycles &&
+                        serial[i].energy.total_pj ==
+                            golden[i].energy.total_pj &&
+                        parallel[i].energy.total_pj ==
+                            golden[i].energy.total_pj;
+        }
+        report(json, table, "runner_scaling", serial_ms, parallel_ms,
+               identical);
     }
 
     std::printf("%s", table.render().c_str());

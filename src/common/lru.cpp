@@ -1,6 +1,7 @@
 #include "common/lru.hpp"
 
 #include <cstdlib>
+#include <thread>
 
 namespace bitwave {
 
@@ -16,6 +17,31 @@ cache_capacity_from_env(std::size_t fallback)
         }
     }
     return fallback > 0 ? fallback : 1;
+}
+
+std::size_t
+cache_shards_from_env()
+{
+    std::size_t want = 0;
+    const char *env = std::getenv("BITWAVE_CACHE_SHARDS");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        const long long v = std::strtoll(env, &end, 10);
+        if (end != nullptr && *end == '\0' && v > 0) {
+            want = static_cast<std::size_t>(v);
+        }
+    }
+    if (want == 0) {
+        want = std::thread::hardware_concurrency();
+        if (want == 0) {
+            want = 1;
+        }
+    }
+    std::size_t pow2 = 1;
+    while (pow2 < want && pow2 < 64) {
+        pow2 <<= 1;
+    }
+    return pow2;
 }
 
 }  // namespace bitwave

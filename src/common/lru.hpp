@@ -1,7 +1,18 @@
 /**
  * @file
- * A small thread-safe LRU cache for the process-wide preparation caches
+ * Thread-safe LRU caches for the process-wide preparation caches
  * (Bit-Flip twins, packed bit planes, workload synthesis, layer stats).
+ *
+ * Two implementations share one contract:
+ *
+ *  - `LruCache` — exact LRU under a single mutex. Kept as the simple
+ *    oracle the sharded cache is tested against.
+ *  - `ShardedLruCache` — the production cache: N power-of-two
+ *    lock-striped shards keyed by content hash, each with a
+ *    shared-mutex read fast path (concurrent hits of resident entries
+ *    never contend — recency is an atomic tick, not a list splice) and
+ *    per-shard capacity/eviction. With one shard and sequential access
+ *    it reproduces the oracle's hit/miss/eviction behavior exactly.
  *
  * Entries build exactly once under a per-entry once_flag, so concurrent
  * first requests for the same key never duplicate work and builds of
@@ -10,18 +21,22 @@
  * builder) keep the value alive.
  *
  * Every cache reads its capacity from the BITWAVE_CACHE_ENTRIES
- * environment variable (one knob for all of them), falling back to a
- * per-cache default, so long-running batches can bound residency.
+ * environment variable and its shard count from BITWAVE_CACHE_SHARDS
+ * (one pair of knobs for all of them), falling back to per-cache
+ * defaults, so long-running batches can bound residency.
  */
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace bitwave {
 
@@ -31,6 +46,14 @@ namespace bitwave {
  * @p fallback. Read per call; never returns 0.
  */
 std::size_t cache_capacity_from_env(std::size_t fallback);
+
+/**
+ * Shard count of a process-wide cache: BITWAVE_CACHE_SHARDS when set
+ * to a positive integer, else the smallest power of two covering the
+ * machine's hardware concurrency (capped at 64). Always returns a
+ * power of two >= 1.
+ */
+std::size_t cache_shards_from_env();
 
 /**
  * Thread-safe LRU map from Key to immutable shared values.
@@ -121,6 +144,182 @@ class LruCache
     std::size_t capacity_;
     std::int64_t hits_ = 0;
     std::int64_t misses_ = 0;
+};
+
+/**
+ * Sharded thread-safe LRU map from Key to immutable shared values.
+ *
+ * The key's hash selects one of `shards()` lock-striped shards
+ * (power-of-two count, so selection is a mask over a mixed hash), and
+ * each shard holds `ceil(capacity / shards)` entries under its own
+ * shared_mutex. The hot read path — a hit on a resident entry — takes
+ * the shard lock *shared* and records recency with a relaxed atomic
+ * tick, so concurrent readers of the bit-plane / stats / flip-twin
+ * caches never serialize; only a miss (insert + possible eviction)
+ * takes the shard lock exclusively. Eviction removes the entry with
+ * the smallest tick, which for sequential access is exactly the
+ * least-recently-used entry of the `LruCache` oracle.
+ */
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache
+{
+  public:
+    /**
+     * @p capacity total entries (distributed over the shards, at least
+     * one each); @p shards a power-of-two shard count, 0 = the
+     * BITWAVE_CACHE_SHARDS / hardware default.
+     */
+    explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 0)
+    {
+        if (shards == 0) {
+            shards = cache_shards_from_env();
+        }
+        std::size_t pow2 = 1;
+        while (pow2 < shards && pow2 < 64) {
+            pow2 <<= 1;
+        }
+        shards_.resize(pow2);
+        shard_capacity_ =
+            (std::max<std::size_t>(capacity, 1) + pow2 - 1) / pow2;
+        for (auto &shard : shards_) {
+            shard = std::make_unique<Shard>();
+        }
+    }
+
+    /**
+     * Return the cached value for @p key, building it via `build()` on
+     * the first request — same contract as LruCache::get_or_build, plus
+     * the shared-lock fast path for hits.
+     */
+    template <typename Build>
+    std::shared_ptr<const Value> get_or_build(const Key &key, Build &&build,
+                                              bool *was_hit = nullptr)
+    {
+        Shard &shard = *shards_[shard_index(key)];
+        std::shared_ptr<Entry> entry;
+        bool hit = false;
+        {
+            std::shared_lock<std::shared_mutex> lock(shard.mutex);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end()) {
+                entry = it->second;
+                hit = true;
+                bump_recency(*entry);
+            }
+        }
+        if (!hit) {
+            std::unique_lock<std::shared_mutex> lock(shard.mutex);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end()) {
+                // Raced with another inserter between the locks.
+                entry = it->second;
+                hit = true;
+            } else {
+                entry = std::make_shared<Entry>();
+                entry->key = key;
+                shard.map.emplace(key, entry);
+            }
+            bump_recency(*entry);
+            while (shard.map.size() > shard_capacity_) {
+                evict_oldest(shard);
+            }
+        }
+        (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+        if (was_hit != nullptr) {
+            *was_hit = hit;
+        }
+        std::call_once(entry->once, [&] {
+            entry->value = std::make_shared<const Value>(build());
+        });
+        return entry->value;
+    }
+
+    std::size_t size() const
+    {
+        std::size_t total = 0;
+        for (const auto &shard : shards_) {
+            std::shared_lock<std::shared_mutex> lock(shard->mutex);
+            total += shard->map.size();
+        }
+        return total;
+    }
+    std::size_t capacity() const
+    {
+        return shard_capacity_ * shards_.size();
+    }
+    std::size_t shards() const { return shards_.size(); }
+    std::int64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::int64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    std::int64_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Entry
+    {
+        Key key{};
+        std::once_flag once;
+        std::shared_ptr<const Value> value;
+        std::atomic<std::uint64_t> tick{0};  ///< Last-access recency.
+    };
+
+    struct Shard
+    {
+        mutable std::shared_mutex mutex;
+        std::unordered_map<Key, std::shared_ptr<Entry>, Hash> map;
+    };
+
+    void bump_recency(Entry &entry)
+    {
+        entry.tick.store(tick_.fetch_add(1, std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+
+    std::size_t shard_index(const Key &key) const
+    {
+        // splitmix64 finalizer: shard selection must survive identity
+        // std::hash (small ints land in one shard otherwise).
+        std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+        h ^= h >> 30;
+        h *= 0xBF58476D1CE4E5B9ULL;
+        h ^= h >> 27;
+        h *= 0x94D049BB133111EBULL;
+        h ^= h >> 31;
+        return static_cast<std::size_t>(h) & (shards_.size() - 1);
+    }
+
+    /// Caller holds the shard's unique lock.
+    void evict_oldest(Shard &shard)
+    {
+        auto oldest = shard.map.end();
+        std::uint64_t oldest_tick = ~std::uint64_t{0};
+        for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+            const std::uint64_t t =
+                it->second->tick.load(std::memory_order_relaxed);
+            if (oldest == shard.map.end() || t < oldest_tick) {
+                oldest = it;
+                oldest_tick = t;
+            }
+        }
+        if (oldest != shard.map.end()) {
+            shard.map.erase(oldest);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::size_t shard_capacity_ = 1;
+    std::atomic<std::uint64_t> tick_{0};
+    std::atomic<std::int64_t> hits_{0};
+    std::atomic<std::int64_t> misses_{0};
+    std::atomic<std::int64_t> evictions_{0};
 };
 
 }  // namespace bitwave

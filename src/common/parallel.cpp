@@ -2,15 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace bitwave {
-
-int &
-detail::parallel_depth()
-{
-    thread_local int depth = 0;
-    return depth;
-}
 
 int
 parallel_threads(std::size_t n)

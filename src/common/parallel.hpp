@@ -1,88 +1,40 @@
 /**
  * @file
- * Minimal deterministic fork-join helper for data-parallel loops whose
+ * Deterministic fork-join helper for data-parallel loops whose
  * iterations are independent (workload-weight materialization, bench
  * sweeps). Results must not depend on which thread runs an index — the
  * helper only distributes indices, it adds no per-thread state.
- */
-#pragma once
-
-#include <atomic>
-#include <cstddef>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-namespace bitwave {
-
-/// Worker threads to use for @p n independent items; respects the
-/// BITWAVE_THREADS environment override, else hardware concurrency.
-int parallel_threads(std::size_t n);
-
-namespace detail {
-/// Depth of parallel_for frames on this thread (see nesting note).
-int &parallel_depth();
-}  // namespace detail
-
-/**
- * Run `fn(i)` for every i in [0, n) on up to @p threads workers
- * (0 = parallel_threads(n)). Iterations must be independent; the first
- * exception thrown is rethrown on the caller after all workers join.
+ *
+ * Since the work-stealing rebuild this is a thin facade over the
+ * Chase–Lev deque core in common/worksteal.hpp: every loop gets
+ * steal-based load balancing, the relaxed-atomic cancel flag (the first
+ * exception stops sibling workers at their next chunk boundary), and
+ * the single-thread inline bypass (BITWAVE_THREADS=1 never constructs
+ * a pool or deque).
  *
  * Nested calls run serially: when `fn` itself reaches a parallel_for
  * (worker threads inherit the caller's frame), the inner loop executes
  * inline instead of oversubscribing the machine with threads x threads
  * workers. Parallelism always belongs to the outermost loop.
  */
+#pragma once
+
+#include <cstddef>
+
+#include "common/worksteal.hpp"
+
+namespace bitwave {
+
+/**
+ * Run `fn(i)` for every i in [0, n) on up to @p threads workers
+ * (0 = parallel_threads(n)). Iterations must be independent; the first
+ * exception thrown is rethrown on the caller after all workers stop.
+ */
 template <typename Fn>
 void
 parallel_for(std::size_t n, Fn &&fn, int threads = 0)
 {
-    if (threads <= 0) {
-        threads = parallel_threads(n);
-    }
-    if (detail::parallel_depth() > 0 || threads <= 1 || n <= 1) {
-        for (std::size_t i = 0; i < n; ++i) {
-            fn(i);
-        }
-        return;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-            detail::parallel_depth() = 1;  // serialize nested loops
-            for (;;) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= n || failed.load(std::memory_order_relaxed)) {
-                    return;
-                }
-                try {
-                    fn(i);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!first_error) {
-                        first_error = std::current_exception();
-                    }
-                    failed.store(true, std::memory_order_relaxed);
-                    return;
-                }
-            }
-        });
-    }
-    for (auto &worker : pool) {
-        worker.join();
-    }
-    if (first_error) {
-        std::rethrow_exception(first_error);
-    }
+    worksteal_for(n, fn, threads);
 }
 
 }  // namespace bitwave

@@ -152,7 +152,7 @@ layer_stats(const Scenario &scenario, const WorkloadLayer &layer,
         key = hash_combine(key, static_cast<std::uint64_t>(d));
     }
 
-    static LruCache<std::uint64_t, LayerStatsEval> memo(
+    static ShardedLruCache<std::uint64_t, LayerStatsEval> memo(
         cache_capacity_from_env(256));
     bool was_hit = false;
     auto stats = memo.get_or_build(

@@ -1,11 +1,15 @@
 #include "eval/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "common/worksteal.hpp"
 
 namespace bitwave::eval {
 
@@ -18,13 +22,28 @@ seconds_since(std::chrono::steady_clock::time_point t0)
         std::chrono::steady_clock::now() - t0).count();
 }
 
-/// One unit of pool work: a contiguous slice of one scenario's layers.
-struct Shard
+/**
+ * The batch's flat evaluation-unit space: unit u is one selected layer
+ * of one scenario, scenarios laid out contiguously in batch order.
+ * Chunk boundaries are free to land anywhere — the executor walks the
+ * per-scenario sub-ranges of a chunk, and every layer evaluates from
+ * its own (scenario, layer) stream, so the cut is pure scheduling.
+ */
+struct UnitSpace
 {
-    std::size_t scenario = 0;
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    double seconds = 0.0;  ///< Evaluation cost (diagnostics only).
+    std::vector<std::size_t> offsets;  ///< Size n+1; scenario i owns
+                                       ///< units [offsets[i], offsets[i+1]).
+
+    std::size_t total() const { return offsets.back(); }
+
+    /// Scenario owning @p unit (offsets is sorted; the hot path is a
+    /// cached linear walk from the previous hit inside the executor).
+    std::size_t scenario_of(std::size_t unit) const
+    {
+        const auto it = std::upper_bound(offsets.begin(), offsets.end(),
+                                         unit);
+        return static_cast<std::size_t>(it - offsets.begin()) - 1;
+    }
 };
 
 }  // namespace
@@ -54,9 +73,8 @@ ScenarioRunner::run(const std::vector<Scenario> &scenarios,
 
     // Resolve shared workloads up front, from this (un-nested) thread:
     // per-layer synthesis streams only fan out when the build is not
-    // already inside a parallel_for worker, so a cold BERT-Base
-    // synthesizes on all cores here instead of on one worker inside
-    // Phase A.
+    // already inside a worker frame, so a cold BERT-Base synthesizes
+    // on all cores here instead of on one worker inside Phase A.
     {
         std::vector<WorkloadId> distinct;
         for (const auto &s : scenarios) {
@@ -87,58 +105,146 @@ ScenarioRunner::run(const std::vector<Scenario> &scenarios,
         prep_seconds[i] = seconds_since(p0);
     }, prep_threads);
 
-    // Phase B — shard each scenario's layer selection into contiguous
-    // slices and drain the flat task list work-stealing style. Shard
-    // boundaries only affect scheduling, never results: every layer
-    // evaluates from its own (scenario, layer) stream.
-    std::vector<Shard> shards;
+    // Phase B — drain the flat unit space (one unit = one selected
+    // layer). Each scenario is one coarse splittable task; the grain is
+    // shard_layers. Chunk boundaries only affect scheduling, never
+    // results: every layer evaluates from its own (scenario, layer)
+    // stream.
+    UnitSpace units;
+    units.offsets.resize(n + 1, 0);
     for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t layers = preps[i].layers.size();
-        const std::size_t step = options_.shard_layers > 0
-            ? static_cast<std::size_t>(options_.shard_layers)
-            : std::max<std::size_t>(layers, 1);
-        std::size_t begin = 0;
-        do {
-            const std::size_t end = std::min(layers, begin + step);
-            shards.push_back({i, begin, end, 0.0});
-            begin = end;
-        } while (begin < layers);
+        units.offsets[i + 1] = units.offsets[i] + preps[i].layers.size();
     }
+    const std::size_t total_units = units.total();
+    const std::size_t grain = options_.shard_layers > 0
+        ? static_cast<std::size_t>(options_.shard_layers)
+        : std::max<std::size_t>(total_units, 1);
 
     std::vector<std::vector<LayerEval>> layer_results(n);
     for (std::size_t i = 0; i < n; ++i) {
         layer_results[i].resize(preps[i].layers.size());
     }
-    const int threads = effective_threads(shards.size());
-    parallel_for(shards.size(), [&](std::size_t s) {
-        Shard &shard = shards[s];
-        const auto s0 = std::chrono::steady_clock::now();
-        auto evals = evaluate_layer_range(scenarios[shard.scenario],
-                                          preps[shard.scenario],
-                                          seeds[shard.scenario],
-                                          shard.begin, shard.end);
-        shard.seconds = seconds_since(s0);
-        auto &slot = layer_results[shard.scenario];
-        for (std::size_t k = 0; k < evals.size(); ++k) {
-            slot[shard.begin + k] = std::move(evals[k]);
+    // Per-scenario evaluation cost, accumulated lock-free across the
+    // chunks that touched the scenario (diagnostics only).
+    std::vector<std::atomic<std::int64_t>> eval_nanos(n);
+
+    // One chunk [begin, end) of the unit space: evaluate each
+    // per-scenario sub-range and scatter the records into place.
+    // Disjoint chunks write disjoint slots.
+    const auto execute = [&](std::size_t begin, std::size_t end) {
+        std::size_t i = units.scenario_of(begin);
+        while (begin < end) {
+            while (units.offsets[i + 1] <= begin) {
+                ++i;
+            }
+            const std::size_t local_begin = begin - units.offsets[i];
+            const std::size_t local_end =
+                std::min(end, units.offsets[i + 1]) - units.offsets[i];
+            const auto s0 = std::chrono::steady_clock::now();
+            auto evals = evaluate_layer_range(scenarios[i], preps[i],
+                                              seeds[i], local_begin,
+                                              local_end);
+            eval_nanos[i].fetch_add(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - s0).count(),
+                std::memory_order_relaxed);
+            auto &slot = layer_results[i];
+            for (std::size_t k = 0; k < evals.size(); ++k) {
+                slot[local_begin + k] = std::move(evals[k]);
+            }
+            begin = units.offsets[i] + local_end;
         }
-    }, threads);
+    };
+
+    const int threads = effective_threads(total_units);
+    WorkstealStats sched;
+    sched.threads_used = threads;
+    switch (options_.scheduler) {
+      case SchedulerKind::kWorkSteal: {
+        WorkstealOptions wopts;
+        wopts.threads = threads;
+        wopts.grain = grain;
+        wopts.chaos_seed = options_.chaos_seed;
+        sched = worksteal_run(total_units, execute, wopts);
+        break;
+      }
+      case SchedulerKind::kStaticSlice: {
+        // Legacy baseline for the A/B benches: pre-chop the unit space
+        // into grain-sized chunks and statically slice the chunk list
+        // over the workers. No stealing — a worker that drew the BERT
+        // tail keeps it.
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t b = units.offsets[i];
+                 b < units.offsets[i + 1]; b += grain) {
+                chunks.emplace_back(
+                    b, std::min(b + grain, units.offsets[i + 1]));
+            }
+        }
+        if (threads <= 1 || chunks.size() <= 1) {
+            for (const auto &[b, e] : chunks) {
+                execute(b, e);
+            }
+        } else {
+            const std::size_t workers = std::min<std::size_t>(
+                static_cast<std::size_t>(threads), chunks.size());
+            std::atomic<bool> failed{false};
+            std::exception_ptr first_error;
+            std::mutex error_mutex;
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (std::size_t t = 0; t < workers; ++t) {
+                const std::size_t lo = t * chunks.size() / workers;
+                const std::size_t hi =
+                    (t + 1) * chunks.size() / workers;
+                pool.emplace_back([&, lo, hi] {
+                    for (std::size_t c = lo; c < hi; ++c) {
+                        if (failed.load(std::memory_order_relaxed)) {
+                            return;
+                        }
+                        try {
+                            execute(chunks[c].first, chunks[c].second);
+                        } catch (...) {
+                            std::lock_guard<std::mutex> lock(error_mutex);
+                            if (!first_error) {
+                                first_error = std::current_exception();
+                            }
+                            failed.store(true,
+                                         std::memory_order_relaxed);
+                            return;
+                        }
+                    }
+                });
+            }
+            for (auto &worker : pool) {
+                worker.join();
+            }
+            if (first_error) {
+                std::rethrow_exception(first_error);
+            }
+        }
+        break;
+      }
+    }
 
     // Phase C — deterministic reduction: totals accumulate in layer
-    // order inside finalize_scenario, independent of shard boundaries.
+    // order inside finalize_scenario, independent of chunk boundaries.
     std::vector<ScenarioResult> results(n);
+    int chunk_count = 0;
     for (std::size_t i = 0; i < n; ++i) {
         results[i] = finalize_scenario(scenarios[i], preps[i], seeds[i],
                                        std::move(layer_results[i]));
-        results[i].wall_seconds = prep_seconds[i];
-    }
-    for (const Shard &shard : shards) {
-        results[shard.scenario].wall_seconds += shard.seconds;
+        results[i].wall_seconds = prep_seconds[i] +
+            static_cast<double>(
+                eval_nanos[i].load(std::memory_order_relaxed)) * 1e-9;
+        chunk_count += static_cast<int>(
+            (preps[i].layers.size() + grain - 1) / grain);
     }
 
     if (report != nullptr) {
         report->threads_used = threads;
-        report->shards = static_cast<int>(shards.size());
+        report->shards = chunk_count;
+        report->steals = sched.steals;
         report->wall_seconds = seconds_since(t0);
         report->scenario_seconds_sum = 0.0;
         for (const auto &r : results) {

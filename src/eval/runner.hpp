@@ -1,19 +1,24 @@
 /**
  * @file
- * ScenarioRunner — evaluates a batch of Scenarios on a pool of worker
- * threads and returns results in batch order.
+ * ScenarioRunner — evaluates a batch of Scenarios on work-stealing
+ * worker threads and returns results in batch order.
  *
  * Work splits at two levels: across scenarios, and *inside* each
- * scenario by contiguous layer ranges (`RunnerOptions::shard_layers`), so
- * one BERT-class scenario fans out across the whole pool instead of
- * pinning the batch's wall clock to a single worker.
+ * scenario by layer ranges. Each scenario enters the pool as one
+ * coarse splittable task over its selected layers; owners execute
+ * `RunnerOptions::shard_layers`-sized chunks LIFO from their own deque
+ * and idle workers steal the far end of a task FIFO (halving it per
+ * steal), so one BERT-class scenario fans out across the whole pool
+ * instead of pinning the batch's wall clock to a single worker — and
+ * nothing sits pre-chopped behind a bag of tiny convs.
  *
  * Determinism contract: every scenario's result is a pure function of
  * (scenario, batch index) — the per-scenario RNG seed is derived from the
  * batch position and per-layer streams from (seed, layer index), never
- * from thread identity or shard boundaries — so an N-thread run is
- * bit-identical to a 1-thread run and a split scenario is bit-identical
- * to an unsplit one (modulo the `wall_seconds` diagnostics).
+ * from thread identity or chunk boundaries — so an N-thread run is
+ * bit-identical to a 1-thread run, under any steal order (modulo the
+ * `wall_seconds` diagnostics). The adversarial-scheduler tests pin this
+ * with forced steals (`RunnerOptions::chaos_seed`).
  */
 #pragma once
 
@@ -25,24 +30,47 @@
 
 namespace bitwave::eval {
 
+/// Which execution core drains the evaluation tasks.
+enum class SchedulerKind
+{
+    /// Chase–Lev work-stealing deques with split-on-steal (default).
+    kWorkSteal,
+    /// Legacy baseline: the task list is pre-chopped and statically
+    /// sliced over the workers, no stealing. Kept for the
+    /// ablation_sync / runner_scaling A/B — shows the batch-tail
+    /// imbalance the deque core removes. Results are bit-identical.
+    kStaticSlice,
+};
+
 /// Runner knobs.
 struct RunnerOptions
 {
-    /// Worker threads; 0 = hardware concurrency.
+    /// Worker threads; 0 = hardware concurrency (BITWAVE_THREADS).
     int threads = 0;
     /**
-     * Intra-scenario splitting: maximum selected layers per work shard.
-     * BERT-Base (72 layers) fans out into 72/shard_layers tasks.
-     * <= 0 evaluates each scenario as a single task.
+     * Intra-scenario splitting: maximum selected layers per executed
+     * chunk (the work-stealing grain). BERT-Base (72 layers) fans out
+     * into 72/shard_layers chunks. <= 0 evaluates each scenario as a
+     * single unsplittable task.
      */
     int shard_layers = 8;
+    /// Execution core; see SchedulerKind.
+    SchedulerKind scheduler = SchedulerKind::kWorkSteal;
+    /**
+     * Adversarial test scheduler seed (see WorkstealOptions): non-zero
+     * forces seeded steal-first scheduling and reverses the initial
+     * task order. Results must stay bit-identical — never needed
+     * outside tests.
+     */
+    std::uint64_t chaos_seed = 0;
 };
 
 /// Aggregate diagnostics of one run() call.
 struct RunnerReport
 {
     int threads_used = 0;
-    int shards = 0;                     ///< Evaluation tasks dispatched.
+    int shards = 0;            ///< Evaluation chunks (grain-sized).
+    std::int64_t steals = 0;   ///< Cross-worker steals (kWorkSteal).
     double wall_seconds = 0.0;          ///< End-to-end batch wall time.
     double scenario_seconds_sum = 0.0;  ///< Sum of per-scenario costs.
 
@@ -54,7 +82,7 @@ struct RunnerReport
     }
 };
 
-/// Thread-pool evaluator for scenario batches.
+/// Work-stealing evaluator for scenario batches.
 class ScenarioRunner
 {
   public:

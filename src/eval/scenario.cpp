@@ -155,12 +155,13 @@ cached_bitflip(const Int8Tensor &weights, std::uint64_t weights_hash,
     const std::uint64_t key = flipped_weights_hash(
         weights_hash, group, zero_cols, weights.numel());
 
-    // Bounded LRU (BITWAVE_CACHE_ENTRIES, default 256 prepared tensors):
-    // concurrent first requests build exactly once, builds of different
-    // tensors never serialize, and a long-running batch can no longer
-    // grow the prepared set without limit — in-flight holders keep an
-    // evicted tensor alive until they drop it.
-    static LruCache<std::uint64_t, Int8Tensor> cache(
+    // Bounded sharded LRU (BITWAVE_CACHE_ENTRIES / BITWAVE_CACHE_SHARDS,
+    // default 256 prepared tensors): concurrent first requests build
+    // exactly once, warm lookups take a shard lock shared, and a
+    // long-running batch can no longer grow the prepared set without
+    // limit — in-flight holders keep an evicted tensor alive until they
+    // drop it.
+    static ShardedLruCache<std::uint64_t, Int8Tensor> cache(
         cache_capacity_from_env(256));
     return cache.get_or_build(key, [&] {
         return bitflip_tensor(weights, group, zero_cols);

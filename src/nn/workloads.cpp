@@ -371,13 +371,15 @@ matches_current_builder(const Workload &loaded, WorkloadId id)
 std::shared_ptr<const Workload>
 shared_workload(WorkloadId id)
 {
-    // Bounded LRU: each resident entry synthesized (or disk-loaded) at
-    // most once under its own flag, so concurrent first touches of
-    // *different* workloads never serialize behind one global mutex.
-    // BITWAVE_CACHE_ENTRIES below 4 bounds how many of the ~10-100 MB
-    // networks stay resident at once; rebuilds are deterministic and
-    // the on-disk cache (BITWAVE_WORKLOAD_CACHE) makes them cheap.
-    static LruCache<int, Workload> cache(cache_capacity_from_env(4));
+    // Bounded sharded LRU: each resident entry synthesized (or
+    // disk-loaded) at most once under its own flag, so concurrent first
+    // touches of *different* workloads never serialize behind one
+    // global mutex, and warm fetches from the worker pool take a shard
+    // lock shared. BITWAVE_CACHE_ENTRIES below 4 bounds how many of
+    // the ~10-100 MB networks stay resident at once; rebuilds are
+    // deterministic and the on-disk cache (BITWAVE_WORKLOAD_CACHE)
+    // makes them cheap.
+    static ShardedLruCache<int, Workload> cache(cache_capacity_from_env(4));
     return cache.get_or_build(static_cast<int>(id), [&] {
         constexpr std::uint64_t kSeed = 0x5eed;
         const std::string dir = workload_cache_dir();

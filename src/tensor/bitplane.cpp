@@ -286,7 +286,9 @@ shared_bitplanes(const Int8Tensor &tensor, Representation repr,
                                      static_cast<std::uint64_t>(repr) + 1);
     key = hash_combine(key, static_cast<std::uint64_t>(tensor.numel()));
 
-    static LruCache<std::uint64_t, BitPlanes> cache(
+    // Sharded: concurrent warm lookups from the worker pool take a
+    // shard's lock shared and never contend with each other.
+    static ShardedLruCache<std::uint64_t, BitPlanes> cache(
         cache_capacity_from_env(256));
     return cache.get_or_build(
         key, [&] { return pack_bitplanes(tensor, repr); });

@@ -5,10 +5,16 @@
  * encoding, and bit-identical results between the packed kernels and
  * their scalar oracles (column statistics, BCS measure/compress, cycle
  * statistics, sparsity) on randomized tensors in both representations.
+ * Also home of the process-cache tests: the single-mutex LruCache
+ * oracle and the sharded lock-striped ShardedLruCache pinned against
+ * it, including the concurrent-reader paths the CI TSan job checks.
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "common/lru.hpp"
 #include "common/rng.hpp"
@@ -290,6 +296,128 @@ TEST(LruCache, CapacityEnvOverride)
     EXPECT_EQ(cache_capacity_from_env(99), 99u);
     ASSERT_EQ(unsetenv("BITWAVE_CACHE_ENTRIES"), 0);
     EXPECT_EQ(cache_capacity_from_env(99), 99u);
+}
+
+// --------------------------------------------------------- sharded LRU ---
+
+TEST(ShardedLruCache, ShardCountEnvOverrideRoundsToPowerOfTwo)
+{
+    ASSERT_EQ(setenv("BITWAVE_CACHE_SHARDS", "5", 1), 0);
+    EXPECT_EQ(cache_shards_from_env(), 8u);
+    ASSERT_EQ(setenv("BITWAVE_CACHE_SHARDS", "1", 1), 0);
+    EXPECT_EQ(cache_shards_from_env(), 1u);
+    ASSERT_EQ(setenv("BITWAVE_CACHE_SHARDS", "1000", 1), 0);
+    EXPECT_EQ(cache_shards_from_env(), 64u) << "capped at 64";
+    ASSERT_EQ(unsetenv("BITWAVE_CACHE_SHARDS"), 0);
+    EXPECT_GE(cache_shards_from_env(), 1u);
+
+    ShardedLruCache<int, int> cache(32, 5);
+    EXPECT_EQ(cache.shards(), 8u);
+    EXPECT_GE(cache.capacity(), 32u);
+}
+
+TEST(ShardedLruCache, SingleShardMatchesTheSingleMutexOracle)
+{
+    // Pin the sharded cache's hit/miss/eviction behavior against the
+    // LruCache oracle over a seeded mixed access pattern. With one
+    // shard and sequential access the tick-based eviction IS exact
+    // LRU, so every counter must agree; the oracle's evictions are
+    // misses minus resident entries.
+    constexpr std::size_t kCapacity = 8;
+    LruCache<int, int> oracle(kCapacity);
+    ShardedLruCache<int, int> sharded(kCapacity, /*shards=*/1);
+    ASSERT_EQ(sharded.shards(), 1u);
+    ASSERT_EQ(sharded.capacity(), kCapacity);
+
+    Rng rng(0xCAFE);
+    for (int step = 0; step < 2000; ++step) {
+        // Zipf-ish: small keys dominate, so the pattern mixes hot hits
+        // with cold misses and steady evictions.
+        const int key = static_cast<int>(
+            rng.uniform_int(0, rng.bernoulli(0.7) ? 7 : 31));
+        bool oracle_hit = false, sharded_hit = false;
+        const auto a =
+            oracle.get_or_build(key, [&] { return key * 3; }, &oracle_hit);
+        const auto b = sharded.get_or_build(
+            key, [&] { return key * 3; }, &sharded_hit);
+        ASSERT_EQ(*a, *b);
+        ASSERT_EQ(oracle_hit, sharded_hit) << "step " << step;
+    }
+    EXPECT_EQ(sharded.hits(), oracle.hits());
+    EXPECT_EQ(sharded.misses(), oracle.misses());
+    EXPECT_EQ(sharded.size(), oracle.size());
+    EXPECT_EQ(sharded.evictions(),
+              oracle.misses() -
+                  static_cast<std::int64_t>(oracle.size()));
+}
+
+TEST(ShardedLruCache, ShardingPreservesHitMissCountsWithoutEviction)
+{
+    // Below capacity, hits and misses are per-key properties and must
+    // not depend on how keys spread over the shards.
+    for (const std::size_t shards : {1u, 4u, 8u}) {
+        ShardedLruCache<int, int> cache(128, shards);
+        LruCache<int, int> oracle(128);
+        Rng rng(42);
+        for (int step = 0; step < 500; ++step) {
+            const int key = static_cast<int>(rng.uniform_int(0, 63));
+            cache.get_or_build(key, [&] { return key; });
+            oracle.get_or_build(key, [&] { return key; });
+        }
+        EXPECT_EQ(cache.hits(), oracle.hits()) << shards << " shards";
+        EXPECT_EQ(cache.misses(), oracle.misses());
+        EXPECT_EQ(cache.size(), oracle.size());
+        EXPECT_EQ(cache.evictions(), 0);
+    }
+}
+
+TEST(ShardedLruCache, EvictedValueStaysAliveThroughHolders)
+{
+    ShardedLruCache<int, std::vector<int>> cache(1, /*shards=*/1);
+    const auto held =
+        cache.get_or_build(1, [] { return std::vector<int>{1, 2, 3}; });
+    cache.get_or_build(2, [] { return std::vector<int>{9}; });  // evicts 1
+    EXPECT_EQ(cache.evictions(), 1);
+    EXPECT_EQ(held->size(), 3u) << "holder must outlive eviction";
+}
+
+TEST(ShardedLruCache, ConcurrentReadersAndBuildersStayConsistent)
+{
+    // The TSan CI job race-checks this: many workers hammering a
+    // sharded cache with overlapping hot keys must build each resident
+    // key exactly once, return the right value every time, and account
+    // every access as a hit or a miss.
+    ShardedLruCache<int, int> cache(256, /*shards=*/8);
+    std::atomic<std::int64_t> builds{0};
+    constexpr int kThreads = 8, kOps = 400, kKeys = 64;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng(static_cast<std::uint64_t>(t) + 1);
+            for (int op = 0; op < kOps; ++op) {
+                const int key =
+                    static_cast<int>(rng.uniform_int(0, kKeys - 1));
+                const auto v = cache.get_or_build(key, [&] {
+                    builds.fetch_add(1, std::memory_order_relaxed);
+                    return key * 7;
+                });
+                if (*v != key * 7) {
+                    ADD_FAILURE() << "wrong value for " << key;
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &w : workers) {
+        w.join();
+    }
+    // Capacity exceeds the key space: every key builds exactly once
+    // even under concurrent first requests.
+    EXPECT_EQ(builds.load(), static_cast<std::int64_t>(cache.size()));
+    EXPECT_LE(cache.size(), static_cast<std::size_t>(kKeys));
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              static_cast<std::int64_t>(kThreads) * kOps);
 }
 
 }  // namespace

@@ -1,16 +1,26 @@
 /**
  * @file
  * Unit tests for the common utilities: sign-magnitude codec, bit helpers,
- * RNG distributions, and the table renderer.
+ * RNG distributions, the table renderer, and the work-stealing
+ * execution core (coverage, cancellation, inline bypass, adversarial
+ * steal scheduling).
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "common/bits.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/worksteal.hpp"
 
 namespace bitwave {
 namespace {
@@ -172,6 +182,158 @@ TEST(Table, Formatters)
     EXPECT_EQ(fmt_double(1.2345, 2), "1.23");
     EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
     EXPECT_EQ(fmt_ratio(2.5, 2), "2.50x");
+}
+
+// ------------------------------------------------- work-stealing core ---
+
+TEST(Worksteal, EveryIndexRunsExactlyOnce)
+{
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> counts(n);
+    const auto stats = worksteal_for(
+        n, [&](std::size_t i) {
+            counts[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        /*threads=*/4);
+    EXPECT_EQ(stats.threads_used, 4);
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(Worksteal, RangeBodyCoversDisjointGrainChunks)
+{
+    const std::size_t n = 1003;  // not a multiple of the grain
+    std::vector<std::atomic<int>> counts(n);
+    WorkstealOptions options;
+    options.threads = 3;
+    options.grain = 16;
+    const auto stats = worksteal_run(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+            EXPECT_LT(begin, end);
+            EXPECT_LE(end - begin, options.grain);
+            for (std::size_t i = begin; i < end; ++i) {
+                counts[i].fetch_add(1, std::memory_order_relaxed);
+            }
+        },
+        options);
+    EXPECT_GE(stats.chunks, static_cast<std::int64_t>(n / options.grain));
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(Worksteal, SingleThreadRunsInlineOnTheCaller)
+{
+    // BITWAVE_THREADS=1 (here: explicit threads=1) must bypass pool and
+    // deque construction entirely: every iteration runs on the calling
+    // thread.
+    const auto caller = std::this_thread::get_id();
+    int calls = 0;
+    const auto stats = worksteal_for(
+        64,
+        [&](std::size_t) {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+            ++calls;  // unsynchronized on purpose: single-threaded
+        },
+        /*threads=*/1);
+    EXPECT_EQ(calls, 64);
+    EXPECT_EQ(stats.threads_used, 1);
+    EXPECT_EQ(stats.steals, 0);
+}
+
+TEST(Worksteal, ThreadsEnvOverrideOfOneRunsInline)
+{
+    ASSERT_EQ(setenv("BITWAVE_THREADS", "1", 1), 0);
+    EXPECT_EQ(parallel_threads(1000), 1);
+    const auto caller = std::this_thread::get_id();
+    parallel_for(256, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+    ASSERT_EQ(unsetenv("BITWAVE_THREADS"), 0);
+}
+
+TEST(Worksteal, FirstExceptionWinsAndCancelsSiblings)
+{
+    // Index 0 throws; every other index waits until the thrower has
+    // started, then costs ~50us. With the per-chunk cancel flag the
+    // pool must stop long before draining all n items.
+    const std::size_t n = 2000;
+    std::atomic<bool> thrown{false};
+    std::atomic<std::int64_t> executed{0};
+    try {
+        worksteal_for(
+            n,
+            [&](std::size_t i) {
+                if (i == 0) {
+                    thrown.store(true, std::memory_order_relaxed);
+                    throw std::runtime_error("boom");
+                }
+                while (!thrown.load(std::memory_order_relaxed)) {
+                    std::this_thread::yield();
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+                executed.fetch_add(1, std::memory_order_relaxed);
+            },
+            /*threads=*/4);
+        FAIL() << "exception must propagate to the caller";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+    // Cancellation is checked per chunk: siblings stop at their next
+    // boundary instead of running their full slices (~n/threads each).
+    EXPECT_LT(executed.load(), static_cast<std::int64_t>(n) / 2)
+        << "siblings kept draining after the failure";
+}
+
+TEST(Worksteal, AdversarialSchedulerStillCoversEverything)
+{
+    const std::size_t n = 4096;
+    for (const std::uint64_t seed : {1ull, 7ull, 12345ull}) {
+        std::vector<std::atomic<int>> counts(n);
+        WorkstealOptions options;
+        options.threads = 4;
+        options.grain = 8;
+        options.chaos_seed = seed;
+        const auto stats = worksteal_run(
+            n,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    counts[i].fetch_add(1, std::memory_order_relaxed);
+                }
+            },
+            options);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(counts[i].load(), 1)
+                << "seed " << seed << " index " << i;
+        }
+        EXPECT_GE(stats.chunks, static_cast<std::int64_t>(n / 8));
+    }
+}
+
+TEST(Worksteal, NestedLoopsRunInline)
+{
+    // A parallel_for reached from inside a worker executes serially on
+    // that worker — no threads x threads explosion, every index still
+    // covered exactly once.
+    const std::size_t outer = 16, inner = 64;
+    std::vector<std::atomic<int>> counts(outer * inner);
+    worksteal_for(
+        outer,
+        [&](std::size_t o) {
+            const auto worker = std::this_thread::get_id();
+            parallel_for(inner, [&](std::size_t i) {
+                EXPECT_EQ(std::this_thread::get_id(), worker);
+                counts[o * inner + i].fetch_add(
+                    1, std::memory_order_relaxed);
+            });
+        },
+        /*threads=*/4);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+    }
 }
 
 }  // namespace

@@ -268,6 +268,82 @@ TEST(ScenarioRunner, IntraScenarioSplittingIsBitIdentical)
     }
 }
 
+TEST(ScenarioRunner, AdversarialStealOrderIsBitIdentical)
+{
+    // The work-stealing contract: scheduling — thread count, chunk
+    // grain, steal order, initial task order, even the scheduler
+    // implementation — must never show up in results. Run the same
+    // batch under a seeded adversarial scheduler (forced steals in
+    // seeded victim order, reversed initial task assignment), several
+    // chaos seeds, both schedulers, and 1 vs N threads, and require
+    // bit-identical ScenarioResults throughout.
+    const auto scenarios = determinism_batch();
+
+    eval::RunnerOptions serial;
+    serial.threads = 1;
+    const auto golden = eval::ScenarioRunner(serial).run(scenarios);
+
+    std::vector<eval::RunnerOptions> variants;
+    for (const std::uint64_t seed : {1ull, 99ull, 0xD15EA5Eull}) {
+        eval::RunnerOptions chaotic;
+        chaotic.threads = 4;
+        chaotic.shard_layers = 1;  // max splitting: every layer steals
+        chaotic.chaos_seed = seed;
+        variants.push_back(chaotic);
+    }
+    {
+        eval::RunnerOptions coarse_chaos;
+        coarse_chaos.threads = 3;
+        coarse_chaos.shard_layers = 2;
+        coarse_chaos.chaos_seed = 7;
+        variants.push_back(coarse_chaos);
+        eval::RunnerOptions legacy;
+        legacy.threads = 4;
+        legacy.scheduler = eval::SchedulerKind::kStaticSlice;
+        variants.push_back(legacy);
+    }
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const auto got = eval::ScenarioRunner(variants[v]).run(scenarios);
+        ASSERT_EQ(got.size(), golden.size()) << "variant " << v;
+        for (std::size_t i = 0; i < golden.size(); ++i) {
+            EXPECT_EQ(got[i].name, golden[i].name) << "variant " << v;
+            EXPECT_EQ(got[i].rng_seed, golden[i].rng_seed);
+            EXPECT_EQ(got[i].total_cycles, golden[i].total_cycles)
+                << "variant " << v << " " << golden[i].name;
+            EXPECT_EQ(got[i].energy.total_pj, golden[i].energy.total_pj)
+                << "variant " << v << " " << golden[i].name;
+            ASSERT_EQ(got[i].layers.size(), golden[i].layers.size());
+            for (std::size_t l = 0; l < golden[i].layers.size(); ++l) {
+                EXPECT_EQ(got[i].layers[l].total_cycles,
+                          golden[i].layers[l].total_cycles);
+                EXPECT_EQ(got[i].layers[l].energy.total_pj,
+                          golden[i].layers[l].energy.total_pj);
+            }
+        }
+    }
+}
+
+TEST(ScenarioRunner, SchedulersReportConsistentDiagnostics)
+{
+    const auto scenarios = determinism_batch();
+    eval::RunnerOptions steal;
+    steal.threads = 4;
+    steal.shard_layers = 1;
+    steal.chaos_seed = 3;  // force cross-worker traffic
+    eval::RunnerReport report;
+    eval::ScenarioRunner(steal).run(scenarios, &report);
+    EXPECT_EQ(report.threads_used, 4);
+    // 7 scenarios x 3 layers at grain 1.
+    EXPECT_EQ(report.shards, 21);
+    EXPECT_GE(report.steals, 1) << "adversarial run must actually steal";
+
+    eval::RunnerOptions legacy = steal;
+    legacy.chaos_seed = 0;
+    legacy.scheduler = eval::SchedulerKind::kStaticSlice;
+    eval::ScenarioRunner(legacy).run(scenarios, &report);
+    EXPECT_EQ(report.steals, 0) << "the static pool never steals";
+}
+
 TEST(ScenarioRunner, ShardedEvaluationMatchesEvaluateScenario)
 {
     // The runner's prepare/evaluate-range/finalize pipeline must agree
