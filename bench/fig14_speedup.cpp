@@ -16,36 +16,15 @@ main()
     bench::JsonReport json("fig14_speedup");
 
     // Grid: per workload — five baselines plus BitWave with the paper's
-    // heavy-layer Bit-Flip protocol (80% of weights, group 16, 5 zero
-    // columns).
-    const AcceleratorConfig baselines[] = {make_scnn(), make_stripes(),
-                                           make_pragmatic(), make_bitlet(),
-                                           make_huaa()};
-    std::vector<eval::Scenario> scenarios;
-    for (auto id : kAllWorkloads) {
-        for (const auto &cfg : baselines) {
-            eval::Scenario s;
-            s.accel = cfg;
-            s.workload = id;
-            scenarios.push_back(std::move(s));
-        }
-        eval::Scenario bw;
-        bw.accel = make_bitwave(BitWaveVariant::kDfSmBf);
-        bw.workload = id;
-        bw.bitflip.mode = eval::BitflipSpec::Mode::kHeavyLayers;
-        bw.bitflip.weight_share = 0.8;
-        bw.bitflip.group_size = 16;
-        bw.bitflip.zero_columns = 5;
-        scenarios.push_back(std::move(bw));
-    }
-
+    // heavy-layer Bit-Flip protocol (shared factory in bench_util).
+    const auto scenarios = bench::paper_grid();
     eval::RunnerReport report;
     const auto results = eval::ScenarioRunner().run(scenarios, &report);
 
     // Paper anchors on BitWave's bars, emitted machine-readably
     // (`anchor` / `deviation`) so the reproduction trajectory is
     // trackable; CI asserts the deviations stay within +-20 %.
-    const std::size_t per_workload = std::size(baselines) + 1;
+    const std::size_t per_workload = bench::kPaperGridPerWorkload;
     Table t({"network", "SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA",
              "BitWave"});
     for (std::size_t w = 0; w * per_workload < results.size(); ++w) {

@@ -15,26 +15,7 @@ main()
                   "energy efficiency normalized to SCNN (higher=better)");
     bench::JsonReport json("fig17_efficiency");
 
-    const AcceleratorConfig baselines[] = {make_scnn(), make_stripes(),
-                                           make_pragmatic(), make_bitlet(),
-                                           make_huaa()};
-    std::vector<eval::Scenario> scenarios;
-    for (auto id : kAllWorkloads) {
-        for (const auto &cfg : baselines) {
-            eval::Scenario s;
-            s.accel = cfg;
-            s.workload = id;
-            scenarios.push_back(std::move(s));
-        }
-        eval::Scenario bw;
-        bw.accel = make_bitwave(BitWaveVariant::kDfSmBf);
-        bw.workload = id;
-        bw.bitflip.mode = eval::BitflipSpec::Mode::kHeavyLayers;
-        bw.bitflip.weight_share = 0.8;
-        bw.bitflip.group_size = 16;
-        bw.bitflip.zero_columns = 5;
-        scenarios.push_back(std::move(bw));
-    }
+    const auto scenarios = bench::paper_grid();
     eval::RunnerReport report;
     const auto results = eval::ScenarioRunner().run(scenarios, &report);
 
@@ -45,7 +26,7 @@ main()
     constexpr double kVsScnnAvgAnchor = 7.71;
     constexpr double kVsHuaaBertAnchor = 2.04;
 
-    const std::size_t per_workload = std::size(baselines) + 1;
+    const std::size_t per_workload = bench::kPaperGridPerWorkload;
     Table t({"network", "SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA",
              "BitWave"});
     double bw_vs_scnn_sum = 0.0;

@@ -33,38 +33,7 @@ using namespace bitwave;
 
 namespace {
 
-/// Bit-exact equality of the determinism-contract fields (everything
-/// except the wall_seconds / stats_memo_hits host diagnostics).
-bool
-identical_results(const std::vector<eval::ScenarioResult> &a,
-                  const std::vector<eval::ScenarioResult> &b)
-{
-    if (a.size() != b.size()) {
-        return false;
-    }
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const auto &x = a[i];
-        const auto &y = b[i];
-        if (x.name != y.name || x.rng_seed != y.rng_seed ||
-            x.total_cycles != y.total_cycles ||
-            x.energy.total_pj != y.energy.total_pj ||
-            x.nominal_macs != y.nominal_macs ||
-            x.layers.size() != y.layers.size()) {
-            return false;
-        }
-        for (std::size_t l = 0; l < x.layers.size(); ++l) {
-            const auto &p = x.layers[l];
-            const auto &q = y.layers[l];
-            if (p.layer_name != q.layer_name || p.su_name != q.su_name ||
-                p.total_cycles != q.total_cycles ||
-                p.compute_cycles != q.compute_cycles ||
-                p.energy.total_pj != q.energy.total_pj) {
-                return false;
-            }
-        }
-    }
-    return true;
-}
+using bench::identical_results;
 
 const char *
 scheduler_name(eval::SchedulerKind kind)

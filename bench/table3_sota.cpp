@@ -26,13 +26,8 @@ main()
         512.0 * tech.frequency_hz * 2.0 / 1e9;
     double best_sparse_gops = peak_dense_gops;
     {
-        eval::Scenario s;
-        s.accel = make_bitwave(BitWaveVariant::kDfSmBf);
-        s.workload = WorkloadId::kCnnLstm;
-        s.bitflip.mode = eval::BitflipSpec::Mode::kHeavyLayers;
-        s.bitflip.weight_share = 0.8;
-        s.bitflip.group_size = 16;
-        s.bitflip.zero_columns = 5;
+        const eval::Scenario s =
+            bench::bitwave_flagship_scenario(WorkloadId::kCnnLstm);
         const auto results = eval::ScenarioRunner().run({s});
         best_sparse_gops = std::max(best_sparse_gops,
                                     results.front().gops());

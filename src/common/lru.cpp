@@ -1,20 +1,17 @@
 #include "common/lru.hpp"
 
-#include <cstdlib>
 #include <thread>
+
+#include "common/env.hpp"
 
 namespace bitwave {
 
 std::size_t
 cache_capacity_from_env(std::size_t fallback)
 {
-    const char *env = std::getenv("BITWAVE_CACHE_ENTRIES");
-    if (env != nullptr && *env != '\0') {
-        char *end = nullptr;
-        const long long v = std::strtoll(env, &end, 10);
-        if (end != nullptr && *end == '\0' && v > 0) {
-            return static_cast<std::size_t>(v);
-        }
+    const long long v = env_positive_int("BITWAVE_CACHE_ENTRIES", 0);
+    if (v > 0) {
+        return static_cast<std::size_t>(v);
     }
     return fallback > 0 ? fallback : 1;
 }
@@ -22,15 +19,8 @@ cache_capacity_from_env(std::size_t fallback)
 std::size_t
 cache_shards_from_env()
 {
-    std::size_t want = 0;
-    const char *env = std::getenv("BITWAVE_CACHE_SHARDS");
-    if (env != nullptr && *env != '\0') {
-        char *end = nullptr;
-        const long long v = std::strtoll(env, &end, 10);
-        if (end != nullptr && *end == '\0' && v > 0) {
-            want = static_cast<std::size_t>(v);
-        }
-    }
+    auto want = static_cast<std::size_t>(
+        env_positive_int("BITWAVE_CACHE_SHARDS", 0));
     if (want == 0) {
         want = std::thread::hardware_concurrency();
         if (want == 0) {

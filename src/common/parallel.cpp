@@ -1,18 +1,16 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <thread>
+
+#include "common/env.hpp"
 
 namespace bitwave {
 
 int
 parallel_threads(std::size_t n)
 {
-    int threads = 0;
-    if (const char *env = std::getenv("BITWAVE_THREADS")) {
-        threads = std::atoi(env);
-    }
+    int threads = static_cast<int>(env_positive_int("BITWAVE_THREADS", 0));
     if (threads <= 0) {
         threads = static_cast<int>(std::thread::hardware_concurrency());
     }

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/worksteal.hpp"
 
@@ -68,8 +69,27 @@ std::vector<ScenarioResult>
 ScenarioRunner::run(const std::vector<Scenario> &scenarios,
                     RunnerReport *report) const
 {
+    return run_seeded(scenarios, {}, report);
+}
+
+std::vector<ScenarioResult>
+ScenarioRunner::run_seeded(const std::vector<Scenario> &scenarios,
+                           const std::vector<std::uint64_t> &seed_overrides,
+                           RunnerReport *report) const
+{
     const auto t0 = std::chrono::steady_clock::now();
     const std::size_t n = scenarios.size();
+    if (!seed_overrides.empty() && seed_overrides.size() != n) {
+        panic("run_seeded: %zu seeds for %zu scenarios",
+              seed_overrides.size(), n);
+    }
+    const std::atomic<bool> *cancel = options_.cancel;
+    const auto check_cancel = [cancel] {
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+            throw BatchCancelled();
+        }
+    };
+    check_cancel();
 
     // Resolve shared workloads up front, from this (un-nested) thread:
     // per-layer synthesis streams only fan out when the build is not
@@ -99,8 +119,11 @@ ScenarioRunner::run(const std::vector<Scenario> &scenarios,
     std::vector<double> prep_seconds(n, 0.0);
     const int prep_threads = effective_threads(n);
     parallel_for(n, [&](std::size_t i) {
+        check_cancel();
         const auto p0 = std::chrono::steady_clock::now();
-        seeds[i] = scenario_rng_seed(scenarios[i], i);
+        seeds[i] = seed_overrides.empty()
+            ? scenario_rng_seed(scenarios[i], i)
+            : seed_overrides[i];
         preps[i] = prepare_scenario(scenarios[i]);
         prep_seconds[i] = seconds_since(p0);
     }, prep_threads);
@@ -132,6 +155,11 @@ ScenarioRunner::run(const std::vector<Scenario> &scenarios,
     // per-scenario sub-range and scatter the records into place.
     // Disjoint chunks write disjoint slots.
     const auto execute = [&](std::size_t begin, std::size_t end) {
+        // Cancellation polls once per chunk: the flag rides the
+        // scheduler's existing first-exception-wins abort protocol, so
+        // no worksteal-core changes are needed and the check works
+        // identically on the inline single-thread path.
+        check_cancel();
         std::size_t i = units.scenario_of(begin);
         while (begin < end) {
             while (units.offsets[i + 1] <= begin) {
@@ -181,6 +209,7 @@ ScenarioRunner::run(const std::vector<Scenario> &scenarios,
                     b, std::min(b + grain, units.offsets[i + 1]));
             }
         }
+        sched.chunks = static_cast<std::int64_t>(chunks.size());
         if (threads <= 1 || chunks.size() <= 1) {
             for (const auto &[b, e] : chunks) {
                 execute(b, e);
@@ -244,6 +273,7 @@ ScenarioRunner::run(const std::vector<Scenario> &scenarios,
     if (report != nullptr) {
         report->threads_used = threads;
         report->shards = chunk_count;
+        report->chunks = sched.chunks;
         report->steals = sched.steals;
         report->wall_seconds = seconds_since(t0);
         report->scenario_seconds_sum = 0.0;

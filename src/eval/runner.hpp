@@ -22,13 +22,27 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "eval/engine.hpp"
 #include "eval/scenario.hpp"
 
 namespace bitwave::eval {
+
+/**
+ * Thrown out of run()/run_seeded() when `RunnerOptions::cancel` flips
+ * mid-batch: the batch aborts at the next chunk boundary (partial
+ * results are discarded) and the flag's owner — e.g. a service request
+ * whose deadline expired — decides what to tell its clients.
+ */
+class BatchCancelled : public std::runtime_error
+{
+  public:
+    BatchCancelled() : std::runtime_error("evaluation batch cancelled") {}
+};
 
 /// Which execution core drains the evaluation tasks.
 enum class SchedulerKind
@@ -63,6 +77,15 @@ struct RunnerOptions
      * outside tests.
      */
     std::uint64_t chaos_seed = 0;
+    /**
+     * Cooperative batch-abort flag, polled at chunk boundaries (and
+     * between scenario preparations). When the pointed-to flag becomes
+     * true, the batch stops issuing work and run() throws
+     * BatchCancelled. The flag must outlive the run() call; nullptr
+     * (default) disables cancellation. The evaluation service sets this
+     * per batch to implement request deadlines and client cancels.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /// Aggregate diagnostics of one run() call.
@@ -70,6 +93,8 @@ struct RunnerReport
 {
     int threads_used = 0;
     int shards = 0;            ///< Evaluation chunks (grain-sized).
+    std::int64_t chunks = 0;   ///< Executed body chunks (scheduler view:
+                               ///< includes split-on-steal fragments).
     std::int64_t steals = 0;   ///< Cross-worker steals (kWorkSteal).
     double wall_seconds = 0.0;          ///< End-to-end batch wall time.
     double scenario_seconds_sum = 0.0;  ///< Sum of per-scenario costs.
@@ -94,6 +119,23 @@ class ScenarioRunner
      */
     std::vector<ScenarioResult> run(const std::vector<Scenario> &scenarios,
                                     RunnerReport *report = nullptr) const;
+
+    /**
+     * Re-entrant seeded submission path for batch composers: evaluate
+     * @p scenarios with caller-supplied per-scenario RNG seeds instead
+     * of deriving them from the batch position. The evaluation service
+     * coalesces requests submitted at different times into one batch;
+     * pinning each request's seed to its *standalone* value
+     * (`scenario_rng_seed(s, 0)`) keeps every coalesced result
+     * bit-identical to a direct per-request evaluation regardless of
+     * where the batcher placed it. @p seeds must match @p scenarios in
+     * size. Safe to call from multiple service dispatcher threads at
+     * once — the runner holds no mutable state across calls.
+     */
+    std::vector<ScenarioResult> run_seeded(
+        const std::vector<Scenario> &scenarios,
+        const std::vector<std::uint64_t> &seeds,
+        RunnerReport *report = nullptr) const;
 
     /// Threads run() will use for @p work_items parallel work items.
     int effective_threads(std::size_t work_items) const;

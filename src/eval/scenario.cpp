@@ -1,6 +1,7 @@
 #include "eval/scenario.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <iterator>
 #include <memory>
 #include <utility>
@@ -67,6 +68,154 @@ scenario_rng_seed(const Scenario &scenario, std::size_t index)
     h = splitmix64(h ^ static_cast<std::uint64_t>(index));
     h = splitmix64(h ^ static_cast<std::uint64_t>(scenario.workload));
     h = splitmix64(h ^ static_cast<std::uint64_t>(scenario.engine));
+    return h;
+}
+
+namespace {
+
+/// Order-sensitive string mix: length then bytes, so ("ab","c") and
+/// ("a","bc") fingerprints differ.
+std::uint64_t
+mix_string(std::uint64_t h, const std::string &s)
+{
+    h = hash_combine(h, s.size());
+    return fnv1a(s.data(), s.size(), h);
+}
+
+/// Doubles mix by bit pattern: fingerprint equality must mean "the same
+/// value feeds the evaluation", not approximate equality.
+std::uint64_t
+mix_double(std::uint64_t h, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return hash_combine(h, bits);
+}
+
+std::uint64_t
+mix_su_list(std::uint64_t h, const std::vector<SpatialUnrolling> &sus)
+{
+    h = hash_combine(h, sus.size());
+    for (const auto &su : sus) {
+        h = mix_string(h, su.name);
+        h = hash_combine(h, su.factors.size());
+        for (const auto &[dim, factor] : su.factors) {
+            h = hash_combine(h, static_cast<std::uint64_t>(dim));
+            h = hash_combine(h, static_cast<std::uint64_t>(factor));
+        }
+        h = hash_combine(h, static_cast<std::uint64_t>(su.depthwise_only));
+        h = hash_combine(h, static_cast<std::uint64_t>(su.bit_columns));
+    }
+    return h;
+}
+
+std::uint64_t
+mix_accel(std::uint64_t h, const AcceleratorConfig &a)
+{
+    h = mix_string(h, a.name);
+    h = hash_combine(h, static_cast<std::uint64_t>(a.style));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.sparsity));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.weight_repr));
+    h = mix_su_list(h, a.dataflows);
+    h = hash_combine(h, static_cast<std::uint64_t>(a.mapping_policy));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.memory.weight_sram_bytes));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.memory.act_sram_bytes));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.memory.weight_port_bits));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.memory.act_port_bits));
+    h = hash_combine(h,
+                     static_cast<std::uint64_t>(a.memory.dram_bits_per_cycle));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.sync_lanes));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.interleave_window));
+    h = mix_double(h, a.interleave_overhead);
+    h = hash_combine(h, static_cast<std::uint64_t>(a.compress_weights));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.accumulator_banks));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.compress_acts));
+    h = mix_double(h, a.value_imbalance);
+    h = hash_combine(h, static_cast<std::uint64_t>(a.map_batch_to_ox));
+    h = mix_double(h, a.matmul_penalty);
+    h = hash_combine(h, static_cast<std::uint64_t>(a.planar_crossbar));
+    h = hash_combine(h, static_cast<std::uint64_t>(a.layer_sequential_dram));
+    h = mix_double(h, a.e_crossbar_conflict_pj);
+    h = mix_double(h, a.e_lane_overhead_pj);
+    return h;
+}
+
+std::uint64_t
+mix_npu(std::uint64_t h, const NpuConfig &n)
+{
+    h = mix_su_list(h, n.dataflows);
+    h = hash_combine(h, static_cast<std::uint64_t>(n.mapping_policy));
+    h = hash_combine(h, static_cast<std::uint64_t>(n.weight_sram_bytes));
+    h = hash_combine(h, static_cast<std::uint64_t>(n.act_sram_bytes));
+    h = hash_combine(h, static_cast<std::uint64_t>(n.weight_port_bits));
+    h = hash_combine(h, static_cast<std::uint64_t>(n.act_sram_banks));
+    h = hash_combine(h, static_cast<std::uint64_t>(n.sram_word_bits));
+    h = hash_combine(h, static_cast<std::uint64_t>(n.dense_mode));
+    h = hash_combine(h, static_cast<std::uint64_t>(n.repr));
+    h = hash_combine(h, n.act_seed);
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t
+scenario_fingerprint(const Scenario &scenario)
+{
+    std::uint64_t h = kFnvBasis;
+    h = mix_string(h, scenario.label);
+    h = hash_combine(h, static_cast<std::uint64_t>(scenario.engine));
+    // Only the configuration the selected engine reads contributes —
+    // two analytical requests differing solely in an untouched NpuConfig
+    // field still deduplicate.
+    switch (scenario.engine) {
+      case EngineKind::kAnalytical:
+        h = mix_accel(h, scenario.accel);
+        break;
+      case EngineKind::kCycleSim:
+        h = mix_npu(h, scenario.npu);
+        break;
+      case EngineKind::kStats:
+        h = hash_combine(h,
+                         static_cast<std::uint64_t>(scenario.stats.group_size));
+        h = hash_combine(
+            h, static_cast<std::uint64_t>(scenario.stats.column_stats));
+        h = hash_combine(h, static_cast<std::uint64_t>(scenario.stats.bcs));
+        h = hash_combine(
+            h, static_cast<std::uint64_t>(scenario.stats.reference_codecs));
+        break;
+    }
+    if (scenario.custom_workload) {
+        h = hash_combine(h, 1);
+        h = hash_combine(h, scenario.custom_workload->content_hash);
+    } else {
+        h = hash_combine(h, 2);
+        h = hash_combine(h, static_cast<std::uint64_t>(scenario.workload));
+        h = hash_combine(h, scenario.workload_seed);
+    }
+    h = hash_combine(h, static_cast<std::uint64_t>(scenario.bitflip.mode));
+    h = hash_combine(h,
+                     static_cast<std::uint64_t>(scenario.bitflip.group_size));
+    h = hash_combine(h,
+                     static_cast<std::uint64_t>(scenario.bitflip.zero_columns));
+    h = mix_double(h, scenario.bitflip.weight_share);
+    if (scenario.weight_override) {
+        h = hash_combine(h, scenario.weight_override->size());
+        for (const auto &t : *scenario.weight_override) {
+            // Content identity of each override tensor: shape + bytes.
+            const Shape &shape = t.shape();
+            h = hash_combine(h, shape.size());
+            for (std::size_t d = 0; d < shape.size(); ++d) {
+                h = hash_combine(h, static_cast<std::uint64_t>(shape[d]));
+            }
+            h = fnv1a(t.data(), static_cast<std::size_t>(t.numel()), h);
+        }
+    }
+    h = hash_combine(h, scenario.layer_filter.size());
+    for (const auto &name : scenario.layer_filter) {
+        h = mix_string(h, name);
+    }
+    h = hash_combine(h, scenario.seed);
     return h;
 }
 

@@ -116,6 +116,23 @@ struct Scenario
 std::uint64_t scenario_rng_seed(const Scenario &scenario,
                                 std::size_t index);
 
+/**
+ * Content identity of a scenario: a hash over every field that can
+ * affect its evaluation result — label (the result carries the name),
+ * engine, accelerator and NPU configuration, workload selection, flip
+ * spec, stats spec, layer filter and seed. Two scenarios with equal
+ * fingerprints evaluate to bit-identical results, so the evaluation
+ * service deduplicates in-flight requests by this key and shares one
+ * evaluation across N submitters.
+ *
+ * Pointer-held parts: `custom_workload` contributes its content_hash;
+ * `weight_override` contributes the tensors' bytes via their per-layer
+ * hashes. Collisions are the usual 64-bit-hash caveat and only affect
+ * *dedup* (two requests sharing a result), never a single request's own
+ * result.
+ */
+std::uint64_t scenario_fingerprint(const Scenario &scenario);
+
 /// Bit-Flip only the weight-heaviest layers covering @p weight_share of
 /// the parameters (the paper's Fig. 6(e)-(h) protocol).
 std::vector<Int8Tensor> flip_heavy_layers(const Workload &w,

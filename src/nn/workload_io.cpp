@@ -1,14 +1,17 @@
 #include "nn/workload_io.hpp"
 
+#include <dirent.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
 
@@ -107,8 +110,7 @@ read_desc(std::FILE *f, LayerDesc *d)
 std::string
 workload_cache_dir()
 {
-    const char *dir = std::getenv("BITWAVE_WORKLOAD_CACHE");
-    return dir != nullptr ? std::string(dir) : std::string();
+    return env_string("BITWAVE_WORKLOAD_CACHE");
 }
 
 std::string
@@ -228,6 +230,52 @@ load_workload(const std::string &path, Workload *out)
     }
     *out = std::move(w);
     return true;
+}
+
+bool
+load_cached_workload(const std::string &path, Workload *out)
+{
+    if (load_workload(path, out)) {
+        return true;
+    }
+    // Distinguish "no entry yet" (normal cold miss, stay quiet) from "an
+    // entry exists but fails validation" (stale/partial — evict it).
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) {
+        warn("removing invalid workload cache entry %s", path.c_str());
+        std::remove(path.c_str());
+    }
+    return false;
+}
+
+int
+remove_stale_temp_files(const std::string &dir, double max_age_seconds)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+        return 0;
+    }
+    const std::time_t now = std::time(nullptr);
+    int removed = 0;
+    while (const dirent *entry = ::readdir(d)) {
+        const char *tmp = std::strstr(entry->d_name, ".tmp.");
+        if (tmp == nullptr || tmp == entry->d_name) {
+            continue;
+        }
+        const std::string path = dir + "/" + entry->d_name;
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+            continue;
+        }
+        if (std::difftime(now, st.st_mtime) < max_age_seconds) {
+            continue;  // plausibly an in-flight write from a live writer
+        }
+        if (std::remove(path.c_str()) == 0) {
+            ++removed;
+        }
+    }
+    ::closedir(d);
+    return removed;
 }
 
 }  // namespace bitwave

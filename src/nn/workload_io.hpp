@@ -41,4 +41,24 @@ bool save_workload(const Workload &workload, const std::string &path);
  */
 bool load_workload(const std::string &path, Workload *out);
 
+/**
+ * Concurrent-reader front end over load_workload(): on a validation
+ * failure (truncated, corrupt, or stale-format entry) the broken file is
+ * unlinked so every later reader takes one clean cold miss instead of
+ * re-parsing garbage forever. Unlinking is safe against a concurrent
+ * valid writer: save_workload() publishes via rename, so a reader either
+ * sees the complete new image (loads fine) or the old path entry — never
+ * a half-written file.
+ */
+bool load_cached_workload(const std::string &path, Workload *out);
+
+/**
+ * Remove `*.tmp.<pid>` droppings older than @p max_age_seconds from
+ * @p dir — leftovers of writers that died between fopen and rename.
+ * Young temp files are in-flight writes from live processes and are left
+ * alone. Returns the number of files removed (0 on any error; cleanup is
+ * best effort).
+ */
+int remove_stale_temp_files(const std::string &dir, double max_age_seconds);
+
 }  // namespace bitwave

@@ -384,10 +384,14 @@ shared_workload(WorkloadId id)
         constexpr std::uint64_t kSeed = 0x5eed;
         const std::string dir = workload_cache_dir();
         if (!dir.empty()) {
+            // Cold path housekeeping: sweep temp droppings of writers
+            // that died mid-save, so the cache dir cannot fill with
+            // orphans under a long-running service.
+            remove_stale_temp_files(dir, /*max_age_seconds=*/600.0);
             const std::string path =
                 workload_cache_path(dir, workload_name(id), kSeed);
             Workload loaded;
-            if (load_workload(path, &loaded) &&
+            if (load_cached_workload(path, &loaded) &&
                 matches_current_builder(loaded, id)) {
                 return loaded;
             }

@@ -1,0 +1,638 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "common/mpmc_queue.hpp"
+
+namespace bitwave::service {
+
+namespace detail {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Per-submission future state. The lock order everywhere in this file
+ * is ServiceShared::jobs_mutex -> Job::mutex -> TicketState::mutex;
+ * client-facing reads (status / wait / result) take only the innermost
+ * lock.
+ */
+struct TicketState
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    TicketStatus status = TicketStatus::kQueued;
+    eval::ScenarioResult result;
+    std::exception_ptr error;
+    Clock::time_point submitted;
+    Clock::time_point completed;
+    bool has_deadline = false;
+    Clock::time_point deadline;
+    bool deduped = false;  // immutable after submit()
+};
+
+/// Cooperative abort shared by the jobs of one runner batch: live_jobs
+/// counts jobs that still have subscribers; when the last one detaches,
+/// `cancel` flips and the runner aborts at its next chunk boundary.
+struct BatchControl
+{
+    std::atomic<bool> cancel{false};
+    std::atomic<int> live_jobs{0};
+};
+
+/// One deduplicated evaluation: the unit the queue and batcher move.
+/// N submissions with the same scenario fingerprint share one Job.
+struct Job
+{
+    std::uint64_t fingerprint = 0;
+    eval::Scenario scenario;
+    std::uint64_t seed = 0;  ///< Pinned standalone seed (batch-invariant).
+
+    std::mutex mutex;  // guards everything below
+    std::vector<std::shared_ptr<TicketState>> subscribers;
+    bool abandoned = false;  ///< Every subscriber detached pre-completion.
+    bool done = false;
+    BatchControl *batch = nullptr;  ///< Non-null while evaluating.
+    TicketStatus outcome = TicketStatus::kDone;
+    eval::ScenarioResult result;  ///< Valid when done && outcome == kDone.
+    std::exception_ptr error;
+};
+
+struct ServiceShared
+{
+    explicit ServiceShared(std::size_t capacity) : queue(capacity) {}
+
+    MpmcQueue<std::shared_ptr<Job>> queue;
+    std::atomic<bool> abort{false};  ///< shutdown(kAbort) in progress.
+
+    std::mutex jobs_mutex;  // guards in_flight + active_batches
+    /// Dedup index: fingerprint -> the Job new submissions attach to.
+    /// Entries leave the map the moment their job completes or is
+    /// abandoned, so a hit is always attachable.
+    std::unordered_map<std::uint64_t, std::shared_ptr<Job>> in_flight;
+    std::vector<BatchControl *> active_batches;
+
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> dedup_hits{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+    std::atomic<std::uint64_t> shutdown_discarded{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batched_jobs{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> chunks{0};
+};
+
+namespace {
+
+/// Move @p state to a terminal status (idempotent) and bump the
+/// matching service counter.
+void
+finish_ticket(ServiceShared &shared, TicketState &state, TicketStatus status,
+              const eval::ScenarioResult *result, std::exception_ptr error)
+{
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (ticket_status_terminal(state.status)) {
+            return;
+        }
+        state.status = status;
+        if (result != nullptr) {
+            state.result = *result;
+        }
+        state.error = std::move(error);
+        state.completed = Clock::now();
+        // Bump before the waiter can observe the terminal status (it
+        // holds state.mutex inside wait()), so a stats() snapshot taken
+        // right after wait() returns already includes this ticket.
+        switch (status) {
+          case TicketStatus::kDone: shared.completed++; break;
+          case TicketStatus::kFailed: shared.failed++; break;
+          case TicketStatus::kRejected: shared.rejected++; break;
+          case TicketStatus::kShed: shared.shed++; break;
+          case TicketStatus::kCancelled: shared.cancelled++; break;
+          case TicketStatus::kDeadlineExpired:
+            shared.deadline_expired++;
+            break;
+          case TicketStatus::kShutdown: shared.shutdown_discarded++; break;
+          case TicketStatus::kQueued:
+          case TicketStatus::kRunning:
+            panic("finish_ticket with non-terminal status");
+        }
+    }
+    state.cv.notify_all();
+}
+
+/// Complete a whole job: mark it done, drop it from the dedup index and
+/// resolve every subscriber. Caller holds jobs_mutex and job.mutex.
+void
+finish_job_locked(ServiceShared &shared, Job &job, TicketStatus status,
+                  std::exception_ptr error)
+{
+    job.done = true;
+    job.outcome = status;
+    job.error = error;
+    auto it = shared.in_flight.find(job.fingerprint);
+    if (it != shared.in_flight.end() && it->second.get() == &job) {
+        shared.in_flight.erase(it);
+    }
+    const eval::ScenarioResult *result =
+        status == TicketStatus::kDone ? &job.result : nullptr;
+    for (auto &state : job.subscribers) {
+        finish_ticket(shared, *state, status, result, error);
+    }
+    job.subscribers.clear();
+}
+
+/// The last subscriber left @p job before it completed: pull it out of
+/// the dedup index and, if it is evaluating, vote its batch toward
+/// abort. Caller holds jobs_mutex and job.mutex.
+void
+abandon_job_locked(ServiceShared &shared, Job &job)
+{
+    job.abandoned = true;
+    auto it = shared.in_flight.find(job.fingerprint);
+    if (it != shared.in_flight.end() && it->second.get() == &job) {
+        shared.in_flight.erase(it);
+    }
+    if (job.batch != nullptr &&
+        job.batch->live_jobs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        job.batch->cancel.store(true, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+using detail::Clock;
+
+const char *
+ticket_status_name(TicketStatus status)
+{
+    switch (status) {
+      case TicketStatus::kQueued: return "queued";
+      case TicketStatus::kRunning: return "running";
+      case TicketStatus::kDone: return "done";
+      case TicketStatus::kFailed: return "failed";
+      case TicketStatus::kCancelled: return "cancelled";
+      case TicketStatus::kDeadlineExpired: return "deadline-expired";
+      case TicketStatus::kRejected: return "rejected";
+      case TicketStatus::kShed: return "shed";
+      case TicketStatus::kShutdown: return "shutdown";
+    }
+    return "?";
+}
+
+bool
+ticket_status_terminal(TicketStatus status)
+{
+    return status != TicketStatus::kQueued &&
+        status != TicketStatus::kRunning;
+}
+
+// ---------------------------------------------------------------------------
+// EvalTicket
+// ---------------------------------------------------------------------------
+
+EvalTicket::EvalTicket() = default;
+EvalTicket::~EvalTicket() = default;
+EvalTicket::EvalTicket(const EvalTicket &) = default;
+EvalTicket &EvalTicket::operator=(const EvalTicket &) = default;
+EvalTicket::EvalTicket(EvalTicket &&) noexcept = default;
+EvalTicket &EvalTicket::operator=(EvalTicket &&) noexcept = default;
+
+TicketStatus
+EvalTicket::status() const
+{
+    if (!valid()) {
+        return TicketStatus::kRejected;
+    }
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->status;
+}
+
+void
+EvalTicket::wait() const
+{
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock,
+                    [&] { return ticket_status_terminal(state_->status); });
+}
+
+bool
+EvalTicket::wait_for(double seconds) const
+{
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    return state_->cv.wait_for(
+        lock,
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(seconds)),
+        [&] { return ticket_status_terminal(state_->status); });
+}
+
+const eval::ScenarioResult &
+EvalTicket::result() const
+{
+    wait();
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->status == TicketStatus::kDone) {
+        return state_->result;
+    }
+    if (state_->status == TicketStatus::kFailed && state_->error) {
+        std::rethrow_exception(state_->error);
+    }
+    throw std::runtime_error(strprintf(
+        "evaluation request %s", ticket_status_name(state_->status)));
+}
+
+bool
+EvalTicket::cancel()
+{
+    if (!valid()) {
+        return false;
+    }
+    std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+    std::lock_guard<std::mutex> job_lock(job_->mutex);
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        if (ticket_status_terminal(state_->status)) {
+            return false;
+        }
+    }
+    auto &subs = job_->subscribers;
+    subs.erase(std::remove(subs.begin(), subs.end(), state_), subs.end());
+    detail::finish_ticket(*shared_, *state_, TicketStatus::kCancelled,
+                          nullptr, nullptr);
+    if (subs.empty() && !job_->done) {
+        detail::abandon_job_locked(*shared_, *job_);
+    }
+    return true;
+}
+
+bool
+EvalTicket::deduped() const
+{
+    return valid() && state_->deduped;
+}
+
+double
+EvalTicket::latency_seconds() const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return std::chrono::duration<double>(state_->completed -
+                                         state_->submitted).count();
+}
+
+// ---------------------------------------------------------------------------
+// EvalService
+// ---------------------------------------------------------------------------
+
+EvalService::EvalService(ServiceOptions options)
+    : options_(options),
+      shared_(std::make_shared<detail::ServiceShared>(options.queue_capacity))
+{
+    options_.runner.cancel = nullptr;  // per-batch, service-managed
+    if (options_.max_batch == 0) {
+        options_.max_batch = 1;
+    }
+    dispatchers_.reserve(static_cast<std::size_t>(
+        std::max(options_.dispatchers, 0)));
+    for (int i = 0; i < options_.dispatchers; ++i) {
+        dispatchers_.emplace_back([this] { dispatcher_loop(); });
+    }
+}
+
+EvalService::~EvalService()
+{
+    shutdown(ShutdownMode::kDrain);
+}
+
+EvalTicket
+EvalService::submit(const eval::Scenario &scenario,
+                    const SubmitOptions &submit_options)
+{
+    auto state = std::make_shared<detail::TicketState>();
+    state->submitted = Clock::now();
+    if (submit_options.deadline_seconds > 0.0) {
+        state->has_deadline = true;
+        state->deadline = state->submitted +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(
+                    submit_options.deadline_seconds));
+    }
+    shared_->submitted++;
+
+    EvalTicket ticket;
+    ticket.shared_ = shared_;
+    ticket.state_ = state;
+
+    const std::uint64_t fingerprint = eval::scenario_fingerprint(scenario);
+    {
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        auto it = shared_->in_flight.find(fingerprint);
+        if (it != shared_->in_flight.end()) {
+            // Identical request already queued or evaluating: attach as
+            // another subscriber — one evaluation, N completions.
+            auto job = it->second;
+            std::lock_guard<std::mutex> job_lock(job->mutex);
+            state->deduped = true;
+            if (job->batch != nullptr) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->status = TicketStatus::kRunning;
+            }
+            job->subscribers.push_back(state);
+            shared_->dedup_hits++;
+            ticket.job_ = std::move(job);
+            return ticket;
+        }
+        auto job = std::make_shared<detail::Job>();
+        job->fingerprint = fingerprint;
+        job->scenario = scenario;
+        // The standalone seed: what ScenarioRunner::run({scenario})
+        // would derive at batch index 0. Pinning it here is what makes
+        // batch composition invisible in the results.
+        job->seed = eval::scenario_rng_seed(scenario, 0);
+        job->subscribers.push_back(state);
+        shared_->in_flight.emplace(fingerprint, job);
+        ticket.job_ = std::move(job);
+    }
+
+    // Admission happens outside jobs_mutex: under kBlock this can wait
+    // on the dispatchers, which need jobs_mutex to complete batches.
+    QueuePush admitted = QueuePush::kClosed;
+    std::optional<std::shared_ptr<detail::Job>> shed_job;
+    switch (options_.policy) {
+      case BackpressurePolicy::kBlock:
+        admitted = shared_->queue.push(ticket.job_);
+        break;
+      case BackpressurePolicy::kReject:
+        admitted = shared_->queue.try_push(ticket.job_);
+        break;
+      case BackpressurePolicy::kShedOldest:
+        admitted = shared_->queue.push_shed_oldest(ticket.job_, &shed_job);
+        break;
+    }
+    if (shed_job.has_value()) {
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        std::lock_guard<std::mutex> job_lock((*shed_job)->mutex);
+        detail::finish_job_locked(*shared_, **shed_job, TicketStatus::kShed,
+                                  nullptr);
+    }
+    if (admitted != QueuePush::kAccepted) {
+        const TicketStatus status = admitted == QueuePush::kFull
+            ? TicketStatus::kRejected
+            : TicketStatus::kShutdown;
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        std::lock_guard<std::mutex> job_lock(ticket.job_->mutex);
+        detail::finish_job_locked(*shared_, *ticket.job_, status, nullptr);
+    }
+    return ticket;
+}
+
+bool
+EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
+{
+    // Dynamic batching: gather whatever is queued right now, and — on
+    // dispatcher threads only — linger once for company rather than
+    // running a singleton batch into an idle worker pool.
+    std::vector<std::shared_ptr<detail::Job>> jobs;
+    jobs.push_back(std::move(first));
+    bool lingered = false;
+    while (jobs.size() < options_.max_batch) {
+        std::shared_ptr<detail::Job> next;
+        if (shared_->queue.try_pop(&next)) {
+            jobs.push_back(std::move(next));
+            continue;
+        }
+        if (linger && !lingered && options_.linger_seconds > 0.0) {
+            lingered = true;
+            if (shared_->queue.pop_for(&next, options_.linger_seconds)) {
+                jobs.push_back(std::move(next));
+                continue;
+            }
+        }
+        break;
+    }
+
+    // Aborting shutdown: everything popped from here on completes as
+    // kShutdown, unevaluated.
+    if (shared_->abort.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        for (auto &job : jobs) {
+            std::lock_guard<std::mutex> job_lock(job->mutex);
+            if (!job->done && !job->abandoned) {
+                detail::finish_job_locked(*shared_, *job,
+                                          TicketStatus::kShutdown, nullptr);
+            }
+        }
+        return false;
+    }
+
+    // Admission-to-dispatch pruning: drop subscribers whose deadline
+    // already passed and jobs nobody subscribes to any more, then pin
+    // the survivors to this batch's cancel control.
+    detail::BatchControl control;
+    std::vector<std::shared_ptr<detail::Job>> live;
+    const auto now = Clock::now();
+    {
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        for (auto &job : jobs) {
+            std::lock_guard<std::mutex> job_lock(job->mutex);
+            if (job->done || job->abandoned) {
+                continue;  // resolved while queued (cancel / shed race)
+            }
+            auto &subs = job->subscribers;
+            for (auto it = subs.begin(); it != subs.end();) {
+                if ((*it)->has_deadline && (*it)->deadline <= now) {
+                    detail::finish_ticket(*shared_, **it,
+                                          TicketStatus::kDeadlineExpired,
+                                          nullptr, nullptr);
+                    it = subs.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (subs.empty()) {
+                detail::finish_job_locked(*shared_, *job,
+                                          TicketStatus::kDeadlineExpired,
+                                          nullptr);
+                continue;
+            }
+            job->batch = &control;
+            for (auto &state : subs) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!ticket_status_terminal(state->status)) {
+                    state->status = TicketStatus::kRunning;
+                }
+            }
+            live.push_back(job);
+        }
+        control.live_jobs.store(static_cast<int>(live.size()),
+                                std::memory_order_relaxed);
+        if (!live.empty()) {
+            shared_->active_batches.push_back(&control);
+        }
+    }
+    if (live.empty()) {
+        return false;
+    }
+
+    std::vector<eval::Scenario> scenarios;
+    std::vector<std::uint64_t> seeds;
+    scenarios.reserve(live.size());
+    seeds.reserve(live.size());
+    for (const auto &job : live) {
+        scenarios.push_back(job->scenario);
+        seeds.push_back(job->seed);
+    }
+
+    eval::RunnerOptions runner_options = options_.runner;
+    runner_options.cancel = &control.cancel;
+    eval::ScenarioRunner runner(runner_options);
+    eval::RunnerReport report;
+    std::vector<eval::ScenarioResult> results;
+    std::exception_ptr error;
+    bool batch_cancelled = false;
+    try {
+        results = runner.run_seeded(scenarios, seeds, &report);
+    } catch (const eval::BatchCancelled &) {
+        batch_cancelled = true;
+    } catch (...) {
+        // One throwing evaluation poisons its whole coalesced batch:
+        // evaluation exceptions are invariant violations or bad
+        // configuration, not per-request weather, so co-batched
+        // requests share the failure rather than silently re-running.
+        error = std::current_exception();
+    }
+
+    if (!batch_cancelled && !error) {
+        shared_->batches++;
+        shared_->batched_jobs += live.size();
+        shared_->steals += static_cast<std::uint64_t>(
+            std::max<std::int64_t>(report.steals, 0));
+        shared_->chunks += static_cast<std::uint64_t>(
+            std::max<std::int64_t>(report.chunks, 0));
+    }
+
+    {
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        auto &batches = shared_->active_batches;
+        batches.erase(std::remove(batches.begin(), batches.end(), &control),
+                      batches.end());
+        const bool aborting = shared_->abort.load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            auto &job = *live[i];
+            std::lock_guard<std::mutex> job_lock(job.mutex);
+            job.batch = nullptr;
+            if (job.done || job.abandoned) {
+                job.done = true;
+                continue;
+            }
+            if (error) {
+                detail::finish_job_locked(*shared_, job,
+                                          TicketStatus::kFailed, error);
+            } else if (batch_cancelled) {
+                // A cancelled batch with live subscribers only happens
+                // under shutdown(kAbort); organic cancellation implies
+                // every subscriber already detached.
+                detail::finish_job_locked(
+                    *shared_, job,
+                    aborting ? TicketStatus::kShutdown
+                             : TicketStatus::kCancelled,
+                    nullptr);
+            } else {
+                job.result = std::move(results[i]);
+                detail::finish_job_locked(*shared_, job, TicketStatus::kDone,
+                                          nullptr);
+            }
+        }
+    }
+    return !batch_cancelled && !error;
+}
+
+int
+EvalService::pump(int max_batches)
+{
+    int ran = 0;
+    std::shared_ptr<detail::Job> job;
+    while (ran < max_batches && shared_->queue.try_pop(&job)) {
+        if (process_batch(std::move(job), /*linger=*/false)) {
+            ++ran;
+        }
+        job.reset();
+    }
+    return ran;
+}
+
+void
+EvalService::dispatcher_loop()
+{
+    std::shared_ptr<detail::Job> job;
+    while (shared_->queue.pop(&job)) {
+        process_batch(std::move(job), /*linger=*/true);
+        job.reset();
+    }
+}
+
+void
+EvalService::shutdown(ShutdownMode mode)
+{
+    if (mode == ShutdownMode::kAbort) {
+        shared_->abort.store(true, std::memory_order_relaxed);
+        // Evaluating batches abort at their next chunk boundary.
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        for (detail::BatchControl *batch : shared_->active_batches) {
+            batch->cancel.store(true, std::memory_order_relaxed);
+        }
+    }
+    shared_->queue.close();
+    for (auto &dispatcher : dispatchers_) {
+        if (dispatcher.joinable()) {
+            dispatcher.join();
+        }
+    }
+    dispatchers_.clear();
+    // Resolve whatever is still queued: dispatchers==0 services, and
+    // jobs admitted after the dispatchers drained. Under kAbort
+    // process_batch completes them as kShutdown without evaluating.
+    std::shared_ptr<detail::Job> job;
+    while (shared_->queue.try_pop(&job)) {
+        process_batch(std::move(job), /*linger=*/false);
+        job.reset();
+    }
+}
+
+ServiceStats
+EvalService::stats() const
+{
+    ServiceStats s;
+    s.submitted = shared_->submitted.load();
+    s.dedup_hits = shared_->dedup_hits.load();
+    s.completed = shared_->completed.load();
+    s.failed = shared_->failed.load();
+    s.rejected = shared_->rejected.load();
+    s.shed = shared_->shed.load();
+    s.cancelled = shared_->cancelled.load();
+    s.deadline_expired = shared_->deadline_expired.load();
+    s.shutdown_discarded = shared_->shutdown_discarded.load();
+    s.batches = shared_->batches.load();
+    s.batched_jobs = shared_->batched_jobs.load();
+    s.steals = shared_->steals.load();
+    s.chunks = shared_->chunks.load();
+    s.queue_depth = shared_->queue.size();
+    s.peak_queue_depth = shared_->queue.peak_size();
+    return s;
+}
+
+}  // namespace bitwave::service

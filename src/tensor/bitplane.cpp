@@ -274,6 +274,20 @@ scan_zero_column_histogram(const BitPlanes &planes, std::int64_t row_len,
     }
 }
 
+namespace {
+
+ShardedLruCache<std::uint64_t, BitPlanes> &
+bitplane_cache()
+{
+    // Sharded: concurrent warm lookups from the worker pool take a
+    // shard's lock shared and never contend with each other.
+    static ShardedLruCache<std::uint64_t, BitPlanes> cache(
+        cache_capacity_from_env(256));
+    return cache;
+}
+
+}  // namespace
+
 std::shared_ptr<const BitPlanes>
 shared_bitplanes(const Int8Tensor &tensor, Representation repr,
                  std::uint64_t content_hash)
@@ -285,13 +299,15 @@ shared_bitplanes(const Int8Tensor &tensor, Representation repr,
     std::uint64_t key = hash_combine(content_hash,
                                      static_cast<std::uint64_t>(repr) + 1);
     key = hash_combine(key, static_cast<std::uint64_t>(tensor.numel()));
-
-    // Sharded: concurrent warm lookups from the worker pool take a
-    // shard's lock shared and never contend with each other.
-    static ShardedLruCache<std::uint64_t, BitPlanes> cache(
-        cache_capacity_from_env(256));
-    return cache.get_or_build(
+    return bitplane_cache().get_or_build(
         key, [&] { return pack_bitplanes(tensor, repr); });
+}
+
+CacheCounters
+bitplane_cache_counters()
+{
+    const auto &cache = bitplane_cache();
+    return CacheCounters{cache.hits(), cache.misses()};
 }
 
 }  // namespace bitwave

@@ -16,7 +16,11 @@
 #include <thread>
 #include <vector>
 
+#include <optional>
+
 #include "common/bits.hpp"
+#include "common/env.hpp"
+#include "common/mpmc_queue.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -334,6 +338,149 @@ TEST(Worksteal, NestedLoopsRunInline)
     for (std::size_t i = 0; i < counts.size(); ++i) {
         ASSERT_EQ(counts[i].load(), 1) << "index " << i;
     }
+}
+
+// -------------------------------------------------------------- env ---
+
+TEST(Env, PositiveIntParsesStrictlyAndFallsBack)
+{
+    ::setenv("BITWAVE_TEST_KNOB", "12", 1);
+    EXPECT_EQ(env_positive_int("BITWAVE_TEST_KNOB", 3), 12);
+
+    // Unset and empty are the silent "use the default" states.
+    ::unsetenv("BITWAVE_TEST_KNOB");
+    EXPECT_EQ(env_positive_int("BITWAVE_TEST_KNOB", 3), 3);
+    ::setenv("BITWAVE_TEST_KNOB", "", 1);
+    EXPECT_EQ(env_positive_int("BITWAVE_TEST_KNOB", 3), 3);
+
+    // Leading whitespace follows strtoll and is accepted.
+    ::setenv("BITWAVE_TEST_KNOB", " 4", 1);
+    EXPECT_EQ(env_positive_int("BITWAVE_TEST_KNOB", 3), 4);
+
+    // Garbage, partial parses and non-positive values fall back (after
+    // a once-per-variable warning).
+    for (const char *bad : {"4x", "x4", "0", "-2", "3.5"}) {
+        ::setenv("BITWAVE_TEST_KNOB", bad, 1);
+        EXPECT_EQ(env_positive_int("BITWAVE_TEST_KNOB", 7), 7) << bad;
+    }
+    ::unsetenv("BITWAVE_TEST_KNOB");
+}
+
+TEST(Env, StringKnob)
+{
+    ::setenv("BITWAVE_TEST_DIR", "/tmp/somewhere", 1);
+    EXPECT_EQ(env_string("BITWAVE_TEST_DIR"), "/tmp/somewhere");
+    ::unsetenv("BITWAVE_TEST_DIR");
+    EXPECT_EQ(env_string("BITWAVE_TEST_DIR"), "");
+}
+
+// ------------------------------------------------------------- queue ---
+
+TEST(MpmcQueue, FifoWithinASingleProducer)
+{
+    MpmcQueue<int> q(8);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(q.push(i), QueuePush::kAccepted);
+    }
+    EXPECT_EQ(q.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        int out = -1;
+        ASSERT_TRUE(q.try_pop(&out));
+        EXPECT_EQ(out, i);
+    }
+    int out;
+    EXPECT_FALSE(q.try_pop(&out));
+}
+
+TEST(MpmcQueue, TryPushReportsFull)
+{
+    MpmcQueue<int> q(2);
+    EXPECT_EQ(q.try_push(1), QueuePush::kAccepted);
+    EXPECT_EQ(q.try_push(2), QueuePush::kAccepted);
+    EXPECT_EQ(q.try_push(3), QueuePush::kFull);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.peak_size(), 2u);
+}
+
+TEST(MpmcQueue, ShedOldestEvictsTheHeadAtomically)
+{
+    MpmcQueue<int> q(2);
+    (void)q.try_push(1);
+    (void)q.try_push(2);
+    std::optional<int> shed;
+    EXPECT_EQ(q.push_shed_oldest(3, &shed), QueuePush::kAccepted);
+    ASSERT_TRUE(shed.has_value());
+    EXPECT_EQ(*shed, 1);
+    int out = 0;
+    ASSERT_TRUE(q.try_pop(&out));
+    EXPECT_EQ(out, 2);
+    ASSERT_TRUE(q.try_pop(&out));
+    EXPECT_EQ(out, 3);
+}
+
+TEST(MpmcQueue, CloseHasDrainSemantics)
+{
+    MpmcQueue<int> q(4);
+    (void)q.try_push(41);
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_EQ(q.try_push(42), QueuePush::kClosed);
+    // Consumers drain what was admitted before the close...
+    int out = 0;
+    EXPECT_TRUE(q.pop(&out));
+    EXPECT_EQ(out, 41);
+    // ...then see end-of-stream instead of blocking forever.
+    EXPECT_FALSE(q.pop(&out));
+    EXPECT_FALSE(q.pop_for(&out, 0.001));
+}
+
+TEST(MpmcQueue, PopForTimesOutOnAnEmptyQueue)
+{
+    MpmcQueue<int> q(4);
+    int out = 0;
+    EXPECT_FALSE(q.pop_for(&out, 0.001));
+    (void)q.try_push(9);
+    EXPECT_TRUE(q.pop_for(&out, 0.001));
+    EXPECT_EQ(out, 9);
+}
+
+TEST(MpmcQueue, ConcurrentProducersAndConsumersLoseNothing)
+{
+    // 4 producers x 4 consumers over a deliberately tiny queue: every
+    // pushed value is popped exactly once and blocking push provides
+    // the backpressure.
+    constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+    MpmcQueue<int> q(8);
+    std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                ASSERT_EQ(q.push(p * kPerProducer + i),
+                          QueuePush::kAccepted);
+            }
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            int v = 0;
+            while (q.pop(&v)) {
+                seen[static_cast<std::size_t>(v)].fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p) {
+        threads[static_cast<std::size_t>(p)].join();
+    }
+    q.close();
+    for (int c = 0; c < kConsumers; ++c) {
+        threads[static_cast<std::size_t>(kProducers + c)].join();
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        ASSERT_EQ(seen[i].load(), 1) << "value " << i;
+    }
+    EXPECT_LE(q.peak_size(), 8u);
 }
 
 }  // namespace

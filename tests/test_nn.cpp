@@ -5,6 +5,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -217,6 +221,77 @@ TEST(WorkloadIo, CachePathIsStable)
 {
     EXPECT_EQ(workload_cache_path("/tmp/cache", "CNN-LSTM", 0x5eed),
               "/tmp/cache/CNN-LSTM-seed0000000000005eed-v2.bwl");
+}
+
+TEST(WorkloadIo, CachedLoadRemovesInvalidEntriesAndRecovers)
+{
+    // Regression: a corrupt cache entry (crashed writer predating the
+    // atomic rename, disk corruption) used to stay on disk and fail
+    // every cold start. load_cached_workload() must fail soft, unlink
+    // the entry, and let a rewritten entry load normally.
+    const Workload built = build_cnn_lstm(7, /*timesteps=*/4);
+    const std::string path =
+        ::testing::TempDir() + "/bitwave_cached_entry.bwl";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char garbage[] = "not a workload file";
+        ASSERT_EQ(std::fwrite(garbage, 1, sizeof garbage, f),
+                  sizeof garbage);
+        std::fclose(f);
+    }
+    Workload out;
+    EXPECT_FALSE(load_cached_workload(path, &out));
+    std::FILE *gone = std::fopen(path.c_str(), "rb");
+    EXPECT_EQ(gone, nullptr) << "invalid entry must be unlinked";
+    if (gone != nullptr) {
+        std::fclose(gone);
+    }
+
+    ASSERT_TRUE(save_workload(built, path));
+    EXPECT_TRUE(load_cached_workload(path, &out));
+    EXPECT_EQ(out.content_hash, built.content_hash);
+    std::remove(path.c_str());
+
+    // Missing files fail soft without inventing an unlink.
+    EXPECT_FALSE(load_cached_workload("/nonexistent/nowhere.bwl", &out));
+}
+
+TEST(WorkloadIo, StaleTempFileCleanup)
+{
+    // Writers publish via `<path>.tmp.<pid>` + rename; a crashed writer
+    // leaks the temp. The cache cold path sweeps temps older than the
+    // age cutoff and must leave fresh temps (a live concurrent writer)
+    // and real entries alone.
+    const std::string dir = ::testing::TempDir() + "/bitwave_tmp_sweep";
+    ASSERT_EQ(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST, true);
+    const std::string leaked = dir + "/entry.bwl.tmp.12345";
+    const std::string entry = dir + "/entry.bwl";
+    for (const auto &p : {leaked, entry}) {
+        std::FILE *f = std::fopen(p.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("x", f);
+        std::fclose(f);
+    }
+
+    // Generous cutoff: the just-written temp is fresh, nothing goes.
+    EXPECT_EQ(remove_stale_temp_files(dir, /*max_age_seconds=*/3600.0), 0);
+    // Zero cutoff: every temp is stale; the published entry survives.
+    EXPECT_EQ(remove_stale_temp_files(dir, /*max_age_seconds=*/0.0), 1);
+    std::FILE *f = std::fopen(leaked.c_str(), "rb");
+    EXPECT_EQ(f, nullptr);
+    if (f != nullptr) {
+        std::fclose(f);
+    }
+    f = std::fopen(entry.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << "published entries must never be swept";
+    std::fclose(f);
+
+    // Nonexistent directory: soft no-op.
+    EXPECT_EQ(remove_stale_temp_files(dir + "/nope", 0.0), 0);
+
+    std::remove(entry.c_str());
+    ::rmdir(dir.c_str());
 }
 
 TEST(Workloads, LayerIndexLookup)

@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Tests for the evaluation service layer: ticket lifecycle, dedup by
+ * scenario fingerprint, dynamic batching determinism (batched +
+ * deduped + chaos-scheduled results bit-identical to serial direct
+ * evaluation), admission-control policies, deadlines, cancellation, and
+ * shutdown semantics. Timing-sensitive paths run with `dispatchers = 0`
+ * and explicit pump() so no test depends on scheduler luck.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "nn/synthesis.hpp"
+#include "service/service.hpp"
+
+namespace bitwave {
+namespace {
+
+using service::BackpressurePolicy;
+using service::EvalService;
+using service::EvalTicket;
+using service::ServiceOptions;
+using service::SubmitOptions;
+using service::TicketStatus;
+
+// Small private workload so service tests never pay benchmark-network
+// synthesis (mirrors test_eval's tiny_workload).
+std::shared_ptr<Workload>
+tiny_net()
+{
+    auto net = std::make_shared<Workload>();
+    net->name = "tiny-svc";
+    net->metric_name = "top-1";
+    net->base_metric = 90.0;
+    net->error_sensitivity = 40.0;
+    Rng rng(11);
+    auto add = [&](LayerDesc desc, double act_sparsity) {
+        WeightProfile profile;
+        profile.scale = 6.0;
+        WorkloadLayer layer;
+        layer.desc = std::move(desc);
+        layer.weights = synthesize_weights(layer.desc, profile, rng);
+        layer.activation_sparsity = act_sparsity;
+        net->layers.push_back(std::move(layer));
+    };
+    add(make_conv("stem", 16, 3, 16, 16, 3, 3, 1), 0.0);
+    add(make_pointwise("pw", 32, 16, 16, 16), 0.4);
+    add(make_linear("fc", 10, 32), 0.4);
+    // Populate the content identities scenario_fingerprint() and the
+    // prep caches key on (build_* workloads do this during synthesis).
+    net->content_hash = 0x7117;
+    for (auto &layer : net->layers) {
+        layer.weights_hash = layer.compute_weights_hash();
+        net->content_hash ^= layer.weights_hash * 0x9E3779B97F4A7C15ULL;
+    }
+    return net;
+}
+
+// A scenario over the shared tiny net, distinguished by accelerator.
+eval::Scenario
+tiny_scenario(const std::shared_ptr<Workload> &net,
+              const AcceleratorConfig &accel)
+{
+    eval::Scenario s;
+    s.custom_workload = net;
+    s.accel = accel;
+    return s;
+}
+
+// A bag of distinct scenarios (distinct fingerprints).
+std::vector<eval::Scenario>
+distinct_scenarios(const std::shared_ptr<Workload> &net)
+{
+    std::vector<eval::Scenario> scenarios;
+    for (const auto &cfg : {make_scnn(), make_stripes(), make_bitlet(),
+                            make_huaa(),
+                            make_bitwave(BitWaveVariant::kDfSm)}) {
+        scenarios.push_back(tiny_scenario(net, cfg));
+    }
+    eval::Scenario flipped =
+        tiny_scenario(net, make_bitwave(BitWaveVariant::kDfSmBf));
+    flipped.bitflip.mode = eval::BitflipSpec::Mode::kUniform;
+    flipped.bitflip.group_size = 16;
+    flipped.bitflip.zero_columns = 4;
+    scenarios.push_back(std::move(flipped));
+    eval::Scenario stats = tiny_scenario(net, make_scnn());
+    stats.engine = eval::EngineKind::kStats;
+    scenarios.push_back(std::move(stats));
+    return scenarios;
+}
+
+void
+expect_identical(const eval::ScenarioResult &a,
+                 const eval::ScenarioResult &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.rng_seed, b.rng_seed);
+    EXPECT_EQ(a.total_cycles, b.total_cycles) << a.name;
+    EXPECT_EQ(a.energy.total_pj, b.energy.total_pj) << a.name;
+    EXPECT_EQ(a.nominal_macs, b.nominal_macs) << a.name;
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t l = 0; l < a.layers.size(); ++l) {
+        EXPECT_EQ(a.layers[l].layer_name, b.layers[l].layer_name);
+        EXPECT_EQ(a.layers[l].total_cycles, b.layers[l].total_cycles);
+        EXPECT_EQ(a.layers[l].energy.total_pj, b.layers[l].energy.total_pj);
+    }
+}
+
+// Pump-driven options: no dispatcher threads, nothing timing-dependent.
+ServiceOptions
+pump_options(std::size_t capacity,
+             BackpressurePolicy policy = BackpressurePolicy::kReject)
+{
+    ServiceOptions options;
+    options.queue_capacity = capacity;
+    options.policy = policy;
+    options.dispatchers = 0;
+    options.runner.threads = 1;
+    return options;
+}
+
+// ---------------------------------------------------------- fingerprint ---
+
+TEST(Fingerprint, DistinguishesEveryResultAffectingKnob)
+{
+    const auto net = tiny_net();
+    const eval::Scenario base = tiny_scenario(net, make_scnn());
+    const auto fp = eval::scenario_fingerprint(base);
+    EXPECT_EQ(fp, eval::scenario_fingerprint(base)) << "stable";
+
+    eval::Scenario other = base;
+    other.accel = make_stripes();
+    EXPECT_NE(eval::scenario_fingerprint(other), fp);
+
+    other = base;
+    other.seed = 99;
+    EXPECT_NE(eval::scenario_fingerprint(other), fp);
+
+    other = base;
+    other.bitflip.mode = eval::BitflipSpec::Mode::kUniform;
+    EXPECT_NE(eval::scenario_fingerprint(other), fp);
+
+    other = base;
+    other.layer_filter = {"pw"};
+    EXPECT_NE(eval::scenario_fingerprint(other), fp);
+
+    other = base;
+    other.engine = eval::EngineKind::kStats;
+    EXPECT_NE(eval::scenario_fingerprint(other), fp);
+
+    // The label is part of the result (ScenarioResult::name), so it
+    // must split dedup classes: a deduped ticket returns the evaluated
+    // job's result verbatim.
+    other = base;
+    other.label = "renamed";
+    EXPECT_NE(eval::scenario_fingerprint(other), fp);
+}
+
+// ------------------------------------------------------------ lifecycle ---
+
+TEST(Service, TicketCompletesAndMatchesDirectEvaluation)
+{
+    const auto net = tiny_net();
+    const eval::Scenario s = tiny_scenario(net, make_scnn());
+
+    EvalService svc(pump_options(8));
+    EvalTicket ticket = svc.submit(s);
+    EXPECT_TRUE(ticket.valid());
+    EXPECT_FALSE(ticket.deduped());
+    EXPECT_EQ(svc.pump(), 1);
+    EXPECT_EQ(ticket.status(), TicketStatus::kDone);
+    EXPECT_GE(ticket.latency_seconds(), 0.0);
+
+    const auto direct = eval::ScenarioRunner().run({s});
+    expect_identical(ticket.result(), direct.front());
+}
+
+TEST(Service, InvalidDefaultTicket)
+{
+    EvalTicket ticket;
+    EXPECT_FALSE(ticket.valid());
+}
+
+// ----------------------------------------------------------------- dedup ---
+
+TEST(Service, IdenticalInFlightRequestsCoalesce)
+{
+    const auto net = tiny_net();
+    const eval::Scenario s = tiny_scenario(net, make_bitlet());
+
+    EvalService svc(pump_options(8));
+    EvalTicket first = svc.submit(s);
+    EvalTicket second = svc.submit(s);
+    EXPECT_FALSE(first.deduped());
+    EXPECT_TRUE(second.deduped());
+
+    EXPECT_EQ(svc.pump(), 1);
+    EXPECT_EQ(first.status(), TicketStatus::kDone);
+    EXPECT_EQ(second.status(), TicketStatus::kDone);
+    expect_identical(first.result(), second.result());
+
+    const auto stats = svc.stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.dedup_hits, 1u);
+    EXPECT_EQ(stats.batched_jobs, 1u) << "one evaluation, two tickets";
+    EXPECT_EQ(stats.completed, 2u);
+}
+
+// ---------------------------------------------------------- determinism ---
+
+TEST(Service, BatchedDedupedChaoticServiceIsBitIdenticalToSerial)
+{
+    // The tentpole contract: admission order, batch composition, dedup
+    // and steal order are pure scheduling. A service with concurrent
+    // dispatchers, adversarial (chaos-seeded) stealing and duplicated
+    // submissions must complete every ticket bit-identically to a
+    // one-shot serial runner evaluating that scenario alone.
+    const auto net = tiny_net();
+    const auto scenarios = distinct_scenarios(net);
+
+    std::vector<eval::ScenarioResult> golden;
+    for (const auto &s : scenarios) {
+        golden.push_back(eval::ScenarioRunner().run({s}).front());
+    }
+
+    ServiceOptions options;
+    options.queue_capacity = 64;
+    options.dispatchers = 2;
+    options.max_batch = 3;  // force multiple batches
+    options.linger_seconds = 0.0005;
+    options.runner.threads = 4;
+    options.runner.shard_layers = 1;  // max splitting: every layer steals
+    options.runner.chaos_seed = 0xD15EA5E;
+    EvalService svc(options);
+
+    std::vector<EvalTicket> tickets;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        for (const auto &s : scenarios) {
+            tickets.push_back(svc.submit(s));
+        }
+    }
+    for (auto &ticket : tickets) {
+        ticket.wait();
+    }
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        ASSERT_EQ(tickets[i].status(), TicketStatus::kDone) << i;
+        expect_identical(tickets[i].result(),
+                         golden[i % scenarios.size()]);
+    }
+    const auto stats = svc.stats();
+    EXPECT_EQ(stats.completed, tickets.size());
+    EXPECT_GE(stats.dedup_hits + stats.batched_jobs, tickets.size());
+}
+
+// ----------------------------------------------------------- admission ---
+
+TEST(Service, RejectPolicyBouncesWhenFull)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(2, BackpressurePolicy::kReject));
+    EvalTicket a = svc.submit(tiny_scenario(net, make_scnn()));
+    EvalTicket b = svc.submit(tiny_scenario(net, make_stripes()));
+    EvalTicket c = svc.submit(tiny_scenario(net, make_bitlet()));
+
+    EXPECT_EQ(c.status(), TicketStatus::kRejected);
+    EXPECT_THROW(c.result(), std::runtime_error);
+    EXPECT_EQ(svc.stats().rejected, 1u);
+
+    // A duplicate of a queued job attaches instead of being rejected:
+    // dedup happens before admission.
+    EvalTicket dup = svc.submit(tiny_scenario(net, make_scnn()));
+    EXPECT_TRUE(dup.deduped());
+    EXPECT_NE(dup.status(), TicketStatus::kRejected);
+
+    while (svc.pump() > 0) {
+    }
+    EXPECT_EQ(a.status(), TicketStatus::kDone);
+    EXPECT_EQ(b.status(), TicketStatus::kDone);
+    EXPECT_EQ(dup.status(), TicketStatus::kDone);
+}
+
+TEST(Service, ShedOldestEvictsTheHeadForTheNewcomer)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(2, BackpressurePolicy::kShedOldest));
+    EvalTicket oldest = svc.submit(tiny_scenario(net, make_scnn()));
+    EvalTicket mid = svc.submit(tiny_scenario(net, make_stripes()));
+    EvalTicket fresh = svc.submit(tiny_scenario(net, make_bitlet()));
+
+    EXPECT_EQ(oldest.status(), TicketStatus::kShed);
+    EXPECT_EQ(svc.stats().shed, 1u);
+
+    while (svc.pump() > 0) {
+    }
+    EXPECT_EQ(mid.status(), TicketStatus::kDone);
+    EXPECT_EQ(fresh.status(), TicketStatus::kDone);
+}
+
+TEST(Service, BlockPolicyKeepsTheQueueBoundedWithoutLosses)
+{
+    const auto net = tiny_net();
+    ServiceOptions options;
+    options.queue_capacity = 1;
+    options.policy = BackpressurePolicy::kBlock;
+    options.dispatchers = 1;
+    options.max_batch = 2;
+    options.runner.threads = 2;
+    EvalService svc(options);
+
+    std::vector<EvalTicket> tickets;
+    for (const auto &s : distinct_scenarios(net)) {
+        tickets.push_back(svc.submit(s));  // blocks when full
+    }
+    for (auto &ticket : tickets) {
+        ticket.wait();
+        EXPECT_EQ(ticket.status(), TicketStatus::kDone);
+    }
+    const auto stats = svc.stats();
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.shed, 0u);
+    EXPECT_LE(stats.peak_queue_depth, options.queue_capacity);
+}
+
+// ------------------------------------------------ deadlines and cancel ---
+
+TEST(Service, ExpiredDeadlineIsPrunedWithoutEvaluation)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(8));
+    SubmitOptions deadline;
+    deadline.deadline_seconds = 1e-6;
+    EvalTicket ticket = svc.submit(tiny_scenario(net, make_scnn()),
+                                   deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    svc.pump();
+    EXPECT_EQ(ticket.status(), TicketStatus::kDeadlineExpired);
+    EXPECT_THROW(ticket.result(), std::runtime_error);
+    const auto stats = svc.stats();
+    EXPECT_EQ(stats.deadline_expired, 1u);
+    EXPECT_EQ(stats.batched_jobs, 0u) << "expired work must not run";
+}
+
+TEST(Service, GenerousDeadlineDoesNotFire)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(8));
+    SubmitOptions deadline;
+    deadline.deadline_seconds = 3600.0;
+    EvalTicket ticket = svc.submit(tiny_scenario(net, make_scnn()),
+                                   deadline);
+    svc.pump();
+    EXPECT_EQ(ticket.status(), TicketStatus::kDone);
+}
+
+TEST(Service, CancelBeforeDispatch)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(8));
+    EvalTicket ticket = svc.submit(tiny_scenario(net, make_scnn()));
+    EXPECT_TRUE(ticket.cancel());
+    EXPECT_EQ(ticket.status(), TicketStatus::kCancelled);
+    EXPECT_FALSE(ticket.cancel()) << "already terminal";
+    svc.pump();
+    EXPECT_EQ(svc.stats().batched_jobs, 0u)
+        << "a fully-cancelled job must not evaluate";
+    EXPECT_EQ(svc.stats().cancelled, 1u);
+}
+
+TEST(Service, CancellingOneSubscriberLeavesTheTwinAlive)
+{
+    const auto net = tiny_net();
+    const eval::Scenario s = tiny_scenario(net, make_huaa());
+    EvalService svc(pump_options(8));
+    EvalTicket keep = svc.submit(s);
+    EvalTicket drop = svc.submit(s);
+    EXPECT_TRUE(drop.deduped());
+    EXPECT_TRUE(drop.cancel());
+    svc.pump();
+    EXPECT_EQ(keep.status(), TicketStatus::kDone);
+    EXPECT_EQ(drop.status(), TicketStatus::kCancelled);
+}
+
+// -------------------------------------------------------------- shutdown ---
+
+TEST(Service, DrainShutdownEvaluatesTheBacklog)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(8));
+    EvalTicket a = svc.submit(tiny_scenario(net, make_scnn()));
+    EvalTicket b = svc.submit(tiny_scenario(net, make_stripes()));
+    svc.shutdown(EvalService::ShutdownMode::kDrain);
+    EXPECT_EQ(a.status(), TicketStatus::kDone);
+    EXPECT_EQ(b.status(), TicketStatus::kDone);
+    EXPECT_GT(a.result().total_cycles, 0.0);
+
+    // Post-shutdown submissions complete immediately as kShutdown.
+    EvalTicket late = svc.submit(tiny_scenario(net, make_bitlet()));
+    EXPECT_EQ(late.status(), TicketStatus::kShutdown);
+    EXPECT_THROW(late.result(), std::runtime_error);
+}
+
+TEST(Service, AbortShutdownDiscardsTheBacklog)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(8));
+    EvalTicket a = svc.submit(tiny_scenario(net, make_scnn()));
+    EvalTicket b = svc.submit(tiny_scenario(net, make_stripes()));
+    svc.shutdown(EvalService::ShutdownMode::kAbort);
+    EXPECT_EQ(a.status(), TicketStatus::kShutdown);
+    EXPECT_EQ(b.status(), TicketStatus::kShutdown);
+    EXPECT_EQ(svc.stats().shutdown_discarded, 2u);
+    EXPECT_EQ(svc.stats().batched_jobs, 0u);
+    // Idempotent.
+    svc.shutdown(EvalService::ShutdownMode::kAbort);
+}
+
+TEST(Service, DestructorDrainsLikeGracefulShutdown)
+{
+    const auto net = tiny_net();
+    EvalTicket ticket;
+    {
+        ServiceOptions options;
+        options.dispatchers = 1;
+        options.runner.threads = 2;
+        EvalService svc(options);
+        ticket = svc.submit(tiny_scenario(net, make_scnn()));
+        // Ticket state is owned via shared_ptr: reading the result after
+        // the service object is gone is safe for completed tickets.
+        ticket.wait();
+    }
+    EXPECT_EQ(ticket.status(), TicketStatus::kDone);
+    EXPECT_GT(ticket.result().total_cycles, 0.0);
+}
+
+TEST(Service, StatusNamesAndTerminality)
+{
+    EXPECT_STREQ(service::ticket_status_name(TicketStatus::kDone), "done");
+    EXPECT_STREQ(service::ticket_status_name(TicketStatus::kShed), "shed");
+    EXPECT_FALSE(service::ticket_status_terminal(TicketStatus::kQueued));
+    EXPECT_FALSE(service::ticket_status_terminal(TicketStatus::kRunning));
+    EXPECT_TRUE(service::ticket_status_terminal(TicketStatus::kDone));
+    EXPECT_TRUE(service::ticket_status_terminal(TicketStatus::kRejected));
+}
+
+}  // namespace
+}  // namespace bitwave
