@@ -8,9 +8,10 @@
  * measure/compress, mapping cycle statistics, sparsity, Bit-Flip), and
  * verifies bit-identical results in the same run, and closes with a
  * `runner_scaling` row timing the work-stealing runner core serial vs
- * parallel on a warm batch. Emits BENCH_micro_kernels.json; CI
- * validates the JSON and the equivalence flags like the other bench
- * reports.
+ * parallel on a warm batch plus a `fault_branch` row measuring the
+ * cost of a disarmed fault point (the robustness layer's zero-overhead
+ * claim). Emits BENCH_micro_kernels.json; CI validates the JSON and
+ * the equivalence flags like the other bench reports.
  */
 #include <algorithm>
 #include <chrono>
@@ -20,6 +21,7 @@
 
 #include "bench_util.hpp"
 #include "bitflip/bitflip.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "compress/bcs.hpp"
 #include "compress/csr.hpp"
@@ -289,6 +291,45 @@ main()
         }
         report(json, table, "runner_scaling", serial_ms, parallel_ms,
                identical);
+    }
+
+    // ------------------------------------------------- fault branch ---
+    // Cost of a *disarmed* fault point — the robustness acceptance
+    // criterion is that carrying the fault model adds no measurable
+    // overhead in production. "scalar" is a bare accumulation loop,
+    // "packed" the same loop with a BITWAVE_FAULT_POINT in the body
+    // (one relaxed atomic load + never-taken branch per iteration).
+    {
+        fault::reset();  // make sure nothing is armed
+        constexpr std::size_t kIters = 50'000'000;
+        volatile std::uint64_t guard = 0;
+        std::uint64_t acc = 0;
+        const double bare_ms = time_ms(
+            [&] {
+                std::uint64_t sum = 0;
+                for (std::size_t i = 0; i < kIters; ++i) {
+                    sum += i ^ guard;
+                }
+                acc ^= sum;
+            },
+            1);
+        const double pointed_ms = time_ms(
+            [&] {
+                std::uint64_t sum = 0;
+                for (std::size_t i = 0; i < kIters; ++i) {
+                    if (BITWAVE_FAULT_POINT("micro.bench")) {
+                        sum += 1;  // never taken while disarmed
+                    }
+                    sum += i ^ guard;
+                }
+                acc ^= sum;
+            },
+            1);
+        guard = acc;
+        report(json, table, "fault_branch", bare_ms, pointed_ms, true);
+        json.param("fault_branch_ns_per_check",
+                   (pointed_ms - bare_ms) * 1e6 /
+                       static_cast<double>(kIters));
     }
 
     std::printf("%s", table.render().c_str());

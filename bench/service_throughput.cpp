@@ -15,10 +15,20 @@
  * `bit_identical` flag in BENCH_service_throughput.json is CI's hard
  * gate on the service determinism contract (dedup, dynamic batching and
  * steal order are pure scheduling).
+ *
+ * A third replay runs the same trace under a seeded 1% wildcard
+ * transient fault storm (`--faults [seed]` picks the storm seed; CI
+ * sweeps it): the self-healing layer retries, bisects and quarantines,
+ * and `bit_identical_under_faults` — every completion still matching
+ * the direct goldens — is the second hard gate.
  */
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
 #include <unordered_map>
 
 #include "bench_util.hpp"
+#include "common/fault.hpp"
 
 using namespace bitwave;
 
@@ -39,8 +49,15 @@ bench_service_options()
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::uint64_t fault_seed = 0x5eed;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--faults" && i + 1 < argc) {
+            fault_seed = std::strtoull(argv[i + 1], nullptr, 0);
+            ++i;
+        }
+    }
     bench::banner("Service throughput",
                   "multi-tenant trace replay: latency, requests/s, dedup "
                   "and bit-identity vs direct evaluation");
@@ -99,6 +116,7 @@ main()
     // the service's completed result bit for bit.
     bool bit_identical = true;
     std::size_t distinct = 0;
+    std::unordered_map<std::uint64_t, eval::ScenarioResult> golden;
     {
         std::unordered_map<std::uint64_t, std::size_t> first_index;
         for (std::size_t i = 0; i < trace.size(); ++i) {
@@ -107,9 +125,7 @@ main()
         }
         distinct = first_index.size();
         for (const auto &[fingerprint, i] : first_index) {
-            (void)fingerprint;
-            const auto direct =
-                eval::ScenarioRunner().run({trace[i].scenario});
+            auto direct = eval::ScenarioRunner().run({trace[i].scenario});
             if (!bench::identical_result(replay.tickets[i].result(),
                                          direct.front())) {
                 bit_identical = false;
@@ -118,8 +134,56 @@ main()
                              "direct evaluation\n", i,
                              trace[i].scenario.name().c_str());
             }
+            golden.emplace(fingerprint, std::move(direct.front()));
         }
     }
+
+    // Fault-storm replay: the same trace under a seeded 1% wildcard
+    // transient storm. The robustness gate: the service self-heals
+    // (retry, bisection, quarantine) and everything it completes is
+    // still bit-identical to the fault-free goldens.
+    const auto faults_before = fault::stats();
+    service::ServiceOptions fault_options = bench_service_options();
+    // Per-layer chunks on a real (>= 2 worker) pool: each chunk is a
+    // fault draw, so the storm sees hundreds of opportunities instead
+    // of a handful per batch — the 1-thread inline path would collapse
+    // a whole batch into one draw.
+    fault_options.runner.threads = std::max(
+        2u, std::thread::hardware_concurrency());
+    fault_options.runner.shard_layers = 1;
+    fault_options.retry.max_attempts = 6;
+    fault_options.retry.backoff_seconds = 0.001;
+    fault_options.retry.max_backoff_seconds = 0.02;
+    service::EvalService fault_svc(fault_options);
+    fault::configure("*=0.01:transient", fault_seed);
+    const auto fault_replay = bench::replay_trace(fault_svc, trace);
+    fault::reset();
+    const auto fault_stats = fault_svc.stats();
+    const auto faults_injected =
+        fault::stats().fired - faults_before.fired;
+
+    bool bit_identical_under_faults = true;
+    std::vector<double> fault_latencies_ms;
+    std::size_t fault_done = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto &ticket = fault_replay.tickets[i];
+        if (ticket.status() != service::TicketStatus::kDone) {
+            continue;
+        }
+        ++fault_done;
+        fault_latencies_ms.push_back(ticket.latency_seconds() * 1e3);
+        const auto it =
+            golden.find(eval::scenario_fingerprint(trace[i].scenario));
+        if (it == golden.end() ||
+            !bench::identical_result(ticket.result(), it->second)) {
+            bit_identical_under_faults = false;
+            std::fprintf(stderr,
+                         "FAULT MISMATCH: request %zu (%s) differs from "
+                         "the fault-free golden\n", i,
+                         trace[i].scenario.name().c_str());
+        }
+    }
+    const double fault_p99 = bench::percentile(fault_latencies_ms, 0.99);
 
     json.param("requests", trace.size());
     json.param("distinct_requests", distinct);
@@ -139,6 +203,13 @@ main()
     json.param("steals", stats.steals);
     json.param("peak_queue_depth", stats.peak_queue_depth);
     json.param("bit_identical", bit_identical);
+    json.param("fault_seed", fault_seed);
+    json.param("faults_injected", faults_injected);
+    json.param("fault_completed", fault_done);
+    json.param("fault_retries", fault_stats.retries);
+    json.param("fault_quarantined", fault_stats.quarantined);
+    json.param("fault_p99_latency_ms", fault_p99);
+    json.param("bit_identical_under_faults", bit_identical_under_faults);
 
     Table t({"metric", "value"});
     t.add_row({"requests", strprintf("%zu (%zu distinct)", trace.size(),
@@ -163,11 +234,24 @@ main()
                                                 stats.batches)
                                         : 0.0)});
     t.add_row({"bit-identical vs direct", bit_identical ? "yes" : "NO"});
+    t.add_row({"fault storm (1% transient)",
+               strprintf("seed %llu, %llu injected",
+                         static_cast<unsigned long long>(fault_seed),
+                         static_cast<unsigned long long>(faults_injected))});
+    t.add_row({"  completed / retried / quarantined",
+               strprintf("%zu / %llu / %llu", fault_done,
+                         static_cast<unsigned long long>(
+                             fault_stats.retries),
+                         static_cast<unsigned long long>(
+                             fault_stats.quarantined))});
+    t.add_row({"  p99 latency", strprintf("%.2f ms", fault_p99)});
+    t.add_row({"  bit-identical under faults",
+               bit_identical_under_faults ? "yes" : "NO"});
     std::printf("%s", t.render().c_str());
     std::printf("\nEvery distinct request re-evaluated standalone and "
                 "compared field-for-field; dedup coalesced %llu of %llu "
                 "submissions onto in-flight twins.\n",
                 static_cast<unsigned long long>(stats.dedup_hits),
                 static_cast<unsigned long long>(stats.submitted));
-    return bit_identical ? 0 : 1;
+    return (bit_identical && bit_identical_under_faults) ? 0 : 1;
 }

@@ -1,31 +1,10 @@
 #include "common/env.hpp"
 
 #include <cstdlib>
-#include <mutex>
-#include <set>
 
 #include "common/logging.hpp"
 
 namespace bitwave {
-
-namespace {
-
-/// Warn about a bad knob value once per variable per process: a
-/// long-running service with a typoed knob logs one line, not one line
-/// per cache lookup.
-void
-warn_once(const char *name, const char *value)
-{
-    static std::mutex mutex;
-    static std::set<std::string> reported;
-    std::lock_guard<std::mutex> lock(mutex);
-    if (reported.insert(name).second) {
-        warn("ignoring invalid %s=\"%s\" (expected an integer >= 1)",
-             name, value);
-    }
-}
-
-}  // namespace
 
 long long
 env_positive_int(const char *name, long long fallback)
@@ -37,7 +16,9 @@ env_positive_int(const char *name, long long fallback)
     char *end = nullptr;
     const long long v = std::strtoll(env, &end, 10);
     if (end == nullptr || *end != '\0' || v < 1) {
-        warn_once(name, env);
+        warn_once(name,
+                  "ignoring invalid %s=\"%s\" (expected an integer >= 1)",
+                  name, env);
         return fallback;
     }
     return v;

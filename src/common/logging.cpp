@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace bitwave {
@@ -9,6 +12,36 @@ namespace bitwave {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+
+/// Serialises every emission and guards the sink + dedup set; fatal and
+/// panic messages flush through the same mutex so concurrent loggers
+/// never interleave lines.
+std::mutex &
+log_mutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+LogSink &
+sink_slot()
+{
+    static LogSink sink;
+    return sink;
+}
+
+/// Single choke point: every message lands here under the log mutex.
+void
+emit(LogLevel level, const char *prefix, const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(log_mutex());
+    LogSink &sink = sink_slot();
+    if (sink) {
+        sink(level, message);
+        return;
+    }
+    std::fprintf(stderr, "%s: %s\n", prefix, message.c_str());
+}
 
 std::string
 vformat(const char *fmt, std::va_list args)
@@ -39,6 +72,15 @@ log_level()
     return g_level;
 }
 
+LogSink
+set_log_sink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(log_mutex());
+    LogSink previous = std::move(sink_slot());
+    sink_slot() = std::move(sink);
+    return previous;
+}
+
 void
 inform(const char *fmt, ...)
 {
@@ -47,8 +89,9 @@ inform(const char *fmt, ...)
     }
     std::va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "info: %s\n", vformat(fmt, args).c_str());
+    const std::string message = vformat(fmt, args);
     va_end(args);
+    emit(LogLevel::kInform, "info", message);
 }
 
 void
@@ -59,8 +102,30 @@ warn(const char *fmt, ...)
     }
     std::va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "warn: %s\n", vformat(fmt, args).c_str());
+    const std::string message = vformat(fmt, args);
     va_end(args);
+    emit(LogLevel::kWarn, "warn", message);
+}
+
+void
+warn_once(const char *key, const char *fmt, ...)
+{
+    if (g_level < LogLevel::kWarn) {
+        return;
+    }
+    {
+        static std::mutex mutex;
+        static std::set<std::string> reported;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!reported.insert(key).second) {
+            return;
+        }
+    }
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string message = vformat(fmt, args);
+    va_end(args);
+    emit(LogLevel::kWarn, "warn", message);
 }
 
 void
@@ -68,8 +133,9 @@ fatal(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "fatal: %s\n", vformat(fmt, args).c_str());
+    const std::string message = vformat(fmt, args);
     va_end(args);
+    emit(LogLevel::kSilent, "fatal", message);
     std::exit(1);
 }
 
@@ -78,8 +144,9 @@ panic(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "panic: %s\n", vformat(fmt, args).c_str());
+    const std::string message = vformat(fmt, args);
     va_end(args);
+    emit(LogLevel::kSilent, "panic", message);
     std::abort();
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace bitwave {
@@ -20,11 +21,31 @@ void set_log_level(LogLevel level);
 /// Current global verbosity threshold.
 LogLevel log_level();
 
+/**
+ * Sink receiving every formatted log line (level + message without the
+ * trailing newline). All messages — inform/warn/fatal/panic and the
+ * warn_once dedup path — funnel through one mutex-serialised sink, so
+ * concurrent loggers never interleave lines and an embedding process
+ * (an MPI rank, a test harness) can capture or redirect everything.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/// Replace the sink (nullptr/default restores stderr). Returns the
+/// previous sink so scoped captures can chain.
+LogSink set_log_sink(LogSink sink);
+
 /// Print an informational message when verbosity allows (printf-style).
 void inform(const char *fmt, ...);
 
 /// Print a warning when verbosity allows (printf-style).
 void warn(const char *fmt, ...);
+
+/**
+ * Warn once per @p key per process (printf-style): a long-running
+ * service with a typoed knob or a recurring injected fault logs one
+ * line, not one per occurrence.
+ */
+void warn_once(const char *key, const char *fmt, ...);
 
 /**
  * Report an unrecoverable user-facing error (bad configuration, invalid

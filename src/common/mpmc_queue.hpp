@@ -22,6 +22,8 @@
  */
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -29,6 +31,8 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/fault.hpp"
 
 namespace bitwave {
 
@@ -55,6 +59,7 @@ class MpmcQueue
     /// Block until there is space (or the queue closes), then enqueue.
     QueuePush push(T item)
     {
+        BITWAVE_FAULT_INJECT("mpmc.push");
         std::unique_lock<std::mutex> lock(mutex_);
         not_full_.wait(lock, [&] {
             return closed_ || items_.size() < capacity_;
@@ -69,6 +74,7 @@ class MpmcQueue
     /// Non-blocking push: kFull when at capacity.
     QueuePush try_push(T item)
     {
+        BITWAVE_FAULT_INJECT("mpmc.push");
         std::lock_guard<std::mutex> lock(mutex_);
         if (closed_) {
             return QueuePush::kClosed;
@@ -89,6 +95,7 @@ class MpmcQueue
     QueuePush push_shed_oldest(T item, std::optional<T> *shed)
     {
         shed->reset();
+        BITWAVE_FAULT_INJECT("mpmc.push");
         std::lock_guard<std::mutex> lock(mutex_);
         if (closed_) {
             return QueuePush::kClosed;
@@ -124,11 +131,15 @@ class MpmcQueue
      */
     bool pop_for(T *out, double seconds)
     {
+        // Clamp: wait_for converts to the clock's duration, and a huge
+        // seconds value would overflow that cast (UB). One hour bounds
+        // any sane linger; callers loop anyway.
+        const double bounded = std::clamp(seconds, 0.0, 3600.0);
         std::unique_lock<std::mutex> lock(mutex_);
         not_empty_.wait_for(
             lock,
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double>(seconds)),
+                std::chrono::duration<double>(bounded)),
             [&] { return closed_ || !items_.empty(); });
         return dequeue_locked(out);
     }

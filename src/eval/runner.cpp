@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/worksteal.hpp"
@@ -168,6 +169,11 @@ ScenarioRunner::run_seeded(const std::vector<Scenario> &scenarios,
             const std::size_t local_begin = begin - units.offsets[i];
             const std::size_t local_end =
                 std::min(end, units.offsets[i + 1]) - units.offsets[i];
+            // Context-tagged by scenario label so a chaos test can
+            // poison exactly one job of a coalesced batch
+            // (`runner.chunk@<label>=1:transient`).
+            BITWAVE_FAULT_INJECT_CTX(
+                "runner.chunk", fault::context_tag(scenarios[i].label));
             const auto s0 = std::chrono::steady_clock::now();
             auto evals = evaluate_layer_range(scenarios[i], preps[i],
                                               seeds[i], local_begin,

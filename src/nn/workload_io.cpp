@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/fault.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
 
@@ -20,10 +22,29 @@ namespace bitwave {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x42574c44;  // "BWLD"
-// v2: synthesize_weights draws every kernel chunk from its own seed
-// stream (internal sharding), changing the synthesized bytes for the
-// same builder skeleton; the version bump retires v1 cache entries.
-constexpr std::uint32_t kVersion = 2;
+// v3: the image is serialized to memory and sealed with a trailing
+// FNV-1a checksum over every preceding byte (torn writes and bit rot
+// are detected before parsing); the version bump retires unchecked v2
+// entries.
+constexpr std::uint32_t kVersion = 3;
+
+struct Counters
+{
+    std::atomic<std::uint64_t> loads{0};
+    std::atomic<std::uint64_t> load_failures{0};
+    std::atomic<std::uint64_t> read_faults{0};
+    std::atomic<std::uint64_t> corruption_detected{0};
+    std::atomic<std::uint64_t> entries_unlinked{0};
+    std::atomic<std::uint64_t> saves{0};
+    std::atomic<std::uint64_t> save_failures{0};
+};
+
+Counters &
+counters()
+{
+    static Counters c;
+    return c;
+}
 
 struct FileCloser
 {
@@ -36,73 +57,186 @@ struct FileCloser
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-bool
-write_bytes(std::FILE *f, const void *p, std::size_t n)
+/// Append-only in-memory image builder (the whole entry is serialized
+/// here, checksummed, then written in one fwrite).
+struct ByteWriter
 {
-    return std::fwrite(p, 1, n, f) == n;
-}
+    std::vector<unsigned char> bytes;
 
-bool
-read_bytes(std::FILE *f, void *p, std::size_t n)
-{
-    return std::fread(p, 1, n, f) == n;
-}
-
-template <typename T>
-bool
-write_pod(std::FILE *f, const T &v)
-{
-    return write_bytes(f, &v, sizeof(T));
-}
-
-template <typename T>
-bool
-read_pod(std::FILE *f, T *v)
-{
-    return read_bytes(f, v, sizeof(T));
-}
-
-bool
-write_string(std::FILE *f, const std::string &s)
-{
-    const auto n = static_cast<std::uint64_t>(s.size());
-    return write_pod(f, n) && write_bytes(f, s.data(), s.size());
-}
-
-bool
-read_string(std::FILE *f, std::string *s)
-{
-    std::uint64_t n = 0;
-    if (!read_pod(f, &n) || n > (1u << 20)) {
-        return false;
+    void write(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        bytes.insert(bytes.end(), b, b + n);
     }
-    s->resize(static_cast<std::size_t>(n));
-    return read_bytes(f, s->data(), s->size());
-}
 
-bool
-write_desc(std::FILE *f, const LayerDesc &d)
+    template <typename T>
+    void pod(const T &v)
+    {
+        write(&v, sizeof(T));
+    }
+
+    void str(const std::string &s)
+    {
+        pod(static_cast<std::uint64_t>(s.size()));
+        write(s.data(), s.size());
+    }
+};
+
+/// Bounds-checked cursor over the loaded image (checksum already
+/// verified; bounds failures mean a parse bug or a stale format).
+struct ByteReader
 {
-    const auto kind = static_cast<std::uint32_t>(d.kind);
-    return write_string(f, d.name) && write_pod(f, kind) &&
-        write_pod(f, d.batch) && write_pod(f, d.k) && write_pod(f, d.c) &&
-        write_pod(f, d.oy) && write_pod(f, d.ox) && write_pod(f, d.fy) &&
-        write_pod(f, d.fx) && write_pod(f, d.stride);
+    const unsigned char *data = nullptr;
+    std::size_t size = 0;
+    std::size_t pos = 0;
+
+    bool read(void *p, std::size_t n)
+    {
+        if (n > size - pos) {
+            return false;
+        }
+        std::memcpy(p, data + pos, n);
+        pos += n;
+        return true;
+    }
+
+    template <typename T>
+    bool pod(T *v)
+    {
+        return read(v, sizeof(T));
+    }
+
+    bool str(std::string *s)
+    {
+        std::uint64_t n = 0;
+        if (!pod(&n) || n > (1u << 20)) {
+            return false;
+        }
+        s->resize(static_cast<std::size_t>(n));
+        return read(s->data(), s->size());
+    }
+};
+
+void
+write_desc(ByteWriter *w, const LayerDesc &d)
+{
+    w->str(d.name);
+    w->pod(static_cast<std::uint32_t>(d.kind));
+    w->pod(d.batch);
+    w->pod(d.k);
+    w->pod(d.c);
+    w->pod(d.oy);
+    w->pod(d.ox);
+    w->pod(d.fy);
+    w->pod(d.fx);
+    w->pod(d.stride);
 }
 
 bool
-read_desc(std::FILE *f, LayerDesc *d)
+read_desc(ByteReader *r, LayerDesc *d)
 {
     std::uint32_t kind = 0;
-    if (!read_string(f, &d->name) || !read_pod(f, &kind) ||
+    if (!r->str(&d->name) || !r->pod(&kind) ||
         kind > static_cast<std::uint32_t>(LayerKind::kLstm)) {
         return false;
     }
     d->kind = static_cast<LayerKind>(kind);
-    return read_pod(f, &d->batch) && read_pod(f, &d->k) &&
-        read_pod(f, &d->c) && read_pod(f, &d->oy) && read_pod(f, &d->ox) &&
-        read_pod(f, &d->fy) && read_pod(f, &d->fx) &&
-        read_pod(f, &d->stride);
+    return r->pod(&d->batch) && r->pod(&d->k) && r->pod(&d->c) &&
+        r->pod(&d->oy) && r->pod(&d->ox) && r->pod(&d->fy) &&
+        r->pod(&d->fx) && r->pod(&d->stride);
+}
+
+enum class LoadStatus
+{
+    kOk,
+    kMissing,    ///< No entry at the path (normal cold miss).
+    kCorrupt,    ///< Entry exists but fails checksum/validation.
+    kTransient,  ///< The read itself failed (injected or real IO error);
+                 ///< the entry may be perfectly valid — keep it.
+};
+
+LoadStatus
+load_workload_impl(const std::string &path, Workload *out)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        return LoadStatus::kMissing;
+    }
+    try {
+        BITWAVE_FAULT_INJECT("workload_io.read");
+    } catch (const FaultError &) {
+        counters().read_faults.fetch_add(1, std::memory_order_relaxed);
+        return LoadStatus::kTransient;
+    }
+    // Whole-file read; the checksum trailer is verified before any
+    // field is parsed.
+    std::vector<unsigned char> image;
+    {
+        unsigned char buf[1 << 16];
+        std::size_t got = 0;
+        while ((got = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+            image.insert(image.end(), buf, buf + got);
+        }
+        if (std::ferror(f.get()) != 0) {
+            counters().read_faults.fetch_add(1, std::memory_order_relaxed);
+            return LoadStatus::kTransient;
+        }
+    }
+    if (image.size() < sizeof(std::uint64_t)) {
+        return LoadStatus::kCorrupt;
+    }
+    const std::size_t body = image.size() - sizeof(std::uint64_t);
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, image.data() + body, sizeof(stored));
+    if (fnv1a(image.data(), body) != stored) {
+        return LoadStatus::kCorrupt;
+    }
+
+    ByteReader r{image.data(), body, 0};
+    std::uint32_t magic = 0, version = 0;
+    Workload w;
+    std::uint64_t layer_count = 0;
+    if (!r.pod(&magic) || magic != kMagic || !r.pod(&version) ||
+        version != kVersion || !r.str(&w.name) || !r.str(&w.metric_name) ||
+        !r.pod(&w.base_metric) || !r.pod(&w.error_sensitivity) ||
+        !r.pod(&w.content_hash) || !r.pod(&layer_count) ||
+        layer_count > (1u << 16)) {
+        return LoadStatus::kCorrupt;
+    }
+    w.layers.resize(static_cast<std::size_t>(layer_count));
+    for (auto &l : w.layers) {
+        std::uint64_t dims = 0;
+        if (!read_desc(&r, &l.desc) || !r.pod(&l.weight_scale) ||
+            !r.pod(&l.activation_sparsity) || !r.pod(&l.weights_hash) ||
+            !r.pod(&dims) || dims > 8) {
+            return LoadStatus::kCorrupt;
+        }
+        Shape shape(static_cast<std::size_t>(dims));
+        for (auto &d : shape) {
+            if (!r.pod(&d) || d < 0) {
+                return LoadStatus::kCorrupt;
+            }
+        }
+        if (shape != WorkloadLayer::weight_shape(l.desc)) {
+            return LoadStatus::kCorrupt;
+        }
+        std::vector<std::int8_t> data(
+            static_cast<std::size_t>(shape_numel(shape)));
+        if (!r.read(data.data(), data.size())) {
+            return LoadStatus::kCorrupt;
+        }
+        l.weights = Int8Tensor(std::move(shape), std::move(data));
+        if (l.weights_hash != l.compute_weights_hash()) {
+            return LoadStatus::kCorrupt;  // bit rot under a valid checksum
+                                          // is near-impossible, but cheap
+                                          // to keep checking
+        }
+    }
+    if (r.pos != r.size) {
+        return LoadStatus::kCorrupt;  // trailing garbage under the seal
+    }
+    *out = std::move(w);
+    return LoadStatus::kOk;
 }
 
 }  // namespace
@@ -130,6 +264,39 @@ workload_cache_path(const std::string &dir, const std::string &name,
 bool
 save_workload(const Workload &workload, const std::string &path)
 {
+    const auto fail = [] {
+        counters().save_failures.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    };
+    try {
+        BITWAVE_FAULT_INJECT("workload_io.write");
+    } catch (const FaultError &) {
+        return fail();  // best effort: a failed save is only a cold miss
+    }
+    ByteWriter w;
+    w.pod(kMagic);
+    w.pod(kVersion);
+    w.str(workload.name);
+    w.str(workload.metric_name);
+    w.pod(workload.base_metric);
+    w.pod(workload.error_sensitivity);
+    w.pod(workload.content_hash);
+    w.pod(static_cast<std::uint64_t>(workload.layers.size()));
+    for (const auto &l : workload.layers) {
+        const Shape &shape = l.weights.shape();
+        write_desc(&w, l.desc);
+        w.pod(l.weight_scale);
+        w.pod(l.activation_sparsity);
+        w.pod(l.weights_hash);
+        w.pod(static_cast<std::uint64_t>(shape.size()));
+        for (std::size_t d = 0; d < shape.size(); ++d) {
+            w.pod(shape[d]);
+        }
+        w.write(l.weights.data(),
+                static_cast<std::size_t>(l.weights.numel()));
+    }
+    w.pod(fnv1a(w.bytes.data(), w.bytes.size()));  // seal the image
+
     // Per-writer temp name: concurrent cold-miss processes writing the
     // same cache entry must not interleave into one file; last rename
     // wins with a complete image either way.
@@ -138,112 +305,67 @@ save_workload(const Workload &workload, const std::string &path)
     {
         FilePtr f(std::fopen(tmp.c_str(), "wb"));
         if (!f) {
-            return false;
+            return fail();
         }
-        bool ok = write_pod(f.get(), kMagic) &&
-            write_pod(f.get(), kVersion) &&
-            write_string(f.get(), workload.name) &&
-            write_string(f.get(), workload.metric_name) &&
-            write_pod(f.get(), workload.base_metric) &&
-            write_pod(f.get(), workload.error_sensitivity) &&
-            write_pod(f.get(), workload.content_hash) &&
-            write_pod(f.get(),
-                      static_cast<std::uint64_t>(workload.layers.size()));
-        for (const auto &l : workload.layers) {
-            if (!ok) {
-                break;
-            }
-            const Shape &shape = l.weights.shape();
-            ok = write_desc(f.get(), l.desc) &&
-                write_pod(f.get(), l.weight_scale) &&
-                write_pod(f.get(), l.activation_sparsity) &&
-                write_pod(f.get(), l.weights_hash) &&
-                write_pod(f.get(),
-                          static_cast<std::uint64_t>(shape.size()));
-            for (std::size_t d = 0; ok && d < shape.size(); ++d) {
-                ok = write_pod(f.get(), shape[d]);
-            }
-            ok = ok &&
-                write_bytes(f.get(), l.weights.data(),
-                            static_cast<std::size_t>(l.weights.numel()));
-        }
-        if (!ok) {
+        if (std::fwrite(w.bytes.data(), 1, w.bytes.size(), f.get()) !=
+            w.bytes.size()) {
+            f.reset();
             std::remove(tmp.c_str());
-            return false;
+            return fail();
         }
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
-        return false;
+        return fail();
     }
+    counters().saves.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
 
 bool
 load_workload(const std::string &path, Workload *out)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f) {
-        return false;
+    const LoadStatus status = load_workload_impl(path, out);
+    if (status == LoadStatus::kOk) {
+        counters().loads.fetch_add(1, std::memory_order_relaxed);
+        return true;
     }
-    std::uint32_t magic = 0, version = 0;
-    Workload w;
-    std::uint64_t layer_count = 0;
-    if (!read_pod(f.get(), &magic) || magic != kMagic ||
-        !read_pod(f.get(), &version) || version != kVersion ||
-        !read_string(f.get(), &w.name) ||
-        !read_string(f.get(), &w.metric_name) ||
-        !read_pod(f.get(), &w.base_metric) ||
-        !read_pod(f.get(), &w.error_sensitivity) ||
-        !read_pod(f.get(), &w.content_hash) ||
-        !read_pod(f.get(), &layer_count) || layer_count > (1u << 16)) {
-        return false;
+    counters().load_failures.fetch_add(1, std::memory_order_relaxed);
+    if (status == LoadStatus::kCorrupt) {
+        counters().corruption_detected.fetch_add(1,
+                                                 std::memory_order_relaxed);
     }
-    w.layers.resize(static_cast<std::size_t>(layer_count));
-    for (auto &l : w.layers) {
-        std::uint64_t dims = 0;
-        if (!read_desc(f.get(), &l.desc) ||
-            !read_pod(f.get(), &l.weight_scale) ||
-            !read_pod(f.get(), &l.activation_sparsity) ||
-            !read_pod(f.get(), &l.weights_hash) ||
-            !read_pod(f.get(), &dims) || dims > 8) {
-            return false;
-        }
-        Shape shape(static_cast<std::size_t>(dims));
-        for (auto &d : shape) {
-            if (!read_pod(f.get(), &d) || d < 0) {
-                return false;
-            }
-        }
-        if (shape != WorkloadLayer::weight_shape(l.desc)) {
-            return false;
-        }
-        std::vector<std::int8_t> data(
-            static_cast<std::size_t>(shape_numel(shape)));
-        if (!read_bytes(f.get(), data.data(), data.size())) {
-            return false;
-        }
-        l.weights = Int8Tensor(std::move(shape), std::move(data));
-        if (l.weights_hash != l.compute_weights_hash()) {
-            return false;  // bit rot or a stale/corrupt entry
-        }
-    }
-    *out = std::move(w);
-    return true;
+    return false;
 }
 
 bool
 load_cached_workload(const std::string &path, Workload *out)
 {
-    if (load_workload(path, out)) {
+    const LoadStatus status = load_workload_impl(path, out);
+    switch (status) {
+      case LoadStatus::kOk:
+        counters().loads.fetch_add(1, std::memory_order_relaxed);
         return true;
+      case LoadStatus::kMissing:
+        counters().load_failures.fetch_add(1, std::memory_order_relaxed);
+        return false;  // normal cold miss, stay quiet
+      case LoadStatus::kTransient:
+        // The *read* failed, not the entry: unlinking here would throw
+        // away a perfectly valid cache file because of one IO hiccup.
+        counters().load_failures.fetch_add(1, std::memory_order_relaxed);
+        warn_once(("workload-io-read:" + path).c_str(),
+                  "transient read failure on workload cache entry %s "
+                  "(kept; falling back to synthesis)",
+                  path.c_str());
+        return false;
+      case LoadStatus::kCorrupt:
+        break;
     }
-    // Distinguish "no entry yet" (normal cold miss, stay quiet) from "an
-    // entry exists but fails validation" (stale/partial — evict it).
-    struct stat st;
-    if (::stat(path.c_str(), &st) == 0) {
-        warn("removing invalid workload cache entry %s", path.c_str());
-        std::remove(path.c_str());
+    counters().load_failures.fetch_add(1, std::memory_order_relaxed);
+    counters().corruption_detected.fetch_add(1, std::memory_order_relaxed);
+    warn("removing corrupt workload cache entry %s", path.c_str());
+    if (std::remove(path.c_str()) == 0) {
+        counters().entries_unlinked.fetch_add(1, std::memory_order_relaxed);
     }
     return false;
 }
@@ -276,6 +398,23 @@ remove_stale_temp_files(const std::string &dir, double max_age_seconds)
     }
     ::closedir(d);
     return removed;
+}
+
+WorkloadIoCounters
+workload_io_counters()
+{
+    const Counters &c = counters();
+    WorkloadIoCounters out;
+    out.loads = c.loads.load(std::memory_order_relaxed);
+    out.load_failures = c.load_failures.load(std::memory_order_relaxed);
+    out.read_faults = c.read_faults.load(std::memory_order_relaxed);
+    out.corruption_detected =
+        c.corruption_detected.load(std::memory_order_relaxed);
+    out.entries_unlinked =
+        c.entries_unlinked.load(std::memory_order_relaxed);
+    out.saves = c.saves.load(std::memory_order_relaxed);
+    out.save_failures = c.save_failures.load(std::memory_order_relaxed);
+    return out;
 }
 
 }  // namespace bitwave

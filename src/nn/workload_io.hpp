@@ -7,11 +7,17 @@
  *
  * The format is an implementation detail of this repository: a tagged
  * little-endian dump of the workload fields, validated by magic, format
- * version, and the workload content hash on load. Any mismatch makes the
- * loader fail soft (return false) so callers fall back to synthesis.
+ * version, and the workload content hash on load. Since v3 the image is
+ * serialized to memory and sealed with a trailing FNV-1a checksum over
+ * every preceding byte, so a torn write or bit rot is detected by one
+ * whole-file comparison before any field is parsed. Any mismatch makes
+ * the loader fail soft (return false) so callers fall back to synthesis
+ * — a corrupt cache entry is never fatal: it is counted, unlinked, and
+ * the workload resynthesized.
  */
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "nn/workload.hpp"
@@ -60,5 +66,23 @@ bool load_cached_workload(const std::string &path, Workload *out);
  * best effort).
  */
 int remove_stale_temp_files(const std::string &dir, double max_age_seconds);
+
+/// Lifetime counters of the persistence layer (process-wide, for
+/// diagnostics and the chaos tests).
+struct WorkloadIoCounters
+{
+    std::uint64_t loads = 0;            ///< Successful loads.
+    std::uint64_t load_failures = 0;    ///< Any failed load (incl. misses
+                                        ///< hitting load_workload directly).
+    std::uint64_t read_faults = 0;      ///< Transient read failures
+                                        ///< (injected or real); entry kept.
+    std::uint64_t corruption_detected = 0;  ///< Checksum/parse failures on
+                                            ///< an existing entry.
+    std::uint64_t entries_unlinked = 0;     ///< Evicted broken entries.
+    std::uint64_t saves = 0;                ///< Successful saves.
+    std::uint64_t save_failures = 0;        ///< Failed best-effort saves.
+};
+
+WorkloadIoCounters workload_io_counters();
 
 }  // namespace bitwave

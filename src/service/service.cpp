@@ -1,13 +1,18 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "common/env.hpp"
+#include "common/fault.hpp"
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "common/mpmc_queue.hpp"
 
@@ -30,6 +35,7 @@ struct TicketState
     TicketStatus status = TicketStatus::kQueued;
     eval::ScenarioResult result;
     std::exception_ptr error;
+    ErrorKind error_kind = ErrorKind::kInternal;
     Clock::time_point submitted;
     Clock::time_point completed;
     bool has_deadline = false;
@@ -39,11 +45,18 @@ struct TicketState
 
 /// Cooperative abort shared by the jobs of one runner batch: live_jobs
 /// counts jobs that still have subscribers; when the last one detaches,
-/// `cancel` flips and the runner aborts at its next chunk boundary.
+/// `cancel` flips and the runner aborts at its next chunk boundary. The
+/// watchdog flips the same flag when the batch outruns its stall budget
+/// (and marks watchdog_fired so the abort classifies as transient).
 struct BatchControl
 {
     std::atomic<bool> cancel{false};
     std::atomic<int> live_jobs{0};
+    std::atomic<bool> watchdog_fired{false};
+    /// Published by `running` (release/acquire): the watchdog only reads
+    /// `started` after observing running == true.
+    Clock::time_point started;
+    std::atomic<bool> running{false};
 };
 
 /// One deduplicated evaluation: the unit the queue and batcher move.
@@ -53,15 +66,29 @@ struct Job
     std::uint64_t fingerprint = 0;
     eval::Scenario scenario;
     std::uint64_t seed = 0;  ///< Pinned standalone seed (batch-invariant).
+    RetryPolicy retry;       ///< Effective policy, fixed at submit.
 
     std::mutex mutex;  // guards everything below
     std::vector<std::shared_ptr<TicketState>> subscribers;
     bool abandoned = false;  ///< Every subscriber detached pre-completion.
     bool done = false;
     BatchControl *batch = nullptr;  ///< Non-null while evaluating.
+    int attempts = 0;               ///< Evaluation attempts so far.
+    Clock::time_point not_before;   ///< Backoff gate for the next attempt.
+    std::exception_ptr retry_error; ///< Last transient error (kept so a
+                                    ///< failed requeue can finish the job).
     TicketStatus outcome = TicketStatus::kDone;
     eval::ScenarioResult result;  ///< Valid when done && outcome == kDone.
     std::exception_ptr error;
+};
+
+/// Quarantine record of a terminally failed fingerprint: identical
+/// resubmissions fail fast with the recorded payload until expiry.
+struct QuarantineEntry
+{
+    Clock::time_point expires;
+    std::exception_ptr error;
+    ErrorKind kind = ErrorKind::kInternal;
 };
 
 struct ServiceShared
@@ -71,12 +98,26 @@ struct ServiceShared
     MpmcQueue<std::shared_ptr<Job>> queue;
     std::atomic<bool> abort{false};  ///< shutdown(kAbort) in progress.
 
-    std::mutex jobs_mutex;  // guards in_flight + active_batches
+    std::mutex jobs_mutex;  // guards in_flight + active_batches + quarantine
     /// Dedup index: fingerprint -> the Job new submissions attach to.
     /// Entries leave the map the moment their job completes or is
     /// abandoned, so a hit is always attachable.
     std::unordered_map<std::uint64_t, std::shared_ptr<Job>> in_flight;
     std::vector<BatchControl *> active_batches;
+    std::unordered_map<std::uint64_t, QuarantineEntry> quarantine;
+
+    /// Watchdog parking: the thread sleeps on the cv and wakes to scan
+    /// active_batches; shutdown sets stop and notifies.
+    std::mutex watchdog_mutex;
+    std::condition_variable watchdog_cv;
+    bool watchdog_stop = false;
+
+    /// Sliding window of the last <= 32 evaluation-attempt outcomes
+    /// (bit = failure), the input to the health state.
+    std::mutex health_mutex;
+    std::uint32_t health_window = 0;
+    int health_count = 0;
+    std::atomic<int> health{static_cast<int>(HealthState::kHealthy)};
 
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> dedup_hits{0};
@@ -91,15 +132,110 @@ struct ServiceShared
     std::atomic<std::uint64_t> batched_jobs{0};
     std::atomic<std::uint64_t> steals{0};
     std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> bisections{0};
+    std::atomic<std::uint64_t> quarantined{0};
+    std::atomic<std::uint64_t> quarantine_hits{0};
+    std::atomic<std::uint64_t> watchdog_cancels{0};
 };
 
 namespace {
+
+/// Taxonomy kind of a stored evaluation error.
+ErrorKind
+classify(const std::exception_ptr &error)
+{
+    if (!error) {
+        return ErrorKind::kInternal;
+    }
+    try {
+        std::rethrow_exception(error);
+    } catch (const FaultError &e) {
+        return e.kind();
+    } catch (const eval::BatchCancelled &) {
+        return ErrorKind::kCancelled;
+    } catch (...) {
+        return ErrorKind::kInternal;
+    }
+}
+
+/// uint64 -> double in [0, 1).
+double
+to_unit(std::uint64_t u)
+{
+    return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+/// Backoff before retry attempt @p attempt (2 = first retry):
+/// exponential in the attempt, capped, scaled by a deterministic jitter
+/// factor in [0.5, 1.0] — same (policy, fingerprint, attempt) always
+/// sleeps the same time; distinct fingerprints decorrelate.
+double
+backoff_seconds(const RetryPolicy &policy, std::uint64_t fingerprint,
+                int attempt)
+{
+    double base = policy.backoff_seconds *
+        std::pow(policy.backoff_multiplier, std::max(attempt - 2, 0));
+    base = std::min(base, policy.max_backoff_seconds);
+    const double jitter = 0.5 +
+        0.5 *
+            to_unit(splitmix64(policy.jitter_seed ^ fingerprint ^
+                               static_cast<std::uint64_t>(attempt)));
+    return base * jitter;
+}
+
+/**
+ * base + seconds, saturating to time_point::max() instead of
+ * overflowing: steady_clock headroom is ~292 years, so any deadline a
+ * caller can express beyond that means "never expires". The 0.5 margin
+ * keeps the duration_cast itself clear of int64 overflow.
+ */
+Clock::time_point
+saturating_deadline(Clock::time_point base, double seconds)
+{
+    const double headroom =
+        std::chrono::duration<double>(Clock::time_point::max() - base)
+            .count();
+    if (!(seconds < headroom * 0.5)) {  // also catches inf / NaN
+        return Clock::time_point::max();
+    }
+    return base +
+        std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(seconds));
+}
+
+/// Record one evaluation-attempt outcome and refresh the health state.
+void
+record_attempt(ServiceShared &shared, bool ok)
+{
+    std::lock_guard<std::mutex> lock(shared.health_mutex);
+    shared.health_window =
+        (shared.health_window << 1) | (ok ? 0u : 1u);
+    if (shared.health_count < 32) {
+        shared.health_count++;
+    }
+    const std::uint32_t mask = shared.health_count >= 32
+        ? 0xffffffffu
+        : ((1u << shared.health_count) - 1u);
+    const int fails = std::popcount(shared.health_window & mask);
+    HealthState state = HealthState::kHealthy;
+    if (shared.health_count >= 8) {
+        if (fails * 2 >= shared.health_count) {
+            state = HealthState::kFailing;
+        } else if (fails * 8 >= shared.health_count) {
+            state = HealthState::kDegraded;
+        }
+    }
+    shared.health.store(static_cast<int>(state),
+                        std::memory_order_relaxed);
+}
 
 /// Move @p state to a terminal status (idempotent) and bump the
 /// matching service counter.
 void
 finish_ticket(ServiceShared &shared, TicketState &state, TicketStatus status,
-              const eval::ScenarioResult *result, std::exception_ptr error)
+              const eval::ScenarioResult *result, std::exception_ptr error,
+              ErrorKind kind = ErrorKind::kInternal)
 {
     {
         std::lock_guard<std::mutex> lock(state.mutex);
@@ -111,6 +247,7 @@ finish_ticket(ServiceShared &shared, TicketState &state, TicketStatus status,
             state.result = *result;
         }
         state.error = std::move(error);
+        state.error_kind = kind;
         state.completed = Clock::now();
         // Bump before the waiter can observe the terminal status (it
         // holds state.mutex inside wait()), so a stats() snapshot taken
@@ -137,7 +274,8 @@ finish_ticket(ServiceShared &shared, TicketState &state, TicketStatus status,
 /// resolve every subscriber. Caller holds jobs_mutex and job.mutex.
 void
 finish_job_locked(ServiceShared &shared, Job &job, TicketStatus status,
-                  std::exception_ptr error)
+                  std::exception_ptr error,
+                  ErrorKind kind = ErrorKind::kInternal)
 {
     job.done = true;
     job.outcome = status;
@@ -149,7 +287,7 @@ finish_job_locked(ServiceShared &shared, Job &job, TicketStatus status,
     const eval::ScenarioResult *result =
         status == TicketStatus::kDone ? &job.result : nullptr;
     for (auto &state : job.subscribers) {
-        finish_ticket(shared, *state, status, result, error);
+        finish_ticket(shared, *state, status, result, error, kind);
     }
     job.subscribers.clear();
 }
@@ -169,6 +307,93 @@ abandon_job_locked(ServiceShared &shared, Job &job)
         job.batch->live_jobs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         job.batch->cancel.store(true, std::memory_order_relaxed);
     }
+}
+
+/// Terminal per-job verdict of one evaluation pass (after bisection).
+struct JobOutcome
+{
+    enum class Kind
+    {
+        kPending,
+        kOk,
+        kError,
+        kCancelled,
+    };
+    Kind kind = Kind::kPending;
+    eval::ScenarioResult result;
+    std::exception_ptr error;
+    ErrorKind error_kind = ErrorKind::kInternal;
+};
+
+/**
+ * Evaluate jobs [begin, end) of @p jobs, bisecting on failure to
+ * isolate the poison: a throwing run of more than one job is split in
+ * half and both halves re-run (deterministic seeds make the re-run of
+ * innocent jobs bit-identical), recursing down to the single bad job.
+ * BatchCancelled never bisects — the shared cancel flag would abort the
+ * halves instantly; it classifies as transient when the watchdog fired
+ * (the jobs deserve another attempt on a fresh batch) and as cancelled
+ * otherwise. Runner stats of successful subsets accumulate into @p agg.
+ */
+void
+evaluate_jobs(const ServiceOptions &options, ServiceShared &shared,
+              BatchControl &control,
+              const std::vector<std::shared_ptr<Job>> &jobs,
+              std::size_t begin, std::size_t end,
+              std::vector<JobOutcome> *outcomes, eval::RunnerReport *agg)
+{
+    try {
+        BITWAVE_FAULT_INJECT("service.dispatch");
+        std::vector<eval::Scenario> scenarios;
+        std::vector<std::uint64_t> seeds;
+        scenarios.reserve(end - begin);
+        seeds.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            scenarios.push_back(jobs[i]->scenario);
+            seeds.push_back(jobs[i]->seed);
+        }
+        eval::RunnerOptions runner_options = options.runner;
+        runner_options.cancel = &control.cancel;
+        eval::ScenarioRunner runner(runner_options);
+        eval::RunnerReport report;
+        auto results = runner.run_seeded(scenarios, seeds, &report);
+        for (std::size_t i = begin; i < end; ++i) {
+            auto &out = (*outcomes)[i];
+            out.kind = JobOutcome::Kind::kOk;
+            out.result = std::move(results[i - begin]);
+        }
+        agg->steals += report.steals;
+        agg->chunks += report.chunks;
+        return;
+    } catch (const eval::BatchCancelled &) {
+        const bool stalled =
+            control.watchdog_fired.load(std::memory_order_relaxed);
+        for (std::size_t i = begin; i < end; ++i) {
+            auto &out = (*outcomes)[i];
+            if (stalled) {
+                out.kind = JobOutcome::Kind::kError;
+                out.error_kind = ErrorKind::kTransient;
+                out.error = std::make_exception_ptr(eval::EvalError(
+                    ErrorKind::kTransient,
+                    "batch cancelled by watchdog: stall budget exceeded"));
+            } else {
+                out.kind = JobOutcome::Kind::kCancelled;
+            }
+        }
+        return;
+    } catch (...) {
+        if (end - begin == 1) {
+            auto &out = (*outcomes)[begin];
+            out.kind = JobOutcome::Kind::kError;
+            out.error = std::current_exception();
+            out.error_kind = classify(out.error);
+            return;
+        }
+        shared.bisections++;
+    }
+    const std::size_t mid = begin + (end - begin) / 2;
+    evaluate_jobs(options, shared, control, jobs, begin, mid, outcomes, agg);
+    evaluate_jobs(options, shared, control, jobs, mid, end, outcomes, agg);
 }
 
 }  // namespace
@@ -199,6 +424,17 @@ ticket_status_terminal(TicketStatus status)
 {
     return status != TicketStatus::kQueued &&
         status != TicketStatus::kRunning;
+}
+
+const char *
+health_state_name(HealthState state)
+{
+    switch (state) {
+      case HealthState::kHealthy: return "healthy";
+      case HealthState::kDegraded: return "degraded";
+      case HealthState::kFailing: return "failing";
+    }
+    return "?";
 }
 
 // ---------------------------------------------------------------------------
@@ -233,11 +469,17 @@ EvalTicket::wait() const
 bool
 EvalTicket::wait_for(double seconds) const
 {
+    // A wait beyond the clock's headroom (~292 years) is an unbounded
+    // wait: the duration_cast below would overflow on it.
+    if (!(seconds < 1e9)) {
+        wait();
+        return true;
+    }
     std::unique_lock<std::mutex> lock(state_->mutex);
     return state_->cv.wait_for(
         lock,
         std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double>(seconds)),
+            std::chrono::duration<double>(std::max(seconds, 0.0))),
         [&] { return ticket_status_terminal(state_->status); });
 }
 
@@ -262,6 +504,9 @@ EvalTicket::cancel()
     if (!valid()) {
         return false;
     }
+    if (!job_) {
+        return false;  // failed fast at submit (quarantine / admission)
+    }
     std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
     std::lock_guard<std::mutex> job_lock(job_->mutex);
     {
@@ -273,7 +518,7 @@ EvalTicket::cancel()
     auto &subs = job_->subscribers;
     subs.erase(std::remove(subs.begin(), subs.end(), state_), subs.end());
     detail::finish_ticket(*shared_, *state_, TicketStatus::kCancelled,
-                          nullptr, nullptr);
+                          nullptr, nullptr, ErrorKind::kCancelled);
     if (subs.empty() && !job_->done) {
         detail::abandon_job_locked(*shared_, *job_);
     }
@@ -294,6 +539,16 @@ EvalTicket::latency_seconds() const
                                          state_->submitted).count();
 }
 
+eval::ErrorKind
+EvalTicket::error_kind() const
+{
+    if (!valid()) {
+        return eval::ErrorKind::kInvalid;
+    }
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->error_kind;
+}
+
 // ---------------------------------------------------------------------------
 // EvalService
 // ---------------------------------------------------------------------------
@@ -306,10 +561,31 @@ EvalService::EvalService(ServiceOptions options)
     if (options_.max_batch == 0) {
         options_.max_batch = 1;
     }
+    if (!env_string("BITWAVE_RETRY_ATTEMPTS").empty()) {
+        options_.retry.max_attempts = static_cast<int>(env_positive_int(
+            "BITWAVE_RETRY_ATTEMPTS", options_.retry.max_attempts));
+    }
+    if (!env_string("BITWAVE_STALL_BUDGET_MS").empty()) {
+        options_.stall_budget_seconds =
+            static_cast<double>(env_positive_int("BITWAVE_STALL_BUDGET_MS",
+                                                 0)) *
+            1e-3;
+    }
+    if (!env_string("BITWAVE_QUARANTINE_TTL_MS").empty()) {
+        options_.quarantine_ttl_seconds = static_cast<double>(
+                                              env_positive_int(
+                                                  "BITWAVE_QUARANTINE_TTL_"
+                                                  "MS",
+                                                  30000)) *
+            1e-3;
+    }
     dispatchers_.reserve(static_cast<std::size_t>(
         std::max(options_.dispatchers, 0)));
     for (int i = 0; i < options_.dispatchers; ++i) {
         dispatchers_.emplace_back([this] { dispatcher_loop(); });
+    }
+    if (options_.stall_budget_seconds > 0.0) {
+        watchdog_ = std::thread([this] { watchdog_loop(); });
     }
 }
 
@@ -326,10 +602,8 @@ EvalService::submit(const eval::Scenario &scenario,
     state->submitted = Clock::now();
     if (submit_options.deadline_seconds > 0.0) {
         state->has_deadline = true;
-        state->deadline = state->submitted +
-            std::chrono::duration_cast<Clock::duration>(
-                std::chrono::duration<double>(
-                    submit_options.deadline_seconds));
+        state->deadline = detail::saturating_deadline(
+            state->submitted, submit_options.deadline_seconds);
     }
     shared_->submitted++;
 
@@ -337,6 +611,8 @@ EvalService::submit(const eval::Scenario &scenario,
     ticket.shared_ = shared_;
     ticket.state_ = state;
 
+    const RetryPolicy retry =
+        submit_options.retry.value_or(options_.retry);
     const std::uint64_t fingerprint = eval::scenario_fingerprint(scenario);
     {
         std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
@@ -356,6 +632,20 @@ EvalService::submit(const eval::Scenario &scenario,
             ticket.job_ = std::move(job);
             return ticket;
         }
+        // Quarantine: a fingerprint that just failed terminally fails
+        // fast with the recorded payload instead of re-burning the pool;
+        // an expired entry is readmitted.
+        auto q = shared_->quarantine.find(fingerprint);
+        if (q != shared_->quarantine.end()) {
+            if (state->submitted < q->second.expires) {
+                shared_->quarantine_hits++;
+                detail::finish_ticket(*shared_, *state,
+                                      TicketStatus::kFailed, nullptr,
+                                      q->second.error, q->second.kind);
+                return ticket;  // no job: fail-fast ticket
+            }
+            shared_->quarantine.erase(q);
+        }
         auto job = std::make_shared<detail::Job>();
         job->fingerprint = fingerprint;
         job->scenario = scenario;
@@ -363,25 +653,63 @@ EvalService::submit(const eval::Scenario &scenario,
         // would derive at batch index 0. Pinning it here is what makes
         // batch composition invisible in the results.
         job->seed = eval::scenario_rng_seed(scenario, 0);
+        job->retry = retry;
         job->subscribers.push_back(state);
         shared_->in_flight.emplace(fingerprint, job);
         ticket.job_ = std::move(job);
     }
 
+    // Under kFailing health the service sheds load instead of blocking
+    // or bouncing every submitter behind a storm of failing requests.
+    BackpressurePolicy policy = options_.policy;
+    if (static_cast<HealthState>(shared_->health.load(
+            std::memory_order_relaxed)) == HealthState::kFailing) {
+        policy = BackpressurePolicy::kShedOldest;
+    }
+
     // Admission happens outside jobs_mutex: under kBlock this can wait
     // on the dispatchers, which need jobs_mutex to complete batches.
+    // The queue's own fault point (mpmc.push) may throw here; transient
+    // faults retry immediately (admission holds no state to back off
+    // from), anything else fails the ticket with the payload.
     QueuePush admitted = QueuePush::kClosed;
     std::optional<std::shared_ptr<detail::Job>> shed_job;
-    switch (options_.policy) {
-      case BackpressurePolicy::kBlock:
-        admitted = shared_->queue.push(ticket.job_);
-        break;
-      case BackpressurePolicy::kReject:
-        admitted = shared_->queue.try_push(ticket.job_);
-        break;
-      case BackpressurePolicy::kShedOldest:
-        admitted = shared_->queue.push_shed_oldest(ticket.job_, &shed_job);
-        break;
+    std::exception_ptr admission_error;
+    for (int attempt = 1;; ++attempt) {
+        try {
+            admission_error = nullptr;
+            switch (policy) {
+              case BackpressurePolicy::kBlock:
+                admitted = shared_->queue.push(ticket.job_);
+                break;
+              case BackpressurePolicy::kReject:
+                admitted = shared_->queue.try_push(ticket.job_);
+                break;
+              case BackpressurePolicy::kShedOldest:
+                admitted = shared_->queue.push_shed_oldest(ticket.job_,
+                                                           &shed_job);
+                break;
+            }
+            break;
+        } catch (const FaultError &e) {
+            admission_error = std::current_exception();
+            if (e.kind() != ErrorKind::kTransient ||
+                attempt >= retry.max_attempts) {
+                break;
+            }
+            shared_->retries++;
+        }
+    }
+    if (admission_error) {
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        std::lock_guard<std::mutex> job_lock(ticket.job_->mutex);
+        if (!ticket.job_->done && !ticket.job_->abandoned) {
+            detail::finish_job_locked(*shared_, *ticket.job_,
+                                      TicketStatus::kFailed,
+                                      admission_error,
+                                      detail::classify(admission_error));
+        }
+        return ticket;
     }
     if (shed_job.has_value()) {
         std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
@@ -444,6 +772,7 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
     // the survivors to this batch's cancel control.
     detail::BatchControl control;
     std::vector<std::shared_ptr<detail::Job>> live;
+    Clock::time_point gate{};
     const auto now = Clock::now();
     {
         std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
@@ -470,6 +799,8 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
                 continue;
             }
             job->batch = &control;
+            job->attempts++;
+            gate = std::max(gate, job->not_before);
             for (auto &state : subs) {
                 std::lock_guard<std::mutex> lock(state->mutex);
                 if (!ticket_status_terminal(state->status)) {
@@ -488,49 +819,59 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
         return false;
     }
 
-    std::vector<eval::Scenario> scenarios;
-    std::vector<std::uint64_t> seeds;
-    scenarios.reserve(live.size());
-    seeds.reserve(live.size());
-    for (const auto &job : live) {
-        scenarios.push_back(job->scenario);
-        seeds.push_back(job->seed);
+    // Backoff gate: retried jobs carry a not-before stamp; waiting here
+    // (bounded by max_backoff_seconds) keeps the requeue path simple —
+    // retries share the one queue instead of a timed side channel.
+    if (gate > now) {
+        std::this_thread::sleep_until(gate);
     }
 
-    eval::RunnerOptions runner_options = options_.runner;
-    runner_options.cancel = &control.cancel;
-    eval::ScenarioRunner runner(runner_options);
-    eval::RunnerReport report;
-    std::vector<eval::ScenarioResult> results;
-    std::exception_ptr error;
-    bool batch_cancelled = false;
-    try {
-        results = runner.run_seeded(scenarios, seeds, &report);
-    } catch (const eval::BatchCancelled &) {
-        batch_cancelled = true;
-    } catch (...) {
-        // One throwing evaluation poisons its whole coalesced batch:
-        // evaluation exceptions are invariant violations or bad
-        // configuration, not per-request weather, so co-batched
-        // requests share the failure rather than silently re-running.
-        error = std::current_exception();
-    }
+    // Publish the start for the watchdog (release pairs with its
+    // acquire of `running`).
+    control.started = Clock::now();
+    control.running.store(true, std::memory_order_release);
 
-    if (!batch_cancelled && !error) {
-        shared_->batches++;
-        shared_->batched_jobs += live.size();
-        shared_->steals += static_cast<std::uint64_t>(
-            std::max<std::int64_t>(report.steals, 0));
-        shared_->chunks += static_cast<std::uint64_t>(
-            std::max<std::int64_t>(report.chunks, 0));
-    }
+    std::vector<detail::JobOutcome> outcomes(live.size());
+    eval::RunnerReport agg;
+    agg.steals = 0;
+    agg.chunks = 0;
+    detail::evaluate_jobs(options_, *shared_, control, live, 0, live.size(),
+                          &outcomes, &agg);
+    control.running.store(false, std::memory_order_relaxed);
 
+    bool any_done = false;
+    std::vector<std::shared_ptr<detail::Job>> requeue;
     {
         std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
         auto &batches = shared_->active_batches;
         batches.erase(std::remove(batches.begin(), batches.end(), &control),
                       batches.end());
         const bool aborting = shared_->abort.load(std::memory_order_relaxed);
+        // Count the batch into the stats BEFORE finishing any job: a
+        // submitter whose wait() returns must observe these counters
+        // already bumped (finish_ticket publishes through the ticket
+        // mutex), so stats() read after a completion never lags it.
+        std::uint64_t evaluated = 0;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            auto &job = *live[i];
+            std::lock_guard<std::mutex> job_lock(job.mutex);
+            if (job.done || job.abandoned) {
+                continue;
+            }
+            const auto kind = outcomes[i].kind;
+            if (kind == detail::JobOutcome::Kind::kOk ||
+                kind == detail::JobOutcome::Kind::kError) {
+                evaluated++;
+            }
+        }
+        if (evaluated > 0) {
+            shared_->batches++;
+            shared_->batched_jobs += evaluated;
+            shared_->steals += static_cast<std::uint64_t>(
+                std::max<std::int64_t>(agg.steals, 0));
+            shared_->chunks += static_cast<std::uint64_t>(
+                std::max<std::int64_t>(agg.chunks, 0));
+        }
         for (std::size_t i = 0; i < live.size(); ++i) {
             auto &job = *live[i];
             std::lock_guard<std::mutex> job_lock(job.mutex);
@@ -539,10 +880,16 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
                 job.done = true;
                 continue;
             }
-            if (error) {
-                detail::finish_job_locked(*shared_, job,
-                                          TicketStatus::kFailed, error);
-            } else if (batch_cancelled) {
+            auto &out = outcomes[i];
+            switch (out.kind) {
+              case detail::JobOutcome::Kind::kOk:
+                job.result = std::move(out.result);
+                detail::finish_job_locked(*shared_, job, TicketStatus::kDone,
+                                          nullptr);
+                detail::record_attempt(*shared_, true);
+                any_done = true;
+                break;
+              case detail::JobOutcome::Kind::kCancelled:
                 // A cancelled batch with live subscribers only happens
                 // under shutdown(kAbort); organic cancellation implies
                 // every subscriber already detached.
@@ -550,15 +897,70 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
                     *shared_, job,
                     aborting ? TicketStatus::kShutdown
                              : TicketStatus::kCancelled,
-                    nullptr);
-            } else {
-                job.result = std::move(results[i]);
-                detail::finish_job_locked(*shared_, job, TicketStatus::kDone,
-                                          nullptr);
+                    nullptr, ErrorKind::kCancelled);
+                break;
+              case detail::JobOutcome::Kind::kError:
+                detail::record_attempt(*shared_, false);
+                if (out.error_kind == ErrorKind::kTransient &&
+                    job.attempts < job.retry.max_attempts && !aborting) {
+                    shared_->retries++;
+                    job.not_before = Clock::now() +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                detail::backoff_seconds(job.retry,
+                                                        job.fingerprint,
+                                                        job.attempts + 1)));
+                    job.retry_error = out.error;
+                    requeue.push_back(live[i]);
+                    break;
+                }
+                // Terminal failure: quarantine the fingerprint so
+                // identical resubmissions fail fast for a TTL.
+                if (options_.quarantine_ttl_seconds > 0.0) {
+                    detail::QuarantineEntry entry;
+                    entry.expires = detail::saturating_deadline(
+                        Clock::now(), options_.quarantine_ttl_seconds);
+                    entry.error = out.error;
+                    entry.kind = out.error_kind;
+                    shared_->quarantine[job.fingerprint] = entry;
+                    shared_->quarantined++;
+                }
+                detail::finish_job_locked(*shared_, job,
+                                          TicketStatus::kFailed, out.error,
+                                          out.error_kind);
+                break;
+              case detail::JobOutcome::Kind::kPending:
+                panic("batch job left unresolved by evaluate_jobs");
             }
         }
     }
-    return !batch_cancelled && !error;
+
+    // Requeue retries outside jobs_mutex (push can block/throw). A
+    // requeue that fails — queue closed at shutdown, full, or its own
+    // injected fault — terminates the job with the original error: no
+    // ticket is ever left hanging.
+    for (auto &job : requeue) {
+        std::exception_ptr requeue_error;
+        QueuePush pushed = QueuePush::kClosed;
+        try {
+            pushed = shared_->queue.try_push(job);
+        } catch (const FaultError &) {
+            requeue_error = std::current_exception();
+        }
+        if (pushed == QueuePush::kAccepted) {
+            continue;
+        }
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        std::lock_guard<std::mutex> job_lock(job->mutex);
+        if (job->done || job->abandoned) {
+            continue;
+        }
+        std::exception_ptr error =
+            requeue_error ? requeue_error : job->retry_error;
+        detail::finish_job_locked(*shared_, *job, TicketStatus::kFailed,
+                                  error, detail::classify(error));
+    }
+    return any_done;
 }
 
 int
@@ -586,6 +988,48 @@ EvalService::dispatcher_loop()
 }
 
 void
+EvalService::watchdog_loop()
+{
+    const auto budget = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(options_.stall_budget_seconds));
+    const auto poll = std::clamp(
+        budget / 4,
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::milliseconds(1)),
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::milliseconds(50)));
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(shared_->watchdog_mutex);
+            if (shared_->watchdog_cv.wait_for(
+                    lock, poll, [&] { return shared_->watchdog_stop; })) {
+                return;
+            }
+        }
+        const auto now = Clock::now();
+        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        for (detail::BatchControl *batch : shared_->active_batches) {
+            if (!batch->running.load(std::memory_order_acquire)) {
+                continue;
+            }
+            if (batch->watchdog_fired.load(std::memory_order_relaxed)) {
+                continue;
+            }
+            if (now - batch->started < budget) {
+                continue;
+            }
+            batch->watchdog_fired.store(true, std::memory_order_relaxed);
+            batch->cancel.store(true, std::memory_order_relaxed);
+            shared_->watchdog_cancels++;
+            warn_once("service-watchdog",
+                      "watchdog cancelled a batch exceeding the %.0f ms "
+                      "stall budget (retrying as transient)",
+                      options_.stall_budget_seconds * 1e3);
+        }
+    }
+}
+
+void
 EvalService::shutdown(ShutdownMode mode)
 {
     if (mode == ShutdownMode::kAbort) {
@@ -606,10 +1050,21 @@ EvalService::shutdown(ShutdownMode mode)
     // Resolve whatever is still queued: dispatchers==0 services, and
     // jobs admitted after the dispatchers drained. Under kAbort
     // process_batch completes them as kShutdown without evaluating.
+    // Retries requeued into the closed queue fail over to kFailed, so
+    // this loop terminates. The watchdog stays alive until the drain
+    // finishes — a stalling final batch must still be reclaimed.
     std::shared_ptr<detail::Job> job;
     while (shared_->queue.try_pop(&job)) {
         process_batch(std::move(job), /*linger=*/false);
         job.reset();
+    }
+    {
+        std::lock_guard<std::mutex> lock(shared_->watchdog_mutex);
+        shared_->watchdog_stop = true;
+    }
+    shared_->watchdog_cv.notify_all();
+    if (watchdog_.joinable()) {
+        watchdog_.join();
     }
 }
 
@@ -630,8 +1085,14 @@ EvalService::stats() const
     s.batched_jobs = shared_->batched_jobs.load();
     s.steals = shared_->steals.load();
     s.chunks = shared_->chunks.load();
+    s.retries = shared_->retries.load();
+    s.bisections = shared_->bisections.load();
+    s.quarantined = shared_->quarantined.load();
+    s.quarantine_hits = shared_->quarantine_hits.load();
+    s.watchdog_cancels = shared_->watchdog_cancels.load();
     s.queue_depth = shared_->queue.size();
     s.peak_queue_depth = shared_->queue.peak_size();
+    s.health = static_cast<HealthState>(shared_->health.load());
     return s;
 }
 

@@ -36,15 +36,44 @@
  * an expired or cancelled request detaches from its job; a job (and
  * eventually its whole batch) with no subscribers left aborts at the
  * next chunk boundary instead of burning the pool.
+ *
+ * Self-healing (the robustness layer on top):
+ *
+ *  - **Structured failures.** Evaluation errors cross the service
+ *    boundary as eval::EvalError with an ErrorKind; a failed ticket
+ *    lands in kFailed, result() rethrows the payload, error_kind()
+ *    reports the taxonomy.
+ *
+ *  - **Retry.** kTransient failures re-enter the queue with exponential
+ *    backoff and deterministically seeded jitter, up to
+ *    RetryPolicy::max_attempts; nothing else is retried.
+ *
+ *  - **Poison-batch bisection.** A throwing batch is split and re-run
+ *    to isolate the bad job, so coalesced innocent siblings complete
+ *    normally instead of sharing the failure.
+ *
+ *  - **Quarantine.** A fingerprint that failed terminally is
+ *    quarantined for a TTL: identical resubmissions fail fast with the
+ *    recorded error instead of burning the pool again.
+ *
+ *  - **Watchdog.** Batches exceeding a stall budget are cancelled via
+ *    the cooperative flag and their jobs retried as transient.
+ *
+ *  - **Health.** stats().health summarises the recent attempt window
+ *    (kHealthy/kDegraded/kFailing); a failing service degrades
+ *    admission to kShedOldest so a failure storm sheds load instead of
+ *    blocking every submitter.
  */
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "eval/error.hpp"
 #include "eval/runner.hpp"
 
 namespace bitwave::service {
@@ -63,6 +92,33 @@ enum class BackpressurePolicy
     kShedOldest, ///< The oldest queued request completes as kShed and
                  ///< the new one is admitted.
 };
+
+/**
+ * How failed evaluations are retried. Only kTransient failures retry;
+ * backoff grows exponentially per attempt, scaled by a jitter factor in
+ * [0.5, 1.0] drawn deterministically from (jitter_seed, fingerprint,
+ * attempt) — reproducible storms, decorrelated thundering herds.
+ */
+struct RetryPolicy
+{
+    int max_attempts = 3;  ///< Total attempts including the first.
+    double backoff_seconds = 0.01;      ///< Base delay before attempt 2.
+    double backoff_multiplier = 2.0;    ///< Growth per further attempt.
+    double max_backoff_seconds = 1.0;   ///< Cap on the un-jittered delay.
+    std::uint64_t jitter_seed = 0x5eedULL;
+};
+
+/// Service health, derived from the recent evaluation-attempt window.
+enum class HealthState
+{
+    kHealthy,   ///< Failures rare or absent.
+    kDegraded,  ///< >= 1/8 of recent attempts failed.
+    kFailing,   ///< >= 1/2 of recent attempts failed; admission degrades
+                ///< to kShedOldest until the window recovers.
+};
+
+/// Display name of a health state ("healthy", ...).
+const char *health_state_name(HealthState state);
 
 /// Service configuration.
 struct ServiceOptions
@@ -90,6 +146,20 @@ struct ServiceOptions
     /// chaos_seed). The per-batch cancel flag is service-managed; any
     /// `cancel` pointer set here is ignored.
     eval::RunnerOptions runner;
+    /// Default retry policy for kTransient failures. Overridable per
+    /// request and via BITWAVE_RETRY_ATTEMPTS (max_attempts only).
+    RetryPolicy retry;
+    /**
+     * Watchdog stall budget: a batch evaluating longer than this is
+     * cancelled through the cooperative flag and its jobs retried as
+     * transient. <= 0 disables the watchdog (default). Env override:
+     * BITWAVE_STALL_BUDGET_MS.
+     */
+    double stall_budget_seconds = 0.0;
+    /// How long a terminally failed fingerprint stays quarantined
+    /// (identical resubmissions fail fast). Env override:
+    /// BITWAVE_QUARANTINE_TTL_MS.
+    double quarantine_ttl_seconds = 30.0;
 };
 
 /// Per-request submission knobs.
@@ -100,9 +170,13 @@ struct SubmitOptions
      * completes as kDeadlineExpired: before dispatch it is pruned
      * without evaluating; once evaluating it can only be reclaimed by
      * cancellation of all its subscribers (the runner polls the batch
-     * cancel flag at chunk boundaries).
+     * cancel flag at chunk boundaries). Huge values (including
+     * infinity) saturate to "no deadline ever expires" instead of
+     * overflowing the clock.
      */
     double deadline_seconds = 0.0;
+    /// Per-request retry override; unset uses ServiceOptions::retry.
+    std::optional<RetryPolicy> retry;
 };
 
 /// Lifecycle of one submitted request.
@@ -178,6 +252,10 @@ class EvalTicket
     /// Submit-to-terminal latency; meaningful once terminal.
     double latency_seconds() const;
 
+    /// Taxonomy kind of a kFailed ticket (kInternal otherwise);
+    /// result() rethrows the full eval::EvalError payload.
+    eval::ErrorKind error_kind() const;
+
   private:
     friend class EvalService;
     std::shared_ptr<detail::ServiceShared> shared_;
@@ -202,8 +280,16 @@ struct ServiceStats
     std::uint64_t batched_jobs = 0;   ///< Jobs evaluated across them.
     std::uint64_t steals = 0;         ///< Work-steal events (aggregate).
     std::uint64_t chunks = 0;         ///< Executed chunks (aggregate).
+    std::uint64_t retries = 0;        ///< Transient failures requeued.
+    std::uint64_t bisections = 0;     ///< Poison-batch splits performed.
+    std::uint64_t quarantined = 0;    ///< Fingerprints quarantined.
+    std::uint64_t quarantine_hits = 0;  ///< Submissions failed fast by
+                                        ///< an active quarantine entry.
+    std::uint64_t watchdog_cancels = 0;  ///< Batches cancelled for
+                                         ///< exceeding the stall budget.
     std::size_t queue_depth = 0;      ///< Current queue size.
     std::size_t peak_queue_depth = 0;
+    HealthState health = HealthState::kHealthy;
 };
 
 /// See the file comment.
@@ -256,12 +342,14 @@ class EvalService
 
   private:
     void dispatcher_loop();
+    void watchdog_loop();
     /// Evaluate one batch seeded from @p first; true if anything ran.
     bool process_batch(std::shared_ptr<detail::Job> first, bool linger);
 
     ServiceOptions options_;
     std::shared_ptr<detail::ServiceShared> shared_;
     std::vector<std::thread> dispatchers_;
+    std::thread watchdog_;
 };
 
 }  // namespace bitwave::service

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Chaos tests — seeded fault storms over the full evaluation service.
+ * The contract under test is the robustness layer's north star: under
+ * injected faults **nothing hangs, every ticket reaches a terminal
+ * state, and every successful result is bit-identical to the fault-free
+ * golden run**. Individual mechanisms (bisection, quarantine, watchdog,
+ * health-based admission) get targeted pump-driven tests; the storm
+ * test runs real dispatcher threads under a wildcard transient spec
+ * whose seed CI varies via BITWAVE_FAULT_SEED.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/fault.hpp"
+#include "nn/synthesis.hpp"
+#include "service/service.hpp"
+
+namespace bitwave {
+namespace {
+
+using service::BackpressurePolicy;
+using service::EvalService;
+using service::EvalTicket;
+using service::HealthState;
+using service::RetryPolicy;
+using service::ServiceOptions;
+using service::SubmitOptions;
+using service::TicketStatus;
+
+/// Arms a fault spec for one test and guarantees disarm on every exit
+/// path — a leaked spec would poison every later test in the binary.
+class FaultGuard
+{
+  public:
+    FaultGuard(const std::string &spec, std::uint64_t seed)
+    {
+        fault::configure(spec, seed);
+    }
+    ~FaultGuard() { fault::reset(); }
+    FaultGuard(const FaultGuard &) = delete;
+    FaultGuard &operator=(const FaultGuard &) = delete;
+};
+
+// Same tiny private workload as test_service: chaos tests must never
+// pay benchmark-network synthesis.
+std::shared_ptr<Workload>
+tiny_net()
+{
+    auto net = std::make_shared<Workload>();
+    net->name = "tiny-chaos";
+    net->metric_name = "top-1";
+    net->base_metric = 90.0;
+    net->error_sensitivity = 40.0;
+    Rng rng(13);
+    auto add = [&](LayerDesc desc, double act_sparsity) {
+        WeightProfile profile;
+        profile.scale = 6.0;
+        WorkloadLayer layer;
+        layer.desc = std::move(desc);
+        layer.weights = synthesize_weights(layer.desc, profile, rng);
+        layer.activation_sparsity = act_sparsity;
+        net->layers.push_back(std::move(layer));
+    };
+    add(make_conv("stem", 16, 3, 16, 16, 3, 3, 1), 0.0);
+    add(make_pointwise("pw", 32, 16, 16, 16), 0.4);
+    add(make_linear("fc", 10, 32), 0.4);
+    net->content_hash = 0xC8A05;
+    for (auto &layer : net->layers) {
+        layer.weights_hash = layer.compute_weights_hash();
+        net->content_hash ^= layer.weights_hash * 0x9E3779B97F4A7C15ULL;
+    }
+    return net;
+}
+
+eval::Scenario
+tiny_scenario(const std::shared_ptr<Workload> &net,
+              const AcceleratorConfig &accel)
+{
+    eval::Scenario s;
+    s.custom_workload = net;
+    s.accel = accel;
+    return s;
+}
+
+// Distinct-fingerprint scenarios spanning the accelerator zoo plus a
+// bitflip and a stats engine variant (mirrors test_service).
+std::vector<eval::Scenario>
+distinct_scenarios(const std::shared_ptr<Workload> &net)
+{
+    std::vector<eval::Scenario> scenarios;
+    for (const auto &cfg : {make_scnn(), make_stripes(), make_bitlet(),
+                            make_huaa(),
+                            make_bitwave(BitWaveVariant::kDfSm)}) {
+        scenarios.push_back(tiny_scenario(net, cfg));
+    }
+    eval::Scenario flipped =
+        tiny_scenario(net, make_bitwave(BitWaveVariant::kDfSmBf));
+    flipped.bitflip.mode = eval::BitflipSpec::Mode::kUniform;
+    flipped.bitflip.group_size = 16;
+    flipped.bitflip.zero_columns = 4;
+    scenarios.push_back(std::move(flipped));
+    eval::Scenario stats = tiny_scenario(net, make_scnn());
+    stats.engine = eval::EngineKind::kStats;
+    scenarios.push_back(std::move(stats));
+    return scenarios;
+}
+
+void
+expect_identical(const eval::ScenarioResult &a,
+                 const eval::ScenarioResult &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.rng_seed, b.rng_seed);
+    EXPECT_EQ(a.total_cycles, b.total_cycles) << a.name;
+    EXPECT_EQ(a.energy.total_pj, b.energy.total_pj) << a.name;
+    EXPECT_EQ(a.nominal_macs, b.nominal_macs) << a.name;
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t l = 0; l < a.layers.size(); ++l) {
+        EXPECT_EQ(a.layers[l].layer_name, b.layers[l].layer_name);
+        EXPECT_EQ(a.layers[l].total_cycles, b.layers[l].total_cycles);
+        EXPECT_EQ(a.layers[l].energy.total_pj, b.layers[l].energy.total_pj);
+    }
+}
+
+ServiceOptions
+pump_options(std::size_t capacity,
+             BackpressurePolicy policy = BackpressurePolicy::kReject)
+{
+    ServiceOptions options;
+    options.queue_capacity = capacity;
+    options.policy = policy;
+    options.dispatchers = 0;
+    options.runner.threads = 1;
+    return options;
+}
+
+/// Drive a pump-mode service until every ticket is terminal (bounded by
+/// a generous wall-clock budget so a regression fails instead of
+/// hanging the suite).
+void
+pump_until_terminal(EvalService &service,
+                    const std::vector<EvalTicket> &tickets)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    for (;;) {
+        bool pending = false;
+        for (const auto &ticket : tickets) {
+            if (!service::ticket_status_terminal(ticket.status())) {
+                pending = true;
+                break;
+            }
+        }
+        if (!pending) {
+            return;
+        }
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "tickets did not terminate";
+        if (service.pump(4) == 0) {
+            // Backoff gates may hold every queued retry; give them time.
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- storm ---
+
+// The tentpole contract: a seeded 5% wildcard transient storm across
+// every fault point (IO, queue admission, runner chunks, bit-plane
+// packing, service dispatch) with real dispatcher threads. No hangs,
+// every ticket terminal, every kDone result bit-identical to the
+// fault-free golden run. CI sweeps BITWAVE_FAULT_SEED over 3 seeds.
+TEST(Chaos, SeededTransientStormTerminatesBitIdentical)
+{
+    const auto net = tiny_net();
+
+    // Distinct fingerprints per ticket (dedup would collapse repeats
+    // into a handful of jobs and starve the storm of fault draws).
+    std::vector<eval::Scenario> requests;
+    constexpr int kRepeats = 6;
+    for (int r = 0; r < kRepeats; ++r) {
+        for (auto s : distinct_scenarios(net)) {
+            s.seed = static_cast<std::uint64_t>(r) * 100 + requests.size();
+            requests.push_back(std::move(s));
+        }
+    }
+
+    // Goldens first, before any fault is armed.
+    std::vector<eval::ScenarioResult> golden;
+    for (const auto &s : requests) {
+        golden.push_back(eval::ScenarioRunner().run({s}).front());
+    }
+
+    const auto seed = static_cast<std::uint64_t>(
+        env_positive_int("BITWAVE_FAULT_SEED", 0x5eed));
+    FaultGuard storm("*=0.05:transient", seed);
+
+    ServiceOptions options;
+    options.queue_capacity = 64;
+    options.policy = BackpressurePolicy::kBlock;
+    options.dispatchers = 2;
+    options.runner.threads = 2;
+    options.runner.shard_layers = 1;  // per-layer chunks: more draws
+    options.retry.max_attempts = 8;
+    options.retry.backoff_seconds = 0.001;
+    options.retry.max_backoff_seconds = 0.02;
+    options.quarantine_ttl_seconds = 30.0;
+    EvalService service(options);
+
+    std::vector<EvalTicket> tickets;
+    for (const auto &s : requests) {
+        tickets.push_back(service.submit(s));
+    }
+
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        ASSERT_TRUE(tickets[i].wait_for(120.0))
+            << "ticket " << i << " never terminated";
+        const TicketStatus status = tickets[i].status();
+        EXPECT_TRUE(service::ticket_status_terminal(status));
+        if (status == TicketStatus::kDone) {
+            ++done;
+            expect_identical(tickets[i].result(), golden[i]);
+        } else {
+            // Terminal failures under a transient-only storm must carry
+            // the transient taxonomy (retries exhausted), never be a
+            // silent wrong-answer.
+            EXPECT_EQ(status, TicketStatus::kFailed);
+            EXPECT_EQ(tickets[i].error_kind(), eval::ErrorKind::kTransient);
+        }
+    }
+    service.shutdown();
+
+    EXPECT_GT(done, 0u) << "storm drowned every request";
+    EXPECT_GT(fault::stats().fired, 0u) << "storm never fired";
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.completed, done);
+}
+
+// ------------------------------------------------------------- bisection ---
+
+// One poisoned job coalesced with innocent siblings: bisection isolates
+// it, the siblings complete bit-identically, the poison fingerprint is
+// quarantined, and an identical resubmission fails fast without
+// re-evaluating.
+TEST(Chaos, PoisonJobIsBisectedQuarantinedAndFailsFast)
+{
+    const auto net = tiny_net();
+    auto scenarios = distinct_scenarios(net);
+    std::vector<eval::ScenarioResult> golden;
+    for (const auto &s : scenarios) {
+        golden.push_back(eval::ScenarioRunner().run({s}).front());
+    }
+
+    eval::Scenario poison = tiny_scenario(net, make_scnn());
+    poison.label = "poison";
+    poison.seed = 0xBAD;
+
+    FaultGuard guard("runner.chunk@poison=1:transient", 7);
+
+    ServiceOptions options = pump_options(16);
+    options.retry.max_attempts = 2;
+    options.retry.backoff_seconds = 0.0;
+    options.quarantine_ttl_seconds = 60.0;
+    EvalService service(options);
+
+    std::vector<EvalTicket> tickets;
+    for (const auto &s : scenarios) {
+        tickets.push_back(service.submit(s));
+    }
+    tickets.push_back(service.submit(poison));
+    pump_until_terminal(service, tickets);
+
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        ASSERT_EQ(tickets[i].status(), TicketStatus::kDone)
+            << "innocent sibling " << i << " failed";
+        expect_identical(tickets[i].result(), golden[i]);
+    }
+    EXPECT_EQ(tickets.back().status(), TicketStatus::kFailed);
+    EXPECT_EQ(tickets.back().error_kind(), eval::ErrorKind::kTransient);
+
+    auto stats = service.stats();
+    EXPECT_GE(stats.bisections, 1u);
+    EXPECT_GE(stats.retries, 1u);
+    EXPECT_EQ(stats.quarantined, 1u);
+
+    // Fail-fast on the quarantined fingerprint: terminal immediately,
+    // same taxonomy, no pump needed.
+    EvalTicket again = service.submit(poison);
+    EXPECT_EQ(again.status(), TicketStatus::kFailed);
+    EXPECT_EQ(again.error_kind(), eval::ErrorKind::kTransient);
+    EXPECT_EQ(service.stats().quarantine_hits, 1u);
+    service.shutdown();
+}
+
+// Quarantine entries expire: after the TTL the fingerprint is
+// re-admitted and (with the fault gone) completes normally.
+TEST(Chaos, QuarantineExpiresAndReadmits)
+{
+    const auto net = tiny_net();
+    eval::Scenario poison = tiny_scenario(net, make_scnn());
+    poison.label = "poison";
+    const auto golden = eval::ScenarioRunner().run({poison}).front();
+
+    ServiceOptions options = pump_options(4);
+    options.retry.max_attempts = 1;
+    options.retry.backoff_seconds = 0.0;
+    options.quarantine_ttl_seconds = 0.05;
+    EvalService service(options);
+
+    {
+        FaultGuard guard("runner.chunk@poison=1:transient", 7);
+        EvalTicket ticket = service.submit(poison);
+        pump_until_terminal(service, {ticket});
+        ASSERT_EQ(ticket.status(), TicketStatus::kFailed);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+    EvalTicket retry = service.submit(poison);
+    ASSERT_TRUE(retry.valid());
+    pump_until_terminal(service, {retry});
+    ASSERT_EQ(retry.status(), TicketStatus::kDone);
+    expect_identical(retry.result(), golden);
+    EXPECT_EQ(service.stats().quarantine_hits, 0u);
+    service.shutdown();
+}
+
+// -------------------------------------------------------------- watchdog ---
+
+// Delay faults stall every chunk past the stall budget; the watchdog
+// cancels the batch through the cooperative flag and the jobs retry as
+// transient. With the fault still armed the retries exhaust into
+// kFailed (nothing hangs); with faults cleared the same scenarios
+// complete bit-identically on a fresh service.
+TEST(Chaos, WatchdogReclaimsStalledBatches)
+{
+    const auto net = tiny_net();
+    auto scenarios = distinct_scenarios(net);
+    scenarios.resize(3);
+    std::vector<eval::ScenarioResult> golden;
+    for (const auto &s : scenarios) {
+        golden.push_back(eval::ScenarioRunner().run({s}).front());
+    }
+
+    {
+        FaultGuard guard("runner.chunk=1:delay:50", 7);
+        ServiceOptions options = pump_options(8);
+        // Per-layer chunks on a real worker pool: the cooperative
+        // cancel flag is polled at chunk boundaries, and the
+        // single-thread path inlines the whole batch as one chunk.
+        options.runner.threads = 2;
+        options.runner.shard_layers = 1;
+        options.retry.max_attempts = 2;
+        options.retry.backoff_seconds = 0.0;
+        options.stall_budget_seconds = 0.02;
+        options.quarantine_ttl_seconds = 0.0;  // keep fingerprints clean
+        EvalService service(options);
+
+        std::vector<EvalTicket> tickets;
+        for (const auto &s : scenarios) {
+            tickets.push_back(service.submit(s));
+        }
+        pump_until_terminal(service, tickets);
+        for (auto &ticket : tickets) {
+            EXPECT_EQ(ticket.status(), TicketStatus::kFailed);
+            EXPECT_EQ(ticket.error_kind(), eval::ErrorKind::kTransient);
+        }
+        const auto stats = service.stats();
+        EXPECT_GE(stats.watchdog_cancels, 1u);
+        EXPECT_GE(stats.retries, 1u);
+        service.shutdown();
+    }
+
+    // Faults cleared: same scenarios complete despite the watchdog
+    // staying armed (healthy batches finish inside the budget).
+    ServiceOptions options = pump_options(8);
+    options.stall_budget_seconds = 5.0;
+    EvalService service(options);
+    std::vector<EvalTicket> tickets;
+    for (const auto &s : scenarios) {
+        tickets.push_back(service.submit(s));
+    }
+    pump_until_terminal(service, tickets);
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        ASSERT_EQ(tickets[i].status(), TicketStatus::kDone);
+        expect_identical(tickets[i].result(), golden[i]);
+    }
+    EXPECT_EQ(service.stats().watchdog_cancels, 0u);
+    service.shutdown();
+}
+
+// ---------------------------------------------------------------- health ---
+
+// A failure storm drives health to kFailing, which degrades admission
+// to shed-oldest (a blocked submitter under kBlock would otherwise
+// stall the client); once the storm clears, sustained successes heal
+// the window back to kHealthy.
+TEST(Chaos, FailureStormDegradesAdmissionAndRecovers)
+{
+    const auto net = tiny_net();
+    auto scenario = [&](std::uint64_t seed) {
+        eval::Scenario s = tiny_scenario(net, make_scnn());
+        s.seed = seed;  // distinct fingerprint per seed
+        return s;
+    };
+
+    ServiceOptions options = pump_options(1, BackpressurePolicy::kBlock);
+    options.retry.max_attempts = 1;
+    options.quarantine_ttl_seconds = 0.0;
+    EvalService service(options);
+
+    {
+        FaultGuard guard("service.dispatch=1:error", 7);
+        for (std::uint64_t i = 0; i < 10; ++i) {
+            EvalTicket ticket = service.submit(scenario(100 + i));
+            pump_until_terminal(service, {ticket});
+            EXPECT_EQ(ticket.status(), TicketStatus::kFailed);
+            EXPECT_EQ(ticket.error_kind(), eval::ErrorKind::kInternal);
+        }
+        EXPECT_EQ(service.stats().health, HealthState::kFailing);
+
+        // Admission degraded: with the 1-deep queue full, a second
+        // submission under kBlock sheds the oldest instead of blocking
+        // this thread forever.
+        EvalTicket first = service.submit(scenario(200));
+        EXPECT_EQ(first.status(), TicketStatus::kQueued);
+        EvalTicket second = service.submit(scenario(201));
+        EXPECT_EQ(first.status(), TicketStatus::kShed);
+        EXPECT_EQ(second.status(), TicketStatus::kQueued);
+        EXPECT_GE(service.stats().shed, 1u);
+        // Drain the survivor (still inside the storm: it fails).
+        pump_until_terminal(service, {second});
+    }
+
+    // Storm over: successes wash the failure window out.
+    for (std::uint64_t i = 0; i < 33; ++i) {
+        EvalTicket ticket = service.submit(scenario(300 + i));
+        pump_until_terminal(service, {ticket});
+        ASSERT_EQ(ticket.status(), TicketStatus::kDone);
+    }
+    EXPECT_EQ(service.stats().health, HealthState::kHealthy);
+    service.shutdown();
+}
+
+}  // namespace
+}  // namespace bitwave

@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -20,6 +21,8 @@
 
 #include "common/bits.hpp"
 #include "common/env.hpp"
+#include "common/fault.hpp"
+#include "common/logging.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -481,6 +484,207 @@ TEST(MpmcQueue, ConcurrentProducersAndConsumersLoseNothing)
         ASSERT_EQ(seen[i].load(), 1) << "value " << i;
     }
     EXPECT_LE(q.peak_size(), 8u);
+}
+
+TEST(MpmcQueue, ConcurrentCloseWithShedPushersAndBlockedPoppers)
+{
+    // The shutdown race the service relies on: shed-oldest producers
+    // hammering a tiny queue, consumers blocking on pop, and close()
+    // landing in the middle. Every popper must wake (drain semantics,
+    // no hang), every accepted-and-not-shed value must be popped
+    // exactly once, and post-close pushes must bounce as kClosed.
+    constexpr int kPushers = 4, kPoppers = 4, kPerPusher = 300;
+    MpmcQueue<int> q(4);
+    std::vector<std::atomic<int>> seen(kPushers * kPerPusher);
+    std::atomic<int> accepted{0}, shed_count{0}, closed_count{0};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kPushers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerPusher; ++i) {
+                std::optional<int> shed;
+                switch (q.push_shed_oldest(p * kPerPusher + i, &shed)) {
+                  case QueuePush::kAccepted:
+                    accepted.fetch_add(1, std::memory_order_relaxed);
+                    break;
+                  case QueuePush::kClosed:
+                    closed_count.fetch_add(1, std::memory_order_relaxed);
+                    break;
+                  case QueuePush::kFull:
+                    ADD_FAILURE() << "shed-oldest must never report full";
+                    break;
+                }
+                if (shed.has_value()) {
+                    // An evicted value counts as consumed: the service
+                    // resolves it as kShed.
+                    seen[static_cast<std::size_t>(*shed)].fetch_add(
+                        1, std::memory_order_relaxed);
+                    shed_count.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (int c = 0; c < kPoppers; ++c) {
+        threads.emplace_back([&] {
+            int v = 0;
+            while (q.pop(&v)) {
+                seen[static_cast<std::size_t>(v)].fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        });
+    }
+    // Close mid-flight, while pushers are still pushing and poppers may
+    // be blocked: from here pushers see kClosed and poppers drain out.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.close();
+    for (auto &t : threads) {
+        t.join();
+    }
+    // Drain whatever the poppers left behind after close.
+    int v = 0;
+    while (q.try_pop(&v)) {
+        seen[static_cast<std::size_t>(v)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    int consumed = 0;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        ASSERT_LE(seen[i].load(), 1) << "value " << i << " popped twice";
+        consumed += seen[i].load();
+    }
+    EXPECT_EQ(consumed, accepted.load())
+        << "every accepted value is popped or shed exactly once";
+    EXPECT_EQ(accepted.load() + closed_count.load(),
+              kPushers * kPerPusher);
+}
+
+// ------------------------------------------------------------- fault ---
+
+TEST(Fault, DisarmedPointsCostOneBranchAndNeverFire)
+{
+    fault::reset();
+    EXPECT_FALSE(fault::enabled());
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(BITWAVE_FAULT_POINT("test.disarmed"));
+    }
+}
+
+TEST(Fault, SpecArmsPointsByNameAndWildcard)
+{
+    fault::configure("test.always=1:error,other.point=0.5", 42);
+    EXPECT_TRUE(fault::enabled());
+    // kError faults return true from the point expression.
+    EXPECT_TRUE(BITWAVE_FAULT_POINT("test.always"));
+    fault::configure("*=1:error", 42);
+    EXPECT_TRUE(BITWAVE_FAULT_POINT("test.some.new.point"));
+    fault::reset();
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(BITWAVE_FAULT_POINT("test.always"));
+}
+
+TEST(Fault, TransientFaultsThrowWithTaxonomyKind)
+{
+    fault::configure("test.transient=1", 7);
+    try {
+        BITWAVE_FAULT_INJECT("test.transient");
+        FAIL() << "armed transient point must throw";
+    } catch (const FaultError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::kTransient);
+    }
+    fault::reset();
+}
+
+TEST(Fault, DrawsAreSeededAndDeterministic)
+{
+    // Same (spec, seed) => the same invocations fire; different seed
+    // => (almost surely) a different firing pattern at p = 0.3.
+    const auto pattern = [](std::uint64_t seed) {
+        fault::configure("test.seeded=0.3:error", seed);
+        std::vector<bool> fired;
+        fired.reserve(64);
+        for (int i = 0; i < 64; ++i) {
+            fired.push_back(BITWAVE_FAULT_POINT("test.seeded"));
+        }
+        fault::reset();
+        return fired;
+    };
+    // configure() restarts the per-point draw stream, so the same
+    // (spec, seed) replays bit-for-bit.
+    const auto a = pattern(123);
+    const auto b = pattern(123);
+    const auto c = pattern(456);
+    EXPECT_TRUE(std::count(a.begin(), a.end(), true) > 0);
+    EXPECT_TRUE(std::count(a.begin(), a.end(), false) > 0);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(c, a);
+}
+
+TEST(Fault, ContextTagRestrictsFiring)
+{
+    // `point@tag=...` fires only for call sites passing the matching
+    // context hash — the mechanism the chaos tests use to poison one
+    // scenario of a batch.
+    fault::configure("test.tagged@poison=1:error", 3);
+    EXPECT_TRUE(BITWAVE_FAULT_POINT_CTX("test.tagged",
+                                        fault::context_tag("poison")));
+    EXPECT_FALSE(BITWAVE_FAULT_POINT_CTX("test.tagged",
+                                         fault::context_tag("innocent")));
+    EXPECT_FALSE(BITWAVE_FAULT_POINT("test.tagged"));
+    fault::reset();
+}
+
+TEST(Fault, MalformedSpecEntriesAreSkipped)
+{
+    // Bad entries warn once and are ignored; good entries in the same
+    // spec still arm.
+    fault::configure("nonsense,=0.5,test.ok=1:error,p=2.0,p=0.5:bogus",
+                     1);
+    EXPECT_TRUE(BITWAVE_FAULT_POINT("test.ok"));
+    EXPECT_FALSE(BITWAVE_FAULT_POINT("p"));
+    fault::reset();
+}
+
+TEST(Fault, StatsCountChecksAndFires)
+{
+    fault::configure("test.counted=1:error", 9);
+    const auto before = fault::stats();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(BITWAVE_FAULT_POINT("test.counted"));
+    }
+    const auto after = fault::stats();
+    EXPECT_EQ(after.checks, before.checks + 10);
+    EXPECT_EQ(after.fired, before.fired + 10);
+    EXPECT_EQ(after.errors, before.errors + 10);
+    bool found = false;
+    for (const auto &info : fault::points()) {
+        if (info.name == "test.counted") {
+            found = true;
+            EXPECT_EQ(info.probability, 1.0);
+            EXPECT_GE(info.fired, 10u);
+        }
+    }
+    EXPECT_TRUE(found);
+    fault::reset();
+}
+
+// ----------------------------------------------------------- logging ---
+
+TEST(Logging, SinkCapturesWarnAndWarnOnceDedupes)
+{
+    std::vector<std::string> lines;
+    auto previous = set_log_sink(
+        [&](LogLevel, const std::string &message) {
+            lines.push_back(message);
+        });
+    warn("plain warning %d", 1);
+    warn_once("test-key-a", "once %d", 2);
+    warn_once("test-key-a", "once %d", 3);  // deduped
+    warn_once("test-key-b", "other key %d", 4);
+    set_log_sink(std::move(previous));
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "plain warning 1");
+    EXPECT_EQ(lines[1], "once 2");
+    EXPECT_EQ(lines[2], "other key 4");
 }
 
 }  // namespace

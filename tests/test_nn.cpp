@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "nn/accuracy.hpp"
 #include "nn/reference.hpp"
@@ -220,7 +221,7 @@ TEST(WorkloadIo, LoadRejectsMissingAndCorruptFiles)
 TEST(WorkloadIo, CachePathIsStable)
 {
     EXPECT_EQ(workload_cache_path("/tmp/cache", "CNN-LSTM", 0x5eed),
-              "/tmp/cache/CNN-LSTM-seed0000000000005eed-v2.bwl");
+              "/tmp/cache/CNN-LSTM-seed0000000000005eed-v3.bwl");
 }
 
 TEST(WorkloadIo, CachedLoadRemovesInvalidEntriesAndRecovers)
@@ -255,6 +256,128 @@ TEST(WorkloadIo, CachedLoadRemovesInvalidEntriesAndRecovers)
 
     // Missing files fail soft without inventing an unlink.
     EXPECT_FALSE(load_cached_workload("/nonexistent/nowhere.bwl", &out));
+}
+
+TEST(WorkloadIo, ChecksumDetectsSingleBitCorruption)
+{
+    // v3 seals every entry with a trailing FNV-1a checksum: flipping
+    // any one byte of the image — including deep inside the weight
+    // payload, where v2's field validation could not look — must be
+    // detected, counted as corruption, and evicted.
+    const Workload built = build_cnn_lstm(7, /*timesteps=*/4);
+    const std::string path =
+        ::testing::TempDir() + "/bitwave_bitrot.bwl";
+    ASSERT_TRUE(save_workload(built, path));
+
+    long size = 0;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        size = std::ftell(f);
+        // Flip one bit in the middle of the image (weight bytes).
+        std::fseek(f, size / 2, SEEK_SET);
+        const int byte = std::fgetc(f);
+        ASSERT_NE(byte, EOF);
+        std::fseek(f, size / 2, SEEK_SET);
+        std::fputc(byte ^ 0x01, f);
+        std::fclose(f);
+    }
+
+    const WorkloadIoCounters before = workload_io_counters();
+    Workload out;
+    EXPECT_FALSE(load_cached_workload(path, &out));
+    const WorkloadIoCounters after = workload_io_counters();
+    EXPECT_EQ(after.corruption_detected, before.corruption_detected + 1);
+    EXPECT_EQ(after.entries_unlinked, before.entries_unlinked + 1);
+    std::FILE *gone = std::fopen(path.c_str(), "rb");
+    EXPECT_EQ(gone, nullptr) << "corrupt entry must be unlinked";
+    if (gone != nullptr) {
+        std::fclose(gone);
+    }
+
+    // Resynthesis path: a rewritten entry loads normally again.
+    ASSERT_TRUE(save_workload(built, path));
+    EXPECT_TRUE(load_cached_workload(path, &out));
+    EXPECT_EQ(out.content_hash, built.content_hash);
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, ChecksumDetectsTruncation)
+{
+    // A torn write (no atomic rename, power loss mid-copy): any prefix
+    // of a valid image must fail the checksum, not half-parse.
+    const Workload built = build_cnn_lstm(5, /*timesteps=*/2);
+    const std::string path =
+        ::testing::TempDir() + "/bitwave_torn.bwl";
+    ASSERT_TRUE(save_workload(built, path));
+    std::vector<char> image;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        image.resize(static_cast<std::size_t>(std::ftell(f)));
+        std::fseek(f, 0, SEEK_SET);
+        ASSERT_EQ(std::fread(image.data(), 1, image.size(), f),
+                  image.size());
+        std::fclose(f);
+    }
+    Workload out;
+    for (const std::size_t keep :
+         {image.size() - 1, image.size() / 2, std::size_t{7}}) {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(image.data(), 1, keep, f), keep);
+        std::fclose(f);
+        EXPECT_FALSE(load_workload(path, &out))
+            << "torn prefix of " << keep << " bytes must not load";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, TransientReadFaultKeepsEntry)
+{
+    // An injected transient read failure must NOT evict the (perfectly
+    // valid) cache entry: only corruption unlinks. Once the fault
+    // clears, the same entry loads normally.
+    const Workload built = build_cnn_lstm(5, /*timesteps=*/2);
+    const std::string path =
+        ::testing::TempDir() + "/bitwave_transient.bwl";
+    ASSERT_TRUE(save_workload(built, path));
+
+    fault::configure("workload_io.read=1:transient", /*seed=*/1);
+    const WorkloadIoCounters before = workload_io_counters();
+    Workload out;
+    EXPECT_FALSE(load_cached_workload(path, &out));
+    fault::reset();
+    const WorkloadIoCounters after = workload_io_counters();
+    EXPECT_EQ(after.read_faults, before.read_faults + 1);
+    EXPECT_EQ(after.entries_unlinked, before.entries_unlinked);
+
+    EXPECT_TRUE(load_cached_workload(path, &out))
+        << "entry must survive a transient read failure";
+    EXPECT_EQ(out.content_hash, built.content_hash);
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, WriteFaultFailsSoft)
+{
+    // An injected write failure is a cold miss, not an error: save
+    // reports false, counts it, and leaves no file behind.
+    const Workload built = build_cnn_lstm(5, /*timesteps=*/2);
+    const std::string path =
+        ::testing::TempDir() + "/bitwave_failed_save.bwl";
+    fault::configure("workload_io.write=1:transient", /*seed=*/1);
+    const WorkloadIoCounters before = workload_io_counters();
+    EXPECT_FALSE(save_workload(built, path));
+    fault::reset();
+    const WorkloadIoCounters after = workload_io_counters();
+    EXPECT_EQ(after.save_failures, before.save_failures + 1);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_EQ(f, nullptr);
+    if (f != nullptr) {
+        std::fclose(f);
+    }
 }
 
 TEST(WorkloadIo, StaleTempFileCleanup)

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -353,6 +354,39 @@ TEST(Service, GenerousDeadlineDoesNotFire)
     EvalTicket ticket = svc.submit(tiny_scenario(net, make_scnn()),
                                    deadline);
     svc.pump();
+    EXPECT_EQ(ticket.status(), TicketStatus::kDone);
+}
+
+// Regression: deadline arithmetic must saturate, not overflow. A huge
+// relative deadline (or infinity) added to steady_clock::now() would
+// wrap negative and expire instantly; it must instead mean "never".
+TEST(Service, HugeDeadlineSaturatesInsteadOfOverflowing)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(8));
+    for (const double seconds :
+         {1e18, 1e300, std::numeric_limits<double>::infinity()}) {
+        SubmitOptions deadline;
+        deadline.deadline_seconds = seconds;
+        EvalTicket ticket = svc.submit(tiny_scenario(net, make_scnn()),
+                                       deadline);
+        svc.pump();
+        EXPECT_EQ(ticket.status(), TicketStatus::kDone)
+            << "deadline_seconds = " << seconds;
+    }
+    EXPECT_EQ(svc.stats().deadline_expired, 0u);
+}
+
+// Regression: wait_for with an absurd bound must behave as wait(), not
+// overflow into an immediate timeout.
+TEST(Service, WaitForHugeTimeoutActsAsUnboundedWait)
+{
+    const auto net = tiny_net();
+    ServiceOptions options = pump_options(8);
+    options.dispatchers = 1;
+    EvalService svc(options);
+    EvalTicket ticket = svc.submit(tiny_scenario(net, make_scnn()));
+    EXPECT_TRUE(ticket.wait_for(1e18));
     EXPECT_EQ(ticket.status(), TicketStatus::kDone);
 }
 
