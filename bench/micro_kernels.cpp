@@ -8,9 +8,11 @@
  * measure/compress, mapping cycle statistics, sparsity, Bit-Flip), and
  * verifies bit-identical results in the same run, and closes with a
  * `runner_scaling` row timing the work-stealing runner core serial vs
- * parallel on a warm batch plus a `fault_branch` row measuring the
- * cost of a disarmed fault point (the robustness layer's zero-overhead
- * claim). Emits BENCH_micro_kernels.json; CI validates the JSON and
+ * parallel on a warm batch plus `fault_branch` / `metrics_record` rows
+ * measuring the cost of a disarmed fault point and a disarmed gated
+ * histogram record (the robustness and observability layers'
+ * zero-overhead claims). Emits BENCH_micro_kernels.json; CI validates
+ * the JSON and
  * the equivalence flags like the other bench reports.
  */
 #include <algorithm>
@@ -22,6 +24,7 @@
 #include "bench_util.hpp"
 #include "bitflip/bitflip.hpp"
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "compress/bcs.hpp"
 #include "compress/csr.hpp"
@@ -328,6 +331,52 @@ main()
         guard = acc;
         report(json, table, "fault_branch", bare_ms, pointed_ms, true);
         json.param("fault_branch_ns_per_check",
+                   (pointed_ms - bare_ms) * 1e6 /
+                       static_cast<double>(kIters));
+    }
+
+    // ----------------------------------------------- metrics record ---
+    // Cost of a *disarmed* gated-histogram record — the observability
+    // layer's zero-overhead claim mirrors the fault-branch one: every
+    // hot path carries its histogram, and while metrics are off the
+    // record is one relaxed load + never-taken branch. "scalar" is the
+    // bare loop, "packed" the same loop with a record() in the body.
+    {
+        metrics::set_enabled(false);  // defeat any BITWAVE_METRICS arm
+        metrics::Histogram &hist =
+            metrics::histogram("bench.metrics_record");
+        const std::uint64_t before = hist.snapshot().count;
+        constexpr std::size_t kIters = 50'000'000;
+        volatile std::uint64_t guard = 0;
+        std::uint64_t acc = 0;
+        const double bare_ms = time_ms(
+            [&] {
+                std::uint64_t sum = 0;
+                for (std::size_t i = 0; i < kIters; ++i) {
+                    sum += i ^ guard;
+                }
+                acc ^= sum;
+            },
+            1);
+        const double pointed_ms = time_ms(
+            [&] {
+                std::uint64_t sum = 0;
+                for (std::size_t i = 0; i < kIters; ++i) {
+                    hist.record(i & 0xFF);  // no-op while disarmed
+                    sum += i ^ guard;
+                }
+                acc ^= sum;
+            },
+            1);
+        guard = acc;
+        // Disarmed records must not land; one armed record must.
+        bool ok = hist.snapshot().count == before;
+        metrics::set_enabled(true);
+        hist.record(42);
+        ok = ok && hist.snapshot().count == before + 1;
+        metrics::set_enabled(false);
+        report(json, table, "metrics_record", bare_ms, pointed_ms, ok);
+        json.param("metrics_disarmed_ns_per_record",
                    (pointed_ms - bare_ms) * 1e6 /
                        static_cast<double>(kIters));
     }

@@ -21,13 +21,18 @@
  *
  * Emits BENCH_runner_scaling.json; CI validates the row keys and
  * bit-identity always, and gates the 8-thread parallel efficiency when
- * the runner machine actually has that many cores.
+ * the runner machine actually has that many cores.  `--metrics` arms
+ * the registry and prints the Prometheus snapshot after the sweep;
+ * `--trace <path>` records runner spans and writes Chrome trace JSON.
  */
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 using namespace bitwave;
 
@@ -108,8 +113,25 @@ make_timed_batch(std::uint64_t point)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool print_metrics = false;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--metrics") {
+            print_metrics = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[i + 1];
+            ++i;
+        }
+    }
+    if (print_metrics) {
+        metrics::set_enabled(true);
+    }
+    if (!trace_path.empty() && !trace::enabled()) {
+        trace::start();
+    }
     bench::banner("Runner scaling",
                   "work-stealing vs static-slice strong scaling, "
                   "bit-identity across thread counts");
@@ -209,5 +231,15 @@ main()
                 "batches so the content caches cannot serve a previous "
                 "point's work. Thread counts above the core count "
                 "measure oversubscription, not scaling.\n", hw);
+    if (!trace_path.empty()) {
+        const std::size_t written = trace::write_json(trace_path);
+        std::printf("\nwrote %zu trace events to %s\n", written,
+                    trace_path.c_str());
+    }
+    if (print_metrics) {
+        std::printf("\n%s",
+                    metrics::render_prometheus(metrics::snapshot())
+                        .c_str());
+    }
     return all_identical ? 0 : 1;
 }

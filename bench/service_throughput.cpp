@@ -16,11 +16,21 @@
  * gate on the service determinism contract (dedup, dynamic batching and
  * steal order are pure scheduling).
  *
- * A third replay runs the same trace under a seeded 1% wildcard
+ * A third replay runs the trace with the observability layer fully
+ * armed (metrics + request-span tracing) through another fresh
+ * service: `bit_identical_traced` gates that instrumentation never
+ * changes results, the Chrome trace-event JSON for the whole replay
+ * lands in `--trace <path>` (default service_throughput_trace.json),
+ * and `trace_overhead_frac` reports the armed-vs-warm wall ratio.
+ * The warm service's always-on phase histograms decompose latency
+ * into queue-wait / batch-form / compute p50/p90/p99 JSON keys.
+ *
+ * A fourth replay runs the same trace under a seeded 1% wildcard
  * transient fault storm (`--faults [seed]` picks the storm seed; CI
  * sweeps it): the self-healing layer retries, bisects and quarantines,
  * and `bit_identical_under_faults` — every completion still matching
- * the direct goldens — is the second hard gate.
+ * the direct goldens — is the second hard gate.  `--metrics` prints
+ * the full Prometheus snapshot after the run.
  */
 #include <algorithm>
 #include <cstdlib>
@@ -29,6 +39,8 @@
 
 #include "bench_util.hpp"
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 using namespace bitwave;
 
@@ -52,9 +64,17 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t fault_seed = 0x5eed;
+    bool print_metrics = false;
+    std::string trace_path = "service_throughput_trace.json";
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--faults" && i + 1 < argc) {
+        const std::string arg = argv[i];
+        if (arg == "--faults" && i + 1 < argc) {
             fault_seed = std::strtoull(argv[i + 1], nullptr, 0);
+            ++i;
+        } else if (arg == "--metrics") {
+            print_metrics = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[i + 1];
             ++i;
         }
     }
@@ -138,6 +158,49 @@ main(int argc, char **argv)
         }
     }
 
+    // Traced replay: the same trace with metrics and span tracing
+    // fully armed, through another fresh service.  Instrumentation
+    // must be pure observation — every completion still matches the
+    // goldens — and its wall-clock cost is reported (not gated; CI
+    // runners are too noisy for a hard timing gate).
+    const bool trace_env_armed = trace::enabled();
+    if (!trace_env_armed) {
+        trace::clear();
+        trace::start();
+    }
+    const bool metrics_env_armed = metrics::enabled();
+    metrics::set_enabled(true);
+    service::EvalService traced_svc(bench_service_options());
+    const auto traced_replay = bench::replay_trace(traced_svc, trace);
+    metrics::set_enabled(metrics_env_armed);
+    if (!trace_env_armed) {
+        trace::stop();
+    }
+    bool bit_identical_traced = true;
+    std::size_t traced_done = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto &ticket = traced_replay.tickets[i];
+        if (ticket.status() != service::TicketStatus::kDone) {
+            continue;
+        }
+        ++traced_done;
+        const auto it =
+            golden.find(eval::scenario_fingerprint(trace[i].scenario));
+        if (it == golden.end() ||
+            !bench::identical_result(ticket.result(), it->second)) {
+            bit_identical_traced = false;
+            std::fprintf(stderr,
+                         "TRACED MISMATCH: request %zu (%s) differs "
+                         "from the untraced golden\n", i,
+                         trace[i].scenario.name().c_str());
+        }
+    }
+    const std::size_t trace_events = trace::snapshot_events().size();
+    const std::size_t trace_written = trace::write_json(trace_path);
+    const double trace_overhead_frac = replay.wall_seconds > 0.0
+        ? traced_replay.wall_seconds / replay.wall_seconds - 1.0
+        : 0.0;
+
     // Fault-storm replay: the same trace under a seeded 1% wildcard
     // transient storm. The robustness gate: the service self-heals
     // (retry, bisection, quarantine) and everything it completes is
@@ -203,6 +266,25 @@ main(int argc, char **argv)
     json.param("steals", stats.steals);
     json.param("peak_queue_depth", stats.peak_queue_depth);
     json.param("bit_identical", bit_identical);
+    // Latency decomposition from the warm service's always-on phase
+    // histograms (nanosecond samples, reported in ms).
+    const auto phase_ms = [](const metrics::HistogramSnapshot &h,
+                             double q) { return h.quantile(q) / 1e6; };
+    json.param("queue_wait_p50_ms", phase_ms(stats.queue_wait_ns, 0.50));
+    json.param("queue_wait_p90_ms", phase_ms(stats.queue_wait_ns, 0.90));
+    json.param("queue_wait_p99_ms", phase_ms(stats.queue_wait_ns, 0.99));
+    json.param("batch_p50_ms", phase_ms(stats.batch_ns, 0.50));
+    json.param("batch_p90_ms", phase_ms(stats.batch_ns, 0.90));
+    json.param("batch_p99_ms", phase_ms(stats.batch_ns, 0.99));
+    json.param("compute_p50_ms", phase_ms(stats.compute_ns, 0.50));
+    json.param("compute_p90_ms", phase_ms(stats.compute_ns, 0.90));
+    json.param("compute_p99_ms", phase_ms(stats.compute_ns, 0.99));
+    json.param("traced_wall_s", traced_replay.wall_seconds);
+    json.param("traced_completed", traced_done);
+    json.param("trace_overhead_frac", trace_overhead_frac);
+    json.param("trace_events", trace_events);
+    json.param("trace_path", trace_path);
+    json.param("bit_identical_traced", bit_identical_traced);
     json.param("fault_seed", fault_seed);
     json.param("faults_injected", faults_injected);
     json.param("fault_completed", fault_done);
@@ -234,6 +316,26 @@ main(int argc, char **argv)
                                                 stats.batches)
                                         : 0.0)});
     t.add_row({"bit-identical vs direct", bit_identical ? "yes" : "NO"});
+    t.add_row({"phase p50/p99 (queue)",
+               strprintf("%.2f / %.2f ms",
+                         phase_ms(stats.queue_wait_ns, 0.50),
+                         phase_ms(stats.queue_wait_ns, 0.99))});
+    t.add_row({"phase p50/p99 (batch)",
+               strprintf("%.2f / %.2f ms", phase_ms(stats.batch_ns, 0.50),
+                         phase_ms(stats.batch_ns, 0.99))});
+    t.add_row({"phase p50/p99 (compute)",
+               strprintf("%.2f / %.2f ms",
+                         phase_ms(stats.compute_ns, 0.50),
+                         phase_ms(stats.compute_ns, 0.99))});
+    t.add_row({"traced wall (metrics+spans)",
+               strprintf("%.2fs (%+.1f%% vs warm)",
+                         traced_replay.wall_seconds,
+                         trace_overhead_frac * 100.0)});
+    t.add_row({"trace events",
+               strprintf("%zu (%zu written to %s)", trace_events,
+                         trace_written, trace_path.c_str())});
+    t.add_row({"bit-identical traced",
+               bit_identical_traced ? "yes" : "NO"});
     t.add_row({"fault storm (1% transient)",
                strprintf("seed %llu, %llu injected",
                          static_cast<unsigned long long>(fault_seed),
@@ -253,5 +355,13 @@ main(int argc, char **argv)
                 "submissions onto in-flight twins.\n",
                 static_cast<unsigned long long>(stats.dedup_hits),
                 static_cast<unsigned long long>(stats.submitted));
-    return (bit_identical && bit_identical_under_faults) ? 0 : 1;
+    if (print_metrics) {
+        std::printf("\n%s",
+                    metrics::render_prometheus(metrics::snapshot())
+                        .c_str());
+    }
+    return (bit_identical && bit_identical_traced &&
+            bit_identical_under_faults)
+        ? 0
+        : 1;
 }

@@ -10,6 +10,7 @@
 #include "common/env.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 
 namespace bitwave {
 
@@ -84,11 +85,14 @@ struct Registry
     bool has_wildcard = false;
     SpecEntry wildcard;
     std::atomic<std::uint64_t> seed{0};
-    std::atomic<std::uint64_t> fired{0};
-    std::atomic<std::uint64_t> transients{0};
-    std::atomic<std::uint64_t> errors{0};
-    std::atomic<std::uint64_t> delays{0};
-    std::atomic<std::uint64_t> checks{0};
+    /// Aggregate tallies live in the global metrics registry
+    /// (fault.*); fault::stats() is a thin view over them. They are
+    /// monotonic across configure()/reset() just like before.
+    metrics::Counter &fired = metrics::counter("fault.fired");
+    metrics::Counter &transients = metrics::counter("fault.transients");
+    metrics::Counter &errors = metrics::counter("fault.errors");
+    metrics::Counter &delays = metrics::counter("fault.delays");
+    metrics::Counter &checks = metrics::counter("fault.checks");
 };
 
 Registry &
@@ -244,7 +248,7 @@ fire(std::size_t id, std::uint64_t context)
         return false;
     }
     point.checks.fetch_add(1, std::memory_order_relaxed);
-    r.checks.fetch_add(1, std::memory_order_relaxed);
+    r.checks.inc();
     double probability = 0.0;
     __builtin_memcpy(&probability, &bits, sizeof(probability));
     const std::uint64_t n =
@@ -254,21 +258,21 @@ fire(std::size_t id, std::uint64_t context)
         return false;
     }
     point.fired.fetch_add(1, std::memory_order_relaxed);
-    r.fired.fetch_add(1, std::memory_order_relaxed);
+    r.fired.inc();
     switch (static_cast<FaultKind>(
         point.config.kind.load(std::memory_order_relaxed))) {
       case FaultKind::kTransient:
-        r.transients.fetch_add(1, std::memory_order_relaxed);
+        r.transients.inc();
         throw FaultError(ErrorKind::kTransient,
                          strprintf("injected transient fault at %s "
                                    "(draw %llu)",
                                    point.name.c_str(),
                                    static_cast<unsigned long long>(n)));
       case FaultKind::kError:
-        r.errors.fetch_add(1, std::memory_order_relaxed);
+        r.errors.inc();
         return true;
       case FaultKind::kDelay:
-        r.delays.fetch_add(1, std::memory_order_relaxed);
+        r.delays.inc();
         std::this_thread::sleep_for(std::chrono::nanoseconds(
             point.config.delay_ns.load(std::memory_order_relaxed)));
         return false;
@@ -350,13 +354,14 @@ configure_from_env()
 FaultStats
 stats()
 {
+    // Thin view over the fault.* registry counters.
     Registry &r = registry();
     FaultStats s;
-    s.checks = r.checks.load(std::memory_order_relaxed);
-    s.fired = r.fired.load(std::memory_order_relaxed);
-    s.transients = r.transients.load(std::memory_order_relaxed);
-    s.errors = r.errors.load(std::memory_order_relaxed);
-    s.delays = r.delays.load(std::memory_order_relaxed);
+    s.checks = r.checks.value();
+    s.fired = r.fired.value();
+    s.transients = r.transients.value();
+    s.errors = r.errors.value();
+    s.delays = r.delays.value();
     return s;
 }
 

@@ -1,5 +1,7 @@
 #include "common/logging.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -31,6 +33,10 @@ sink_slot()
 }
 
 /// Single choke point: every message lands here under the log mutex.
+/// Custom sinks receive the raw message; only the default stderr sink
+/// prepends the monotonic stamp + thread ordinal, so sink-capturing
+/// tests (and warn_once dedup, keyed before any stamping) stay
+/// byte-stable.
 void
 emit(LogLevel level, const char *prefix, const std::string &message)
 {
@@ -40,7 +46,8 @@ emit(LogLevel level, const char *prefix, const std::string &message)
         sink(level, message);
         return;
     }
-    std::fprintf(stderr, "%s: %s\n", prefix, message.c_str());
+    std::fprintf(stderr, "[%12.6f t%02d] %s: %s\n", log_uptime_seconds(),
+                 thread_ordinal(), prefix, message.c_str());
 }
 
 std::string
@@ -158,6 +165,24 @@ strprintf(const char *fmt, ...)
     std::string out = vformat(fmt, args);
     va_end(args);
     return out;
+}
+
+int
+thread_ordinal()
+{
+    static std::atomic<int> next{0};
+    thread_local const int ordinal =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal;
+}
+
+double
+log_uptime_seconds()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
 }
 
 }  // namespace bitwave

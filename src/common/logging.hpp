@@ -62,4 +62,16 @@ void warn_once(const char *key, const char *fmt, ...);
 /// Printf-style formatting into a std::string.
 std::string strprintf(const char *fmt, ...);
 
+/**
+ * Small sequential ordinal of the calling thread (0, 1, 2, … in
+ * first-use order). Stable for the thread's lifetime; shared by the
+ * default log sink's stamps and the trace exporter's `tid` field so a
+ * log line and a trace row from the same thread carry the same id.
+ */
+int thread_ordinal();
+
+/// Monotonic seconds since the process started (the default log
+/// sink's timestamp base).
+double log_uptime_seconds();
+
 }  // namespace bitwave

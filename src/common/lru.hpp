@@ -34,9 +34,12 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/metrics.hpp"
 
 namespace bitwave {
 
@@ -167,10 +170,22 @@ class ShardedLruCache
     /**
      * @p capacity total entries (distributed over the shards, at least
      * one each); @p shards a power-of-two shard count, 0 = the
-     * BITWAVE_CACHE_SHARDS / hardware default.
+     * BITWAVE_CACHE_SHARDS / hardware default. A non-null
+     * @p metric_name publishes the cache's hit/miss/eviction counters
+     * as `cache.<metric_name>.{hits,misses,evictions}` in the global
+     * metrics registry (the hits()/misses()/evictions() accessors then
+     * read the registry counters, and snapshots/Prometheus dumps see
+     * this cache by name).
      */
-    explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 0)
+    explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 0,
+                             const char *metric_name = nullptr)
     {
+        if (metric_name != nullptr) {
+            const std::string prefix = std::string("cache.") + metric_name;
+            hits_ = &metrics::counter(prefix + ".hits");
+            misses_ = &metrics::counter(prefix + ".misses");
+            evictions_ = &metrics::counter(prefix + ".evictions");
+        }
         if (shards == 0) {
             shards = cache_shards_from_env();
         }
@@ -224,7 +239,7 @@ class ShardedLruCache
                 evict_oldest(shard);
             }
         }
-        (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+        (hit ? *hits_ : *misses_).inc();
         if (was_hit != nullptr) {
             *was_hit = hit;
         }
@@ -250,15 +265,15 @@ class ShardedLruCache
     std::size_t shards() const { return shards_.size(); }
     std::int64_t hits() const
     {
-        return hits_.load(std::memory_order_relaxed);
+        return static_cast<std::int64_t>(hits_->value());
     }
     std::int64_t misses() const
     {
-        return misses_.load(std::memory_order_relaxed);
+        return static_cast<std::int64_t>(misses_->value());
     }
     std::int64_t evictions() const
     {
-        return evictions_.load(std::memory_order_relaxed);
+        return static_cast<std::int64_t>(evictions_->value());
     }
 
   private:
@@ -310,16 +325,22 @@ class ShardedLruCache
         }
         if (oldest != shard.map.end()) {
             shard.map.erase(oldest);
-            evictions_.fetch_add(1, std::memory_order_relaxed);
+            evictions_->inc();
         }
     }
 
     std::vector<std::unique_ptr<Shard>> shards_;
     std::size_t shard_capacity_ = 1;
     std::atomic<std::uint64_t> tick_{0};
-    std::atomic<std::int64_t> hits_{0};
-    std::atomic<std::int64_t> misses_{0};
-    std::atomic<std::int64_t> evictions_{0};
+    /// Unnamed caches count into their own private counters; named
+    /// ones point at registry counters (stable addresses, never
+    /// freed).
+    metrics::Counter own_hits_;
+    metrics::Counter own_misses_;
+    metrics::Counter own_evictions_;
+    metrics::Counter *hits_ = &own_hits_;
+    metrics::Counter *misses_ = &own_misses_;
+    metrics::Counter *evictions_ = &own_evictions_;
 };
 
 }  // namespace bitwave

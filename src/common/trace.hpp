@@ -1,0 +1,151 @@
+#pragma once
+
+// Request-span tracing into per-thread ring buffers, exported as
+// Chrome trace-event JSON (open the file in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Disarmed cost is one relaxed atomic load per span/instant — tracing
+// is off unless BITWAVE_TRACE=<path> is set (which also registers an
+// atexit exporter) or trace::start() is called.  Each thread owns a
+// fixed-capacity ring (BITWAVE_TRACE_EVENTS, default 32768 events);
+// when a ring wraps, the oldest events are overwritten and counted in
+// dropped_events().  Buffers are kept alive in a global registry so
+// events from exited worker threads still appear in the export.
+//
+// Timestamps come from a swappable clock (set_clock) so tests can pin
+// span structure exactly; the default clock is steady nanoseconds
+// since process start.  Event name/category/arg-name strings must be
+// string literals (the ring stores the pointers) — dynamic payloads
+// travel in the two u64 args.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitwave::trace {
+
+/// Swappable time source returning nanoseconds.  nullptr restores the
+/// default steady-clock-since-process-start source.
+using ClockFn = std::uint64_t (*)();
+
+void set_clock(ClockFn fn);
+
+/// Nanoseconds from the active clock (used for every span stamp, and
+/// by the service's phase histograms so traced spans and histogram
+/// samples agree).
+std::uint64_t now_ns();
+
+inline std::atomic<bool> g_enabled{false};
+
+/// True while event recording is armed.
+inline bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void start();
+void stop();
+
+/// Drop all buffered events (buffers stay registered) and reset the
+/// dropped-event count.
+void clear();
+
+/// One recorded event.  Trivially copyable; strings are borrowed
+/// literals.
+struct Event
+{
+    const char *name = nullptr;
+    const char *cat = nullptr;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;
+    char phase = 'X'; // 'X' complete, 'i' instant
+    const char *arg0_name = nullptr;
+    std::uint64_t arg0 = 0;
+    const char *arg1_name = nullptr;
+    std::uint64_t arg1 = 0;
+};
+
+/// Record a complete ('X') event with explicit stamps.  No-op while
+/// disarmed.
+void emit_complete(const char *name, const char *cat, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns, const char *arg0_name = nullptr,
+                   std::uint64_t arg0 = 0, const char *arg1_name = nullptr,
+                   std::uint64_t arg1 = 0);
+
+/// Record an instant ('i') event stamped with now_ns().  No-op while
+/// disarmed.
+void instant(const char *name, const char *cat,
+             const char *arg0_name = nullptr, std::uint64_t arg0 = 0,
+             const char *arg1_name = nullptr, std::uint64_t arg1 = 0);
+
+/// RAII complete-event span: stamps on construction, emits on
+/// destruction.  Checks enabled() once, in the constructor.
+class Span
+{
+  public:
+    Span(const char *name, const char *cat)
+    {
+        if (enabled()) {
+            name_ = name;
+            cat_ = cat;
+            start_ns_ = now_ns();
+        }
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /// Attach up to two named u64 arguments.
+    void arg(const char *name, std::uint64_t value)
+    {
+        if (name_ == nullptr) {
+            return;
+        }
+        if (arg0_name_ == nullptr) {
+            arg0_name_ = name;
+            arg0_ = value;
+        } else if (arg1_name_ == nullptr) {
+            arg1_name_ = name;
+            arg1_ = value;
+        }
+    }
+
+    ~Span()
+    {
+        if (name_ != nullptr) {
+            emit_complete(name_, cat_, start_ns_, now_ns() - start_ns_,
+                          arg0_name_, arg0_, arg1_name_, arg1_);
+        }
+    }
+
+  private:
+    const char *name_ = nullptr;
+    const char *cat_ = nullptr;
+    std::uint64_t start_ns_ = 0;
+    const char *arg0_name_ = nullptr;
+    std::uint64_t arg0_ = 0;
+    const char *arg1_name_ = nullptr;
+    std::uint64_t arg1_ = 0;
+};
+
+/// Copy of every buffered event across all threads, sorted by ts_ns.
+std::vector<Event> snapshot_events();
+
+/// Events overwritten by ring wraparound since the last clear().
+std::uint64_t dropped_events();
+
+/// Ring capacity (events per thread) for buffers created after the
+/// call.  Existing thread buffers keep their size.  Tests use this to
+/// exercise wraparound cheaply.
+void set_ring_capacity(std::size_t events);
+
+/// Write all buffered events as Chrome trace-event JSON.  Returns the
+/// number of events written; 0 with a warning when the file cannot be
+/// opened.
+std::size_t write_json(const std::string &path);
+
+} // namespace bitwave::trace

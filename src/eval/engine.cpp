@@ -153,7 +153,7 @@ layer_stats(const Scenario &scenario, const WorkloadLayer &layer,
     }
 
     static ShardedLruCache<std::uint64_t, LayerStatsEval> memo(
-        cache_capacity_from_env(256));
+        cache_capacity_from_env(256), 0, "stats_memo");
     bool was_hit = false;
     auto stats = memo.get_or_build(
         key, [&] { return build_layer_stats(spec, w, weights_hash); },

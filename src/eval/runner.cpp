@@ -10,7 +10,9 @@
 
 #include "common/fault.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "common/worksteal.hpp"
 
 namespace bitwave::eval {
@@ -22,6 +24,26 @@ seconds_since(std::chrono::steady_clock::time_point t0)
 {
     return std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Registry handles, resolved once: the runner mirrors its per-batch
+/// report counters into runner.* so a metrics snapshot sees scheduler
+/// behavior without holding a RunnerReport.
+struct RunnerMetrics
+{
+    metrics::Counter &batches = metrics::counter("runner.batches");
+    metrics::Counter &chunks = metrics::counter("runner.chunks");
+    metrics::Counter &steals = metrics::counter("runner.steals");
+    metrics::Histogram &chunk_ns = metrics::histogram("runner.chunk_ns");
+    metrics::Histogram &batch_wall_ns =
+        metrics::histogram("runner.batch_wall_ns");
+};
+
+RunnerMetrics &
+runner_metrics()
+{
+    static RunnerMetrics m;
+    return m;
 }
 
 /**
@@ -121,6 +143,8 @@ ScenarioRunner::run_seeded(const std::vector<Scenario> &scenarios,
     const int prep_threads = effective_threads(n);
     parallel_for(n, [&](std::size_t i) {
         check_cancel();
+        trace::Span span("runner.prepare", "runner");
+        span.arg("scenario", i);
         const auto p0 = std::chrono::steady_clock::now();
         seeds[i] = seed_overrides.empty()
             ? scenario_rng_seed(scenarios[i], i)
@@ -174,14 +198,24 @@ ScenarioRunner::run_seeded(const std::vector<Scenario> &scenarios,
             // (`runner.chunk@<label>=1:transient`).
             BITWAVE_FAULT_INJECT_CTX(
                 "runner.chunk", fault::context_tag(scenarios[i].label));
+            const std::uint64_t tr0 =
+                trace::enabled() ? trace::now_ns() : 0;
             const auto s0 = std::chrono::steady_clock::now();
             auto evals = evaluate_layer_range(scenarios[i], preps[i],
                                               seeds[i], local_begin,
                                               local_end);
-            eval_nanos[i].fetch_add(
+            const std::int64_t chunk_nanos =
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - s0).count(),
-                std::memory_order_relaxed);
+                    std::chrono::steady_clock::now() - s0).count();
+            eval_nanos[i].fetch_add(chunk_nanos,
+                                    std::memory_order_relaxed);
+            runner_metrics().chunk_ns.record(
+                static_cast<std::uint64_t>(chunk_nanos));
+            if (tr0 != 0) {
+                trace::emit_complete("runner.chunk", "runner", tr0,
+                                     trace::now_ns() - tr0, "scenario", i,
+                                     "layers", local_end - local_begin);
+            }
             auto &slot = layer_results[i];
             for (std::size_t k = 0; k < evals.size(); ++k) {
                 slot[local_begin + k] = std::move(evals[k]);
@@ -264,6 +298,8 @@ ScenarioRunner::run_seeded(const std::vector<Scenario> &scenarios,
 
     // Phase C — deterministic reduction: totals accumulate in layer
     // order inside finalize_scenario, independent of chunk boundaries.
+    trace::Span finalize_span("runner.finalize", "runner");
+    finalize_span.arg("scenarios", n);
     std::vector<ScenarioResult> results(n);
     int chunk_count = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -276,12 +312,22 @@ ScenarioRunner::run_seeded(const std::vector<Scenario> &scenarios,
             (preps[i].layers.size() + grain - 1) / grain);
     }
 
+    const double wall_seconds = seconds_since(t0);
+    RunnerMetrics &rm = runner_metrics();
+    rm.batches.inc();
+    rm.chunks.inc(static_cast<std::uint64_t>(std::max<std::int64_t>(
+        sched.chunks, 0)));
+    rm.steals.inc(static_cast<std::uint64_t>(std::max<std::int64_t>(
+        sched.steals, 0)));
+    rm.batch_wall_ns.record(
+        static_cast<std::uint64_t>(wall_seconds * 1e9));
+
     if (report != nullptr) {
         report->threads_used = threads;
         report->shards = chunk_count;
         report->chunks = sched.chunks;
         report->steals = sched.steals;
-        report->wall_seconds = seconds_since(t0);
+        report->wall_seconds = wall_seconds;
         report->scenario_seconds_sum = 0.0;
         for (const auto &r : results) {
             report->scenario_seconds_sum += r.wall_seconds;

@@ -311,7 +311,7 @@ cached_bitflip(const Int8Tensor &weights, std::uint64_t weights_hash,
     // limit — in-flight holders keep an evicted tensor alive until they
     // drop it.
     static ShardedLruCache<std::uint64_t, Int8Tensor> cache(
-        cache_capacity_from_env(256));
+        cache_capacity_from_env(256), 0, "bitflip_twins");
     return cache.get_or_build(key, [&] {
         return bitflip_tensor(weights, group, zero_cols);
     });

@@ -16,6 +16,7 @@
 #include "common/fault.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 
 namespace bitwave {
 
@@ -28,15 +29,23 @@ constexpr std::uint32_t kMagic = 0x42574c44;  // "BWLD"
 // entries.
 constexpr std::uint32_t kVersion = 3;
 
+/// Counters live in the global metrics registry (workload_io.*);
+/// this struct caches the handles so bump sites stay one relaxed
+/// fetch_add.
 struct Counters
 {
-    std::atomic<std::uint64_t> loads{0};
-    std::atomic<std::uint64_t> load_failures{0};
-    std::atomic<std::uint64_t> read_faults{0};
-    std::atomic<std::uint64_t> corruption_detected{0};
-    std::atomic<std::uint64_t> entries_unlinked{0};
-    std::atomic<std::uint64_t> saves{0};
-    std::atomic<std::uint64_t> save_failures{0};
+    metrics::Counter &loads = metrics::counter("workload_io.loads");
+    metrics::Counter &load_failures =
+        metrics::counter("workload_io.load_failures");
+    metrics::Counter &read_faults =
+        metrics::counter("workload_io.read_faults");
+    metrics::Counter &corruption_detected =
+        metrics::counter("workload_io.corruption_detected");
+    metrics::Counter &entries_unlinked =
+        metrics::counter("workload_io.entries_unlinked");
+    metrics::Counter &saves = metrics::counter("workload_io.saves");
+    metrics::Counter &save_failures =
+        metrics::counter("workload_io.save_failures");
 };
 
 Counters &
@@ -165,7 +174,7 @@ load_workload_impl(const std::string &path, Workload *out)
     try {
         BITWAVE_FAULT_INJECT("workload_io.read");
     } catch (const FaultError &) {
-        counters().read_faults.fetch_add(1, std::memory_order_relaxed);
+        counters().read_faults.inc();
         return LoadStatus::kTransient;
     }
     // Whole-file read; the checksum trailer is verified before any
@@ -178,7 +187,7 @@ load_workload_impl(const std::string &path, Workload *out)
             image.insert(image.end(), buf, buf + got);
         }
         if (std::ferror(f.get()) != 0) {
-            counters().read_faults.fetch_add(1, std::memory_order_relaxed);
+            counters().read_faults.inc();
             return LoadStatus::kTransient;
         }
     }
@@ -265,7 +274,7 @@ bool
 save_workload(const Workload &workload, const std::string &path)
 {
     const auto fail = [] {
-        counters().save_failures.fetch_add(1, std::memory_order_relaxed);
+        counters().save_failures.inc();
         return false;
     };
     try {
@@ -318,7 +327,7 @@ save_workload(const Workload &workload, const std::string &path)
         std::remove(tmp.c_str());
         return fail();
     }
-    counters().saves.fetch_add(1, std::memory_order_relaxed);
+    counters().saves.inc();
     return true;
 }
 
@@ -327,13 +336,12 @@ load_workload(const std::string &path, Workload *out)
 {
     const LoadStatus status = load_workload_impl(path, out);
     if (status == LoadStatus::kOk) {
-        counters().loads.fetch_add(1, std::memory_order_relaxed);
+        counters().loads.inc();
         return true;
     }
-    counters().load_failures.fetch_add(1, std::memory_order_relaxed);
+    counters().load_failures.inc();
     if (status == LoadStatus::kCorrupt) {
-        counters().corruption_detected.fetch_add(1,
-                                                 std::memory_order_relaxed);
+        counters().corruption_detected.inc();
     }
     return false;
 }
@@ -344,15 +352,15 @@ load_cached_workload(const std::string &path, Workload *out)
     const LoadStatus status = load_workload_impl(path, out);
     switch (status) {
       case LoadStatus::kOk:
-        counters().loads.fetch_add(1, std::memory_order_relaxed);
+        counters().loads.inc();
         return true;
       case LoadStatus::kMissing:
-        counters().load_failures.fetch_add(1, std::memory_order_relaxed);
+        counters().load_failures.inc();
         return false;  // normal cold miss, stay quiet
       case LoadStatus::kTransient:
         // The *read* failed, not the entry: unlinking here would throw
         // away a perfectly valid cache file because of one IO hiccup.
-        counters().load_failures.fetch_add(1, std::memory_order_relaxed);
+        counters().load_failures.inc();
         warn_once(("workload-io-read:" + path).c_str(),
                   "transient read failure on workload cache entry %s "
                   "(kept; falling back to synthesis)",
@@ -361,11 +369,11 @@ load_cached_workload(const std::string &path, Workload *out)
       case LoadStatus::kCorrupt:
         break;
     }
-    counters().load_failures.fetch_add(1, std::memory_order_relaxed);
-    counters().corruption_detected.fetch_add(1, std::memory_order_relaxed);
+    counters().load_failures.inc();
+    counters().corruption_detected.inc();
     warn("removing corrupt workload cache entry %s", path.c_str());
     if (std::remove(path.c_str()) == 0) {
-        counters().entries_unlinked.fetch_add(1, std::memory_order_relaxed);
+        counters().entries_unlinked.inc();
     }
     return false;
 }
@@ -403,17 +411,16 @@ remove_stale_temp_files(const std::string &dir, double max_age_seconds)
 WorkloadIoCounters
 workload_io_counters()
 {
+    // Thin view over the metrics registry (workload_io.* counters).
     const Counters &c = counters();
     WorkloadIoCounters out;
-    out.loads = c.loads.load(std::memory_order_relaxed);
-    out.load_failures = c.load_failures.load(std::memory_order_relaxed);
-    out.read_faults = c.read_faults.load(std::memory_order_relaxed);
-    out.corruption_detected =
-        c.corruption_detected.load(std::memory_order_relaxed);
-    out.entries_unlinked =
-        c.entries_unlinked.load(std::memory_order_relaxed);
-    out.saves = c.saves.load(std::memory_order_relaxed);
-    out.save_failures = c.save_failures.load(std::memory_order_relaxed);
+    out.loads = c.loads.value();
+    out.load_failures = c.load_failures.value();
+    out.read_faults = c.read_faults.value();
+    out.corruption_detected = c.corruption_detected.value();
+    out.entries_unlinked = c.entries_unlinked.value();
+    out.saves = c.saves.value();
+    out.save_failures = c.save_failures.value();
     return out;
 }
 

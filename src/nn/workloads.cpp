@@ -379,7 +379,8 @@ shared_workload(WorkloadId id)
     // the ~10-100 MB networks stay resident at once; rebuilds are
     // deterministic and the on-disk cache (BITWAVE_WORKLOAD_CACHE)
     // makes them cheap.
-    static ShardedLruCache<int, Workload> cache(cache_capacity_from_env(4));
+    static ShardedLruCache<int, Workload> cache(cache_capacity_from_env(4),
+                                                0, "workloads");
     return cache.get_or_build(static_cast<int>(id), [&] {
         constexpr std::uint64_t kSeed = 0x5eed;
         const std::string dir = workload_cache_dir();

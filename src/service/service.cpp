@@ -14,7 +14,9 @@
 #include "common/fault.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/trace.hpp"
 
 namespace bitwave::service {
 
@@ -67,6 +69,11 @@ struct Job
     eval::Scenario scenario;
     std::uint64_t seed = 0;  ///< Pinned standalone seed (batch-invariant).
     RetryPolicy retry;       ///< Effective policy, fixed at submit.
+    /// Trace-clock phase stamps. submit_ns is written once at
+    /// submit(); pop_ns is written by the one dispatcher that popped
+    /// the job (re-popping a retry is sequenced through the queue).
+    std::uint64_t submit_ns = 0;
+    std::uint64_t pop_ns = 0;
 
     std::mutex mutex;  // guards everything below
     std::vector<std::shared_ptr<TicketState>> subscribers;
@@ -91,9 +98,66 @@ struct QuarantineEntry
     ErrorKind kind = ErrorKind::kInternal;
 };
 
+/// Per-instance counter that mirrors every bump into a process-wide
+/// registry counter: stats() keeps reading the instance-local value
+/// (fresh services start at zero), while metrics::snapshot() sees the
+/// aggregate service.* counters across all instances. Call sites keep
+/// the plain `counter++` / `counter += n` / `counter.load()` shape of
+/// the old raw atomics.
+struct MirroredCounter
+{
+    std::atomic<std::uint64_t> local{0};
+    metrics::Counter *mirror = nullptr;
+
+    void operator++(int)
+    {
+        local.fetch_add(1, std::memory_order_relaxed);
+        if (mirror != nullptr) {
+            mirror->inc();
+        }
+    }
+
+    void operator+=(std::uint64_t n)
+    {
+        local.fetch_add(n, std::memory_order_relaxed);
+        if (mirror != nullptr) {
+            mirror->inc(n);
+        }
+    }
+
+    std::uint64_t load() const
+    {
+        return local.load(std::memory_order_relaxed);
+    }
+};
+
 struct ServiceShared
 {
-    explicit ServiceShared(std::size_t capacity) : queue(capacity) {}
+    explicit ServiceShared(std::size_t capacity) : queue(capacity)
+    {
+        submitted.mirror = &metrics::counter("service.submitted");
+        dedup_hits.mirror = &metrics::counter("service.dedup_hits");
+        completed.mirror = &metrics::counter("service.completed");
+        failed.mirror = &metrics::counter("service.failed");
+        rejected.mirror = &metrics::counter("service.rejected");
+        shed.mirror = &metrics::counter("service.shed");
+        cancelled.mirror = &metrics::counter("service.cancelled");
+        deadline_expired.mirror =
+            &metrics::counter("service.deadline_expired");
+        shutdown_discarded.mirror =
+            &metrics::counter("service.shutdown_discarded");
+        batches.mirror = &metrics::counter("service.batches");
+        batched_jobs.mirror = &metrics::counter("service.batched_jobs");
+        steals.mirror = &metrics::counter("service.steals");
+        chunks.mirror = &metrics::counter("service.chunks");
+        retries.mirror = &metrics::counter("service.retries");
+        bisections.mirror = &metrics::counter("service.bisections");
+        quarantined.mirror = &metrics::counter("service.quarantined");
+        quarantine_hits.mirror =
+            &metrics::counter("service.quarantine_hits");
+        watchdog_cancels.mirror =
+            &metrics::counter("service.watchdog_cancels");
+    }
 
     MpmcQueue<std::shared_ptr<Job>> queue;
     std::atomic<bool> abort{false};  ///< shutdown(kAbort) in progress.
@@ -119,24 +183,41 @@ struct ServiceShared
     int health_count = 0;
     std::atomic<int> health{static_cast<int>(HealthState::kHealthy)};
 
-    std::atomic<std::uint64_t> submitted{0};
-    std::atomic<std::uint64_t> dedup_hits{0};
-    std::atomic<std::uint64_t> completed{0};
-    std::atomic<std::uint64_t> failed{0};
-    std::atomic<std::uint64_t> rejected{0};
-    std::atomic<std::uint64_t> shed{0};
-    std::atomic<std::uint64_t> cancelled{0};
-    std::atomic<std::uint64_t> deadline_expired{0};
-    std::atomic<std::uint64_t> shutdown_discarded{0};
-    std::atomic<std::uint64_t> batches{0};
-    std::atomic<std::uint64_t> batched_jobs{0};
-    std::atomic<std::uint64_t> steals{0};
-    std::atomic<std::uint64_t> chunks{0};
-    std::atomic<std::uint64_t> retries{0};
-    std::atomic<std::uint64_t> bisections{0};
-    std::atomic<std::uint64_t> quarantined{0};
-    std::atomic<std::uint64_t> quarantine_hits{0};
-    std::atomic<std::uint64_t> watchdog_cancels{0};
+    MirroredCounter submitted;
+    MirroredCounter dedup_hits;
+    MirroredCounter completed;
+    MirroredCounter failed;
+    MirroredCounter rejected;
+    MirroredCounter shed;
+    MirroredCounter cancelled;
+    MirroredCounter deadline_expired;
+    MirroredCounter shutdown_discarded;
+    MirroredCounter batches;
+    MirroredCounter batched_jobs;
+    MirroredCounter steals;
+    MirroredCounter chunks;
+    MirroredCounter retries;
+    MirroredCounter bisections;
+    MirroredCounter quarantined;
+    MirroredCounter quarantine_hits;
+    MirroredCounter watchdog_cancels;
+
+    /// Per-phase latency histograms (ungated: always recorded so
+    /// stats() is populated without BITWAVE_METRICS), plus gated
+    /// registry mirrors for Prometheus/JSON export.
+    metrics::Histogram phase_queue{/*gated=*/false};
+    metrics::Histogram phase_batch{/*gated=*/false};
+    metrics::Histogram phase_compute{/*gated=*/false};
+    metrics::Histogram &mirror_queue =
+        metrics::histogram("service.queue_wait_ns");
+    metrics::Histogram &mirror_batch =
+        metrics::histogram("service.batch_ns");
+    metrics::Histogram &mirror_compute =
+        metrics::histogram("service.compute_ns");
+    /// Sampled on stats() reads; the handle is resolved here so the
+    /// stats() hot path stays allocation-free.
+    metrics::Gauge &queue_depth_gauge =
+        metrics::gauge("service.queue_depth");
 };
 
 namespace {
@@ -390,6 +471,8 @@ evaluate_jobs(const ServiceOptions &options, ServiceShared &shared,
             return;
         }
         shared.bisections++;
+        trace::instant("service.bisection", "service", "jobs",
+                       static_cast<std::uint64_t>(end - begin));
     }
     const std::size_t mid = begin + (end - begin) / 2;
     evaluate_jobs(options, shared, control, jobs, begin, mid, outcomes, agg);
@@ -629,6 +712,8 @@ EvalService::submit(const eval::Scenario &scenario,
             }
             job->subscribers.push_back(state);
             shared_->dedup_hits++;
+            trace::instant("service.dedup_hit", "service", "fingerprint",
+                           fingerprint);
             ticket.job_ = std::move(job);
             return ticket;
         }
@@ -649,6 +734,7 @@ EvalService::submit(const eval::Scenario &scenario,
         auto job = std::make_shared<detail::Job>();
         job->fingerprint = fingerprint;
         job->scenario = scenario;
+        job->submit_ns = trace::now_ns();
         // The standalone seed: what ScenarioRunner::run({scenario})
         // would derive at batch index 0. Pinning it here is what makes
         // batch composition invisible in the results.
@@ -735,17 +821,26 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
     // dispatcher threads only — linger once for company rather than
     // running a singleton batch into an idle worker pool.
     std::vector<std::shared_ptr<detail::Job>> jobs;
+    first->pop_ns = trace::now_ns();
     jobs.push_back(std::move(first));
     bool lingered = false;
     while (jobs.size() < options_.max_batch) {
         std::shared_ptr<detail::Job> next;
         if (shared_->queue.try_pop(&next)) {
+            next->pop_ns = trace::now_ns();
             jobs.push_back(std::move(next));
             continue;
         }
         if (linger && !lingered && options_.linger_seconds > 0.0) {
             lingered = true;
-            if (shared_->queue.pop_for(&next, options_.linger_seconds)) {
+            bool got = false;
+            {
+                trace::Span linger_span("service.linger", "service");
+                got = shared_->queue.pop_for(&next,
+                                             options_.linger_seconds);
+            }
+            if (got) {
+                next->pop_ns = trace::now_ns();
                 jobs.push_back(std::move(next));
                 continue;
             }
@@ -831,6 +926,7 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
     control.started = Clock::now();
     control.running.store(true, std::memory_order_release);
 
+    const std::uint64_t eval_start_ns = trace::now_ns();
     std::vector<detail::JobOutcome> outcomes(live.size());
     eval::RunnerReport agg;
     agg.steals = 0;
@@ -838,6 +934,18 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
     detail::evaluate_jobs(options_, *shared_, control, live, 0, live.size(),
                           &outcomes, &agg);
     control.running.store(false, std::memory_order_relaxed);
+    const std::uint64_t eval_end_ns = trace::now_ns();
+    if (trace::enabled()) {
+        trace::emit_complete(
+            "service.dispatch", "service", eval_start_ns,
+            eval_end_ns - eval_start_ns, "jobs",
+            static_cast<std::uint64_t>(live.size()), "chunks",
+            static_cast<std::uint64_t>(std::max<std::int64_t>(agg.chunks,
+                                                              0)));
+    }
+    const auto sub_sat = [](std::uint64_t a, std::uint64_t b) {
+        return a > b ? a - b : 0;
+    };
 
     bool any_done = false;
     std::vector<std::shared_ptr<detail::Job>> requeue;
@@ -881,6 +989,36 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
                 continue;
             }
             auto &out = outcomes[i];
+            if (out.kind == detail::JobOutcome::Kind::kOk ||
+                out.kind == detail::JobOutcome::Kind::kError) {
+                // Phase decomposition of this request's latency:
+                // submit -> pop -> evaluation start -> evaluation end.
+                const std::uint64_t queue_ns =
+                    sub_sat(job.pop_ns, job.submit_ns);
+                const std::uint64_t batch_ns =
+                    sub_sat(eval_start_ns, job.pop_ns);
+                const std::uint64_t compute_ns =
+                    sub_sat(eval_end_ns, eval_start_ns);
+                shared_->phase_queue.record(queue_ns);
+                shared_->phase_batch.record(batch_ns);
+                shared_->phase_compute.record(compute_ns);
+                shared_->mirror_queue.record(queue_ns);
+                shared_->mirror_batch.record(batch_ns);
+                shared_->mirror_compute.record(compute_ns);
+                if (trace::enabled()) {
+                    trace::emit_complete("service.queue_wait", "service",
+                                         job.submit_ns, queue_ns,
+                                         "fingerprint", job.fingerprint);
+                    trace::emit_complete("service.batch", "service",
+                                         job.pop_ns, batch_ns,
+                                         "fingerprint", job.fingerprint);
+                    trace::emit_complete(
+                        "service.compute", "service", eval_start_ns,
+                        compute_ns, "fingerprint", job.fingerprint,
+                        "attempt",
+                        static_cast<std::uint64_t>(job.attempts));
+                }
+            }
             switch (out.kind) {
               case detail::JobOutcome::Kind::kOk:
                 job.result = std::move(out.result);
@@ -904,6 +1042,10 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
                 if (out.error_kind == ErrorKind::kTransient &&
                     job.attempts < job.retry.max_attempts && !aborting) {
                     shared_->retries++;
+                    trace::instant(
+                        "service.retry", "service", "fingerprint",
+                        job.fingerprint, "attempt",
+                        static_cast<std::uint64_t>(job.attempts));
                     job.not_before = Clock::now() +
                         std::chrono::duration_cast<Clock::duration>(
                             std::chrono::duration<double>(
@@ -924,6 +1066,8 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
                     entry.kind = out.error_kind;
                     shared_->quarantine[job.fingerprint] = entry;
                     shared_->quarantined++;
+                    trace::instant("service.quarantine", "service",
+                                   "fingerprint", job.fingerprint);
                 }
                 detail::finish_job_locked(*shared_, job,
                                           TicketStatus::kFailed, out.error,
@@ -933,6 +1077,11 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
                 panic("batch job left unresolved by evaluate_jobs");
             }
         }
+    }
+    if (trace::enabled()) {
+        trace::emit_complete("service.finalize", "service", eval_end_ns,
+                             sub_sat(trace::now_ns(), eval_end_ns), "jobs",
+                             static_cast<std::uint64_t>(live.size()));
     }
 
     // Requeue retries outside jobs_mutex (push can block/throw). A
@@ -1021,6 +1170,7 @@ EvalService::watchdog_loop()
             batch->watchdog_fired.store(true, std::memory_order_relaxed);
             batch->cancel.store(true, std::memory_order_relaxed);
             shared_->watchdog_cancels++;
+            trace::instant("service.watchdog_cancel", "service");
             warn_once("service-watchdog",
                       "watchdog cancelled a batch exceeding the %.0f ms "
                       "stall budget (retrying as transient)",
@@ -1093,6 +1243,11 @@ EvalService::stats() const
     s.queue_depth = shared_->queue.size();
     s.peak_queue_depth = shared_->queue.peak_size();
     s.health = static_cast<HealthState>(shared_->health.load());
+    s.queue_wait_ns = shared_->phase_queue.snapshot();
+    s.batch_ns = shared_->phase_batch.snapshot();
+    s.compute_ns = shared_->phase_compute.snapshot();
+    shared_->queue_depth_gauge.set(
+        static_cast<std::int64_t>(s.queue_depth));
     return s;
 }
 

@@ -73,6 +73,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "eval/error.hpp"
 #include "eval/runner.hpp"
 
@@ -290,6 +291,17 @@ struct ServiceStats
     std::size_t queue_depth = 0;      ///< Current queue size.
     std::size_t peak_queue_depth = 0;
     HealthState health = HealthState::kHealthy;
+    /**
+     * Per-phase latency decomposition of evaluated requests, in
+     * nanoseconds: submit -> pop (queue_wait_ns), pop -> evaluation
+     * start (batch_ns: gather/linger/prune/backoff), and the shared
+     * runner evaluation (compute_ns). Always recorded — these are the
+     * service's own ungated histograms — and fixed-size, so stats()
+     * stays allocation-free.
+     */
+    metrics::HistogramSnapshot queue_wait_ns;
+    metrics::HistogramSnapshot batch_ns;
+    metrics::HistogramSnapshot compute_ns;
 };
 
 /// See the file comment.

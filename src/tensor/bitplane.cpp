@@ -8,6 +8,7 @@
 #include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "common/lru.hpp"
+#include "common/metrics.hpp"
 
 namespace bitwave {
 
@@ -286,7 +287,7 @@ bitplane_cache()
     // Sharded: concurrent warm lookups from the worker pool take a
     // shard's lock shared and never contend with each other.
     static ShardedLruCache<std::uint64_t, BitPlanes> cache(
-        cache_capacity_from_env(256));
+        cache_capacity_from_env(256), 0, "bitplanes");
     return cache;
 }
 
@@ -310,8 +311,13 @@ shared_bitplanes(const Int8Tensor &tensor, Representation repr,
 CacheCounters
 bitplane_cache_counters()
 {
-    const auto &cache = bitplane_cache();
-    return CacheCounters{cache.hits(), cache.misses()};
+    // Thin view over the metrics registry: the cache itself counts
+    // straight into cache.bitplanes.* (see bitplane_cache()).
+    return CacheCounters{
+        static_cast<std::int64_t>(
+            metrics::counter_value("cache.bitplanes.hits")),
+        static_cast<std::int64_t>(
+            metrics::counter_value("cache.bitplanes.misses"))};
 }
 
 }  // namespace bitwave

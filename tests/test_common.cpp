@@ -11,9 +11,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,10 +27,12 @@
 #include "common/env.hpp"
 #include "common/fault.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "common/worksteal.hpp"
 
 namespace bitwave {
@@ -685,6 +691,410 @@ TEST(Logging, SinkCapturesWarnAndWarnOnceDedupes)
     EXPECT_EQ(lines[0], "plain warning 1");
     EXPECT_EQ(lines[1], "once 2");
     EXPECT_EQ(lines[2], "other key 4");
+}
+
+TEST(Logging, ThreadOrdinalsAreStableAndDistinct)
+{
+    const int mine = thread_ordinal();
+    EXPECT_GE(mine, 0);
+    EXPECT_EQ(thread_ordinal(), mine);  // stable within a thread
+    int other = -1;
+    std::thread([&] { other = thread_ordinal(); }).join();
+    EXPECT_GE(other, 0);
+    EXPECT_NE(other, mine);
+    EXPECT_GE(log_uptime_seconds(), 0.0);
+}
+
+// ----------------------------------------------------------- metrics ---
+
+TEST(Metrics, RegistryHandlesAreStableAndShared)
+{
+    metrics::Counter &a = metrics::counter("test.metrics.counter_a");
+    metrics::Counter &b = metrics::counter("test.metrics.counter_a");
+    EXPECT_EQ(&a, &b);  // same name, same metric
+    const std::uint64_t before = a.value();
+    a.inc();
+    a.inc(4);
+    EXPECT_EQ(a.value(), before + 5);
+    EXPECT_EQ(metrics::counter_value("test.metrics.counter_a"),
+              a.value());
+    EXPECT_EQ(metrics::counter_value("test.metrics.no_such_counter"),
+              0u);
+
+    metrics::Gauge &g = metrics::gauge("test.metrics.gauge_a");
+    g.set(-7);
+    EXPECT_EQ(g.value(), -7);
+    g.add(10);
+    EXPECT_EQ(g.value(), 3);
+}
+
+TEST(Metrics, HistogramBucketsPartitionTheValueRange)
+{
+    // Values below 16 get an exact bucket each.
+    for (std::uint64_t v = 0; v < 16; ++v) {
+        EXPECT_EQ(metrics::Histogram::bucket_index(v),
+                  static_cast<int>(v));
+        EXPECT_EQ(metrics::Histogram::bucket_lower_bound(
+                      static_cast<int>(v)),
+                  v);
+    }
+    // Lower bounds strictly increase: the buckets tile the range.
+    for (int i = 1; i < metrics::kHistogramBuckets; ++i) {
+        EXPECT_LT(metrics::Histogram::bucket_lower_bound(i - 1),
+                  metrics::Histogram::bucket_lower_bound(i));
+    }
+    // Every probe value lands in the bucket whose range contains it.
+    const std::uint64_t probes[] = {16,
+                                    17,
+                                    100,
+                                    1000,
+                                    123456,
+                                    std::uint64_t{1} << 30,
+                                    (std::uint64_t{1} << 48) - 1,
+                                    std::uint64_t{1} << 60};
+    for (const std::uint64_t v : probes) {
+        const int idx = metrics::Histogram::bucket_index(v);
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(idx, metrics::kHistogramBuckets);
+        EXPECT_GE(v, metrics::Histogram::bucket_lower_bound(idx));
+        if (idx + 1 < metrics::kHistogramBuckets) {
+            EXPECT_LT(v,
+                      metrics::Histogram::bucket_lower_bound(idx + 1));
+        }
+    }
+}
+
+TEST(Metrics, GatedHistogramIsANoOpWhileDisarmed)
+{
+    const bool was_enabled = metrics::enabled();
+    metrics::set_enabled(false);
+    metrics::Histogram &gated =
+        metrics::histogram("test.metrics.gated_hist");
+    const std::uint64_t before = gated.snapshot().count;
+    gated.record(123);
+    EXPECT_EQ(gated.snapshot().count, before);  // disarmed: dropped
+    metrics::set_enabled(true);
+    gated.record(123);
+    EXPECT_EQ(gated.snapshot().count, before + 1);
+    metrics::set_enabled(false);
+
+    metrics::Histogram always{false};  // ungated: always records
+    always.record(7);
+    EXPECT_EQ(always.snapshot().count, 1u);
+    metrics::set_enabled(was_enabled);
+}
+
+TEST(Metrics, HistogramQuantilesInterpolate)
+{
+    metrics::Histogram h{false};
+    EXPECT_EQ(h.snapshot().quantile(0.5), 0.0);  // empty
+    for (std::uint64_t v = 0; v < 100; ++v) {
+        h.record(v);
+    }
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 100u);
+    EXPECT_EQ(snap.sum, 4950u);
+    EXPECT_NEAR(snap.mean(), 49.5, 1e-9);
+    // Log buckets bound the quantile error to one quarter-octave.
+    EXPECT_NEAR(snap.quantile(0.10), 10.0, 3.0);
+    EXPECT_NEAR(snap.quantile(0.50), 50.0, 13.0);
+    EXPECT_NEAR(snap.quantile(0.99), 99.0, 25.0);
+    EXPECT_LE(snap.quantile(0.25), snap.quantile(0.75));
+}
+
+TEST(Metrics, ConcurrentChurnAgainstSnapshotReadersIsExact)
+{
+    const bool was_enabled = metrics::enabled();
+    metrics::set_enabled(true);
+    metrics::Counter &c = metrics::counter("test.metrics.churn_counter");
+    metrics::Histogram &h =
+        metrics::histogram("test.metrics.churn_hist");
+    const std::uint64_t c0 = c.value();
+    const std::uint64_t h0 = h.snapshot().count;
+
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 10000;
+    std::atomic<bool> go{false};
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&] {
+            while (!go.load()) {
+                std::this_thread::yield();
+            }
+            for (int i = 0; i < kPerWriter; ++i) {
+                c.inc();
+                h.record(static_cast<std::uint64_t>(i) & 0xFF);
+            }
+        });
+    }
+    std::thread reader([&] {
+        while (!done.load()) {
+            const auto snap = metrics::snapshot();
+            (void)metrics::render_prometheus(snap);
+            (void)metrics::render_json(snap);
+            std::this_thread::yield();
+        }
+    });
+    go.store(true);
+    for (auto &w : writers) {
+        w.join();
+    }
+    done.store(true);
+    reader.join();
+
+    EXPECT_EQ(c.value(), c0 + kWriters * kPerWriter);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, h0 + kWriters * kPerWriter);
+    std::uint64_t bucket_total = 0;
+    for (const auto b : snap.buckets) {
+        bucket_total += b;
+    }
+    EXPECT_EQ(bucket_total, snap.count);
+    metrics::set_enabled(was_enabled);
+}
+
+namespace {
+
+/// True when every brace/bracket in @p s closes in order.
+bool
+balanced_json_delimiters(const std::string &s)
+{
+    std::vector<char> stack;
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (in_string) {
+            if (c == '\\') {
+                ++i;
+            } else if (c == '"') {
+                in_string = false;
+            }
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+        } else if (c == '{' || c == '[') {
+            stack.push_back(c);
+        } else if (c == '}' || c == ']') {
+            if (stack.empty()) {
+                return false;
+            }
+            const char open = stack.back();
+            stack.pop_back();
+            if ((c == '}') != (open == '{')) {
+                return false;
+            }
+        }
+    }
+    return stack.empty() && !in_string;
+}
+
+}  // namespace
+
+TEST(Metrics, RendersPrometheusAndJson)
+{
+    const bool was_enabled = metrics::enabled();
+    metrics::set_enabled(true);
+    metrics::counter("test.render.requests").inc(3);
+    metrics::gauge("test.render.depth").set(-2);
+    metrics::histogram("test.render.lat_ns").record(1000);
+    metrics::set_enabled(was_enabled);
+
+    const auto snap = metrics::snapshot();
+    const std::string prom = metrics::render_prometheus(snap);
+    EXPECT_NE(prom.find("# TYPE bitwave_test_render_requests counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("bitwave_test_render_depth -2"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE bitwave_test_render_lat_ns histogram"),
+              std::string::npos);
+    EXPECT_NE(prom.find("bitwave_test_render_lat_ns_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("bitwave_test_render_lat_ns_sum 1000"),
+              std::string::npos);
+
+    const std::string json = metrics::render_json(snap);
+    EXPECT_TRUE(balanced_json_delimiters(json)) << json;
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.render.requests\":3"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"test.render.depth\":-2"), std::string::npos);
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+// ------------------------------------------------------------- trace ---
+
+namespace {
+
+std::atomic<std::uint64_t> g_fake_ns{0};
+
+/// Deterministic test clock: each call advances time by exactly 1 µs.
+std::uint64_t
+fake_clock()
+{
+    return g_fake_ns.fetch_add(1000) + 1000;
+}
+
+}  // namespace
+
+TEST(Trace, FakeClockPinsSpanStructureExactly)
+{
+    trace::stop();
+    trace::clear();
+    g_fake_ns.store(0);
+    trace::set_clock(&fake_clock);
+    trace::start();
+    {
+        trace::Span outer("test.outer", "test");  // now_ns -> 1000
+        outer.arg("answer", 42);
+        trace::instant("test.mark", "test", "k", 7);  // now_ns -> 2000
+    }  // destructor: now_ns -> 3000
+    trace::stop();
+    trace::set_clock(nullptr);
+
+    const auto events = trace::snapshot_events();
+    ASSERT_EQ(events.size(), 2u);
+    const trace::Event &outer = events[0];
+    EXPECT_STREQ(outer.name, "test.outer");
+    EXPECT_STREQ(outer.cat, "test");
+    EXPECT_EQ(outer.phase, 'X');
+    EXPECT_EQ(outer.ts_ns, 1000u);
+    EXPECT_EQ(outer.dur_ns, 2000u);
+    EXPECT_STREQ(outer.arg0_name, "answer");
+    EXPECT_EQ(outer.arg0, 42u);
+    const trace::Event &mark = events[1];
+    EXPECT_STREQ(mark.name, "test.mark");
+    EXPECT_EQ(mark.phase, 'i');
+    EXPECT_EQ(mark.ts_ns, 2000u);
+    EXPECT_EQ(mark.arg0, 7u);
+    trace::clear();
+}
+
+TEST(Trace, DisarmedSpansRecordNothing)
+{
+    trace::stop();
+    trace::clear();
+    {
+        trace::Span span("test.disarmed", "test");
+        span.arg("x", 1);
+        trace::instant("test.disarmed_mark", "test");
+    }
+    EXPECT_TRUE(trace::snapshot_events().empty());
+    EXPECT_EQ(trace::dropped_events(), 0u);
+}
+
+TEST(Trace, RingWrapsKeepNewestEventsAndCountDrops)
+{
+    trace::stop();
+    trace::clear();
+    trace::set_ring_capacity(8);
+    trace::start();
+    // A fresh thread gets the small ring; 20 instants into 8 slots.
+    std::thread([] {
+        for (int i = 0; i < 20; ++i) {
+            trace::instant("test.wrap", "test", "i",
+                           static_cast<std::uint64_t>(i));
+        }
+    }).join();
+    trace::stop();
+    trace::set_ring_capacity(32768);
+
+    EXPECT_EQ(trace::dropped_events(), 12u);
+    std::vector<std::uint64_t> kept;
+    for (const auto &event : trace::snapshot_events()) {
+        if (std::string(event.name) == "test.wrap") {
+            kept.push_back(event.arg0);
+        }
+    }
+    ASSERT_EQ(kept.size(), 8u);  // the newest 8 survive, in order
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        EXPECT_EQ(kept[i], 12u + i);
+    }
+    trace::clear();
+}
+
+TEST(Trace, WriteJsonEmitsWellFormedChromeTrace)
+{
+    trace::stop();
+    trace::clear();
+    g_fake_ns.store(0);
+    trace::set_clock(&fake_clock);
+    trace::start();
+    {
+        trace::Span span("test.json_span", "test");
+        span.arg("x", 1);
+    }
+    trace::instant("test.json_mark", "test");
+    trace::stop();
+    trace::set_clock(nullptr);
+
+    const std::string path = "test_trace_out.json";
+    EXPECT_EQ(trace::write_json(path), 2u);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(balanced_json_delimiters(content)) << content;
+    EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(content.find("\"test.json_span\""), std::string::npos);
+    EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(content.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(content.find("\"displayTimeUnit\""), std::string::npos);
+    trace::clear();
+}
+
+TEST(Trace, ConcurrentWritersAgainstSnapshotsLoseNothing)
+{
+    trace::stop();
+    trace::clear();
+    trace::start();
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 2000;
+    std::atomic<bool> go{false};
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&] {
+            while (!go.load()) {
+                std::this_thread::yield();
+            }
+            for (int i = 0; i < kPerWriter; ++i) {
+                trace::Span span("test.churn", "test");
+                span.arg("i", static_cast<std::uint64_t>(i));
+            }
+        });
+    }
+    std::thread reader([&] {
+        while (!done.load()) {
+            (void)trace::snapshot_events();
+            std::this_thread::yield();
+        }
+    });
+    go.store(true);
+    for (auto &w : writers) {
+        w.join();
+    }
+    done.store(true);
+    reader.join();
+    trace::stop();
+
+    std::size_t churn = 0;
+    for (const auto &event : trace::snapshot_events()) {
+        if (std::string(event.name) == "test.churn") {
+            ++churn;
+        }
+    }
+    // Rings are large enough (32768 per thread) that nothing wrapped.
+    EXPECT_EQ(churn + trace::dropped_events(),
+              static_cast<std::size_t>(kWriters) * kPerWriter);
+    EXPECT_EQ(trace::dropped_events(), 0u);
+    trace::clear();
 }
 
 }  // namespace

@@ -9,14 +9,75 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <limits>
 #include <memory>
+#include <new>
 #include <thread>
 #include <vector>
 
 #include "nn/synthesis.hpp"
 #include "service/service.hpp"
+
+// Counting global allocator: the observability layer guarantees that
+// EvalService::stats() never touches the heap (it copies counters and
+// fixed-size histogram snapshots only), and a test below asserts it.
+// The replacement is process-wide, so it just counts and delegates.
+// The malloc/new pairing is intentional and self-consistent.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+static std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size == 0 ? 1 : size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size == 0 ? 1 : size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace bitwave {
 namespace {
@@ -468,6 +529,80 @@ TEST(Service, DestructorDrainsLikeGracefulShutdown)
     }
     EXPECT_EQ(ticket.status(), TicketStatus::kDone);
     EXPECT_GT(ticket.result().total_cycles, 0.0);
+}
+
+// --------------------------------------------------------- observability ---
+
+TEST(Service, PhaseHistogramsDecomposeTicketLatency)
+{
+    const auto net = tiny_net();
+    const eval::Scenario s = tiny_scenario(net, make_scnn());
+    EvalService svc(pump_options(8));
+    EvalTicket ticket = svc.submit(s);
+    EXPECT_EQ(svc.pump(), 1);
+    ASSERT_EQ(ticket.status(), TicketStatus::kDone);
+
+    const auto stats = svc.stats();
+    ASSERT_EQ(stats.queue_wait_ns.count, 1u);
+    ASSERT_EQ(stats.batch_ns.count, 1u);
+    ASSERT_EQ(stats.compute_ns.count, 1u);
+    EXPECT_GT(stats.compute_ns.sum, 0u);
+
+    // The three phases tile submit → evaluation-end, which the ticket
+    // latency bounds (finalize adds a sliver after evaluation ends;
+    // the slack allowance also absorbs clock-read granularity).
+    const double phase_sum_s =
+        (static_cast<double>(stats.queue_wait_ns.sum) +
+         static_cast<double>(stats.batch_ns.sum) +
+         static_cast<double>(stats.compute_ns.sum)) /
+        1e9;
+    const double latency_s = ticket.latency_seconds();
+    EXPECT_GT(phase_sum_s, 0.0);
+    EXPECT_LE(phase_sum_s, latency_s + 0.010);
+    EXPECT_LT(latency_s - phase_sum_s, 0.250);
+}
+
+TEST(Service, PhaseHistogramsCoverEveryCompletion)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(16));
+    std::vector<EvalTicket> tickets;
+    for (const auto &s : distinct_scenarios(net)) {
+        tickets.push_back(svc.submit(s));
+    }
+    while (svc.pump() > 0) {
+    }
+    for (auto &ticket : tickets) {
+        ASSERT_EQ(ticket.status(), TicketStatus::kDone);
+    }
+    const auto stats = svc.stats();
+    // One sample per evaluated job in every phase histogram (dedup'd
+    // twins share their job's sample).
+    EXPECT_EQ(stats.queue_wait_ns.count, stats.batched_jobs);
+    EXPECT_EQ(stats.batch_ns.count, stats.batched_jobs);
+    EXPECT_EQ(stats.compute_ns.count, stats.batched_jobs);
+}
+
+TEST(Service, StatsReadPathDoesNotAllocate)
+{
+    const auto net = tiny_net();
+    EvalService svc(pump_options(8));
+    EvalTicket ticket = svc.submit(tiny_scenario(net, make_scnn()));
+    svc.pump();
+    ticket.wait();
+
+    (void)svc.stats();  // warm: nothing lazy may remain
+    const std::uint64_t before =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto stats = svc.stats();
+        total += stats.completed + stats.queue_wait_ns.count;
+    }
+    EXPECT_EQ(g_heap_allocations.load(std::memory_order_relaxed),
+              before)
+        << "stats() allocated on the read path";
+    EXPECT_EQ(total, 200u);  // 1 completed + 1 histogram sample, x100
 }
 
 TEST(Service, StatusNamesAndTerminality)
