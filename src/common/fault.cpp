@@ -3,10 +3,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
@@ -72,18 +72,19 @@ constexpr std::size_t kMaxPoints = 256;
 
 struct Registry
 {
-    std::mutex mutex;  // guards registration + spec
+    MutexCap mutex;  ///< Guards registration + spec.
     /// Fixed slot table: fire() indexes it without the mutex, so the
     /// backing storage must never move — a growable vector's realloc
     /// would race the lock-free read. Each slot is written exactly once,
-    /// under the mutex, before its id is published to any caller.
+    /// under the mutex, before its id is published to any caller —
+    /// which is also why it is deliberately NOT GUARDED_BY(mutex).
     std::unique_ptr<Point> points[kMaxPoints];
-    std::size_t point_count = 0;  // guarded by mutex
-    std::unordered_map<std::string, std::size_t> by_name;
+    std::size_t point_count GUARDED_BY(mutex) = 0;
+    std::unordered_map<std::string, std::size_t> by_name GUARDED_BY(mutex);
     /// Armed spec, applied to points registered after configure().
-    std::unordered_map<std::string, SpecEntry> spec;
-    bool has_wildcard = false;
-    SpecEntry wildcard;
+    std::unordered_map<std::string, SpecEntry> spec GUARDED_BY(mutex);
+    bool has_wildcard GUARDED_BY(mutex) = false;
+    SpecEntry wildcard GUARDED_BY(mutex);
     std::atomic<std::uint64_t> seed{0};
     /// Aggregate tallies live in the global metrics registry
     /// (fault.*); fault::stats() is a thin view over them. They are
@@ -198,7 +199,7 @@ std::size_t
 register_point(const char *name)
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     auto it = r.by_name.find(name);
     if (it != r.by_name.end()) {
         return it->second;
@@ -284,7 +285,7 @@ void
 configure(const std::string &spec, std::uint64_t seed)
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.spec.clear();
     r.has_wildcard = false;
     r.seed.store(seed, std::memory_order_relaxed);
@@ -369,7 +370,7 @@ std::vector<PointInfo>
 points()
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     std::vector<PointInfo> out;
     out.reserve(r.point_count);
     for (std::size_t i = 0; i < r.point_count; ++i) {

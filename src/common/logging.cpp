@@ -4,32 +4,42 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace bitwave {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+/// Verbosity threshold. Atomic (relaxed) because tests flip it while
+/// worker threads log; the threshold is a monotonic filter, not a
+/// synchronisation point, so no ordering is needed.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-/// Serialises every emission and guards the sink + dedup set; fatal and
-/// panic messages flush through the same mutex so concurrent loggers
-/// never interleave lines.
-std::mutex &
-log_mutex()
+LogLevel
+level_relaxed()
 {
-    static std::mutex m;
-    return m;
+    return g_level.load(std::memory_order_relaxed);
 }
 
-LogSink &
-sink_slot()
+/// The sink and the mutex serialising every emission. One struct so
+/// the guarded_by relation is spelled in the type: fatal and panic
+/// messages flush through the same mutex, and concurrent loggers never
+/// interleave lines.
+struct LogState
 {
-    static LogSink sink;
-    return sink;
+    MutexCap mutex;
+    LogSink sink GUARDED_BY(mutex);
+};
+
+LogState &
+log_state()
+{
+    static LogState state;
+    return state;
 }
 
 /// Single choke point: every message lands here under the log mutex.
@@ -40,10 +50,10 @@ sink_slot()
 void
 emit(LogLevel level, const char *prefix, const std::string &message)
 {
-    std::lock_guard<std::mutex> lock(log_mutex());
-    LogSink &sink = sink_slot();
-    if (sink) {
-        sink(level, message);
+    LogState &state = log_state();
+    MutexLock lock(state.mutex);
+    if (state.sink) {
+        state.sink(level, message);
         return;
     }
     std::fprintf(stderr, "[%12.6f t%02d] %s: %s\n", log_uptime_seconds(),
@@ -70,28 +80,29 @@ vformat(const char *fmt, std::va_list args)
 void
 set_log_level(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 log_level()
 {
-    return g_level;
+    return level_relaxed();
 }
 
 LogSink
 set_log_sink(LogSink sink)
 {
-    std::lock_guard<std::mutex> lock(log_mutex());
-    LogSink previous = std::move(sink_slot());
-    sink_slot() = std::move(sink);
+    LogState &state = log_state();
+    MutexLock lock(state.mutex);
+    LogSink previous = std::move(state.sink);
+    state.sink = std::move(sink);
     return previous;
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::kInform) {
+    if (level_relaxed() < LogLevel::kInform) {
         return;
     }
     std::va_list args;
@@ -104,7 +115,7 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::kWarn) {
+    if (level_relaxed() < LogLevel::kWarn) {
         return;
     }
     std::va_list args;
@@ -117,14 +128,18 @@ warn(const char *fmt, ...)
 void
 warn_once(const char *key, const char *fmt, ...)
 {
-    if (g_level < LogLevel::kWarn) {
+    if (level_relaxed() < LogLevel::kWarn) {
         return;
     }
     {
-        static std::mutex mutex;
-        static std::set<std::string> reported;
-        std::lock_guard<std::mutex> lock(mutex);
-        if (!reported.insert(key).second) {
+        struct OnceState
+        {
+            MutexCap mutex;
+            std::set<std::string> reported GUARDED_BY(mutex);
+        };
+        static OnceState state;
+        MutexLock lock(state.mutex);
+        if (!state.reported.insert(key).second) {
             return;
         }
     }

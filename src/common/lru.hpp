@@ -33,12 +33,12 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/metrics.hpp"
 
 namespace bitwave {
@@ -86,7 +86,7 @@ class LruCache
     {
         std::shared_ptr<Entry> entry;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             auto it = map_.find(key);
             if (was_hit != nullptr) {
                 *was_hit = it != map_.end();
@@ -115,18 +115,18 @@ class LruCache
 
     std::size_t size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return map_.size();
     }
     std::size_t capacity() const { return capacity_; }
     std::int64_t hits() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return hits_;
     }
     std::int64_t misses() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return misses_;
     }
 
@@ -138,15 +138,16 @@ class LruCache
         std::shared_ptr<const Value> value;
     };
 
-    mutable std::mutex mutex_;
-    std::list<std::shared_ptr<Entry>> order_;  ///< Front = most recent.
+    mutable MutexCap mutex_;
+    /// Front = most recent.
+    std::list<std::shared_ptr<Entry>> order_ GUARDED_BY(mutex_);
     std::unordered_map<Key,
                        typename std::list<std::shared_ptr<Entry>>::iterator,
                        Hash>
-        map_;
+        map_ GUARDED_BY(mutex_);
     std::size_t capacity_;
-    std::int64_t hits_ = 0;
-    std::int64_t misses_ = 0;
+    std::int64_t hits_ GUARDED_BY(mutex_) = 0;
+    std::int64_t misses_ GUARDED_BY(mutex_) = 0;
 };
 
 /**
@@ -214,16 +215,19 @@ class ShardedLruCache
         std::shared_ptr<Entry> entry;
         bool hit = false;
         {
-            std::shared_lock<std::shared_mutex> lock(shard.mutex);
-            auto it = shard.map.find(key);
-            if (it != shard.map.end()) {
+            SharedLock lock(shard.mutex);
+            // as_const: the const find() overload keeps this a *read*
+            // of the guarded map, legal under the shared capability.
+            const auto &map = std::as_const(shard.map);
+            auto it = map.find(key);
+            if (it != map.end()) {
                 entry = it->second;
                 hit = true;
                 bump_recency(*entry);
             }
         }
         if (!hit) {
-            std::unique_lock<std::shared_mutex> lock(shard.mutex);
+            ExclusiveLock lock(shard.mutex);
             auto it = shard.map.find(key);
             if (it != shard.map.end()) {
                 // Raced with another inserter between the locks.
@@ -253,7 +257,7 @@ class ShardedLruCache
     {
         std::size_t total = 0;
         for (const auto &shard : shards_) {
-            std::shared_lock<std::shared_mutex> lock(shard->mutex);
+            SharedLock lock(shard->mutex);
             total += shard->map.size();
         }
         return total;
@@ -287,8 +291,9 @@ class ShardedLruCache
 
     struct Shard
     {
-        mutable std::shared_mutex mutex;
-        std::unordered_map<Key, std::shared_ptr<Entry>, Hash> map;
+        mutable SharedMutexCap mutex;
+        std::unordered_map<Key, std::shared_ptr<Entry>, Hash>
+            map GUARDED_BY(mutex);
     };
 
     void bump_recency(Entry &entry)
@@ -310,8 +315,7 @@ class ShardedLruCache
         return static_cast<std::size_t>(h) & (shards_.size() - 1);
     }
 
-    /// Caller holds the shard's unique lock.
-    void evict_oldest(Shard &shard)
+    void evict_oldest(Shard &shard) REQUIRES(shard.mutex)
     {
         auto oldest = shard.map.end();
         std::uint64_t oldest_tick = ~std::uint64_t{0};

@@ -4,10 +4,10 @@
 #include <bit>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
 #include "common/hash.hpp"
 
@@ -22,10 +22,13 @@ namespace {
 /// metrics while static destructors run.
 struct Shard
 {
-    std::mutex mutex;
-    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
-    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+    MutexCap mutex;
+    std::unordered_map<std::string, std::unique_ptr<Counter>>
+        counters GUARDED_BY(mutex);
+    std::unordered_map<std::string, std::unique_ptr<Gauge>>
+        gauges GUARDED_BY(mutex);
+    std::unordered_map<std::string, std::unique_ptr<Histogram>>
+        histograms GUARDED_BY(mutex);
 };
 
 constexpr std::size_t kShards = 16;
@@ -206,7 +209,7 @@ Counter &
 counter(std::string_view name)
 {
     Shard &shard = shard_for(name);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     return lookup<Counter>(shard.counters, name);
 }
 
@@ -214,7 +217,7 @@ Gauge &
 gauge(std::string_view name)
 {
     Shard &shard = shard_for(name);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     return lookup<Gauge>(shard.gauges, name);
 }
 
@@ -222,7 +225,7 @@ Histogram &
 histogram(std::string_view name)
 {
     Shard &shard = shard_for(name);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     return lookup<Histogram>(shard.histograms, name);
 }
 
@@ -230,7 +233,7 @@ std::uint64_t
 counter_value(std::string_view name)
 {
     Shard &shard = shard_for(name);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.counters.find(std::string(name));
     return it == shard.counters.end() ? 0 : it->second->value();
 }
@@ -241,7 +244,7 @@ snapshot()
     Snapshot out;
     for (std::size_t s = 0; s < kShards; ++s) {
         Shard &shard = shards()[s];
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         for (const auto &[name, c] : shard.counters) {
             out.counters.emplace_back(name, c->value());
         }
@@ -363,7 +366,7 @@ zero_all_for_tests()
 {
     for (std::size_t s = 0; s < kShards; ++s) {
         Shard &shard = shards()[s];
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         for (auto &[name, c] : shard.counters) {
             c->~Counter();
             new (c.get()) Counter();

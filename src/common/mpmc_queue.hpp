@@ -24,14 +24,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/fault.hpp"
 
 namespace bitwave {
@@ -60,10 +59,10 @@ class MpmcQueue
     QueuePush push(T item)
     {
         BITWAVE_FAULT_INJECT("mpmc.push");
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock, [&] {
-            return closed_ || items_.size() < capacity_;
-        });
+        MutexLock lock(mutex_);
+        while (!closed_ && items_.size() >= capacity_) {
+            not_full_.wait(mutex_);
+        }
         if (closed_) {
             return QueuePush::kClosed;
         }
@@ -75,7 +74,7 @@ class MpmcQueue
     QueuePush try_push(T item)
     {
         BITWAVE_FAULT_INJECT("mpmc.push");
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (closed_) {
             return QueuePush::kClosed;
         }
@@ -96,7 +95,7 @@ class MpmcQueue
     {
         shed->reset();
         BITWAVE_FAULT_INJECT("mpmc.push");
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (closed_) {
             return QueuePush::kClosed;
         }
@@ -111,15 +110,17 @@ class MpmcQueue
     /// Block until an item arrives; false when closed and drained.
     bool pop(T *out)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        MutexLock lock(mutex_);
+        while (!closed_ && items_.empty()) {
+            not_empty_.wait(mutex_);
+        }
         return dequeue_locked(out);
     }
 
     /// Non-blocking pop; false when empty (or closed and drained).
     bool try_pop(T *out)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return dequeue_locked(out);
     }
 
@@ -131,16 +132,21 @@ class MpmcQueue
      */
     bool pop_for(T *out, double seconds)
     {
-        // Clamp: wait_for converts to the clock's duration, and a huge
-        // seconds value would overflow that cast (UB). One hour bounds
-        // any sane linger; callers loop anyway.
+        // Clamp: the deadline conversion goes through the clock's
+        // duration, and a huge seconds value would overflow that cast
+        // (UB). One hour bounds any sane linger; callers loop anyway.
         const double bounded = std::clamp(seconds, 0.0, 3600.0);
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait_for(
-            lock,
+        const auto deadline =
+            std::chrono::steady_clock::now() +
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double>(bounded)),
-            [&] { return closed_ || !items_.empty(); });
+                std::chrono::duration<double>(bounded));
+        MutexLock lock(mutex_);
+        while (!closed_ && items_.empty()) {
+            if (not_empty_.wait_until(mutex_, deadline) ==
+                std::cv_status::timeout) {
+                break;
+            }
+        }
         return dequeue_locked(out);
     }
 
@@ -149,7 +155,7 @@ class MpmcQueue
     void close()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             closed_ = true;
         }
         not_full_.notify_all();
@@ -158,34 +164,34 @@ class MpmcQueue
 
     bool closed() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return closed_;
     }
 
     std::size_t size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return items_.size();
     }
 
     /// High-water mark of size() over the queue's lifetime.
     std::size_t peak_size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return peak_;
     }
 
     std::size_t capacity() const { return capacity_; }
 
   private:
-    void enqueue_locked(T item)
+    void enqueue_locked(T item) REQUIRES(mutex_)
     {
         items_.push_back(std::move(item));
         peak_ = std::max(peak_, items_.size());
         not_empty_.notify_one();
     }
 
-    bool dequeue_locked(T *out)
+    bool dequeue_locked(T *out) REQUIRES(mutex_)
     {
         if (items_.empty()) {
             return false;
@@ -196,13 +202,13 @@ class MpmcQueue
         return true;
     }
 
-    mutable std::mutex mutex_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<T> items_;
+    mutable MutexCap mutex_;
+    CondVarCap not_empty_;
+    CondVarCap not_full_;
+    std::deque<T> items_ GUARDED_BY(mutex_);
     const std::size_t capacity_;
-    std::size_t peak_ = 0;
-    bool closed_ = false;
+    std::size_t peak_ GUARDED_BY(mutex_) = 0;
+    bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace bitwave

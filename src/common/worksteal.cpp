@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/rng.hpp"
 
 namespace bitwave {
@@ -132,8 +132,8 @@ struct Pool
     std::vector<std::unique_ptr<RangeDeque>> deques;
     std::atomic<std::size_t> remaining{0};  ///< Items not yet executed.
     std::atomic<bool> cancel{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    MutexCap error_mutex;
+    std::exception_ptr first_error GUARDED_BY(error_mutex);
     std::atomic<std::int64_t> chunks{0};
     std::atomic<std::int64_t> steals{0};
 
@@ -148,7 +148,7 @@ struct Pool
             (*body)(begin, end);
         } catch (...) {
             {
-                std::lock_guard<std::mutex> lock(error_mutex);
+                MutexLock lock(error_mutex);
                 if (!first_error) {
                     first_error = std::current_exception();
                 }
@@ -331,8 +331,13 @@ detail::worksteal_run_impl(
     for (auto &w : workers) {
         w.join();
     }
-    if (pool.first_error) {
-        std::rethrow_exception(pool.first_error);
+    {
+        // Workers have joined, but the analysis (rightly) wants the
+        // guarded slot read under its mutex.
+        MutexLock lock(pool.error_mutex);
+        if (pool.first_error) {
+            std::rethrow_exception(pool.first_error);
+        }
     }
     stats.threads_used = threads;
     stats.chunks = pool.chunks.load(std::memory_order_relaxed);

@@ -385,6 +385,8 @@ remove_stale_temp_files(const std::string &dir, double max_age_seconds)
     if (d == nullptr) {
         return 0;
     }
+    // Stale-temp-file GC compares mtimes; never feeds a result.
+    // bitwave-lint: allow(determinism)
     const std::time_t now = std::time(nullptr);
     int removed = 0;
     while (const dirent *entry = ::readdir(d)) {

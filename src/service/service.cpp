@@ -4,12 +4,11 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
 #include "common/fault.hpp"
 #include "common/hash.hpp"
@@ -32,17 +31,17 @@ using Clock = std::chrono::steady_clock;
  */
 struct TicketState
 {
-    std::mutex mutex;
-    std::condition_variable cv;
-    TicketStatus status = TicketStatus::kQueued;
-    eval::ScenarioResult result;
-    std::exception_ptr error;
-    ErrorKind error_kind = ErrorKind::kInternal;
-    Clock::time_point submitted;
-    Clock::time_point completed;
-    bool has_deadline = false;
-    Clock::time_point deadline;
-    bool deduped = false;  // immutable after submit()
+    MutexCap mutex;
+    CondVarCap cv;
+    TicketStatus status GUARDED_BY(mutex) = TicketStatus::kQueued;
+    eval::ScenarioResult result GUARDED_BY(mutex);
+    std::exception_ptr error GUARDED_BY(mutex);
+    ErrorKind error_kind GUARDED_BY(mutex) = ErrorKind::kInternal;
+    Clock::time_point submitted;  ///< Immutable after submit().
+    Clock::time_point completed GUARDED_BY(mutex);
+    bool has_deadline = false;    ///< Immutable after submit().
+    Clock::time_point deadline;   ///< Immutable after submit().
+    bool deduped = false;         ///< Immutable after submit().
 };
 
 /// Cooperative abort shared by the jobs of one runner batch: live_jobs
@@ -75,18 +74,24 @@ struct Job
     std::uint64_t submit_ns = 0;
     std::uint64_t pop_ns = 0;
 
-    std::mutex mutex;  // guards everything below
-    std::vector<std::shared_ptr<TicketState>> subscribers;
-    bool abandoned = false;  ///< Every subscriber detached pre-completion.
-    bool done = false;
-    BatchControl *batch = nullptr;  ///< Non-null while evaluating.
-    int attempts = 0;               ///< Evaluation attempts so far.
-    Clock::time_point not_before;   ///< Backoff gate for the next attempt.
-    std::exception_ptr retry_error; ///< Last transient error (kept so a
-                                    ///< failed requeue can finish the job).
-    TicketStatus outcome = TicketStatus::kDone;
-    eval::ScenarioResult result;  ///< Valid when done && outcome == kDone.
-    std::exception_ptr error;
+    MutexCap mutex;  ///< Guards everything below.
+    std::vector<std::shared_ptr<TicketState>> subscribers GUARDED_BY(mutex);
+    /// Every subscriber detached pre-completion.
+    bool abandoned GUARDED_BY(mutex) = false;
+    bool done GUARDED_BY(mutex) = false;
+    /// Non-null while evaluating.
+    BatchControl *batch GUARDED_BY(mutex) = nullptr;
+    /// Evaluation attempts so far.
+    int attempts GUARDED_BY(mutex) = 0;
+    /// Backoff gate for the next attempt.
+    Clock::time_point not_before GUARDED_BY(mutex);
+    /// Last transient error (kept so a failed requeue can finish the
+    /// job).
+    std::exception_ptr retry_error GUARDED_BY(mutex);
+    TicketStatus outcome GUARDED_BY(mutex) = TicketStatus::kDone;
+    /// Valid when done && outcome == kDone.
+    eval::ScenarioResult result GUARDED_BY(mutex);
+    std::exception_ptr error GUARDED_BY(mutex);
 };
 
 /// Quarantine record of a terminally failed fingerprint: identical
@@ -125,7 +130,10 @@ struct MirroredCounter
         }
     }
 
-    std::uint64_t load() const
+    /// Named value() (not load()) on purpose: this is a plain counter
+    /// read, not a std::atomic access, and the repo lint requires every
+    /// atomic load to spell its memory order.
+    std::uint64_t value() const
     {
         return local.load(std::memory_order_relaxed);
     }
@@ -162,25 +170,27 @@ struct ServiceShared
     MpmcQueue<std::shared_ptr<Job>> queue;
     std::atomic<bool> abort{false};  ///< shutdown(kAbort) in progress.
 
-    std::mutex jobs_mutex;  // guards in_flight + active_batches + quarantine
+    MutexCap jobs_mutex;  ///< Guards in_flight/active_batches/quarantine.
     /// Dedup index: fingerprint -> the Job new submissions attach to.
     /// Entries leave the map the moment their job completes or is
     /// abandoned, so a hit is always attachable.
-    std::unordered_map<std::uint64_t, std::shared_ptr<Job>> in_flight;
-    std::vector<BatchControl *> active_batches;
-    std::unordered_map<std::uint64_t, QuarantineEntry> quarantine;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Job>>
+        in_flight GUARDED_BY(jobs_mutex);
+    std::vector<BatchControl *> active_batches GUARDED_BY(jobs_mutex);
+    std::unordered_map<std::uint64_t, QuarantineEntry>
+        quarantine GUARDED_BY(jobs_mutex);
 
     /// Watchdog parking: the thread sleeps on the cv and wakes to scan
     /// active_batches; shutdown sets stop and notifies.
-    std::mutex watchdog_mutex;
-    std::condition_variable watchdog_cv;
-    bool watchdog_stop = false;
+    MutexCap watchdog_mutex;
+    CondVarCap watchdog_cv;
+    bool watchdog_stop GUARDED_BY(watchdog_mutex) = false;
 
     /// Sliding window of the last <= 32 evaluation-attempt outcomes
     /// (bit = failure), the input to the health state.
-    std::mutex health_mutex;
-    std::uint32_t health_window = 0;
-    int health_count = 0;
+    MutexCap health_mutex;
+    std::uint32_t health_window GUARDED_BY(health_mutex) = 0;
+    int health_count GUARDED_BY(health_mutex) = 0;
     std::atomic<int> health{static_cast<int>(HealthState::kHealthy)};
 
     MirroredCounter submitted;
@@ -289,7 +299,7 @@ saturating_deadline(Clock::time_point base, double seconds)
 void
 record_attempt(ServiceShared &shared, bool ok)
 {
-    std::lock_guard<std::mutex> lock(shared.health_mutex);
+    MutexLock lock(shared.health_mutex);
     shared.health_window =
         (shared.health_window << 1) | (ok ? 0u : 1u);
     if (shared.health_count < 32) {
@@ -315,11 +325,12 @@ record_attempt(ServiceShared &shared, bool ok)
 /// matching service counter.
 void
 finish_ticket(ServiceShared &shared, TicketState &state, TicketStatus status,
-              const eval::ScenarioResult *result, std::exception_ptr error,
+              const eval::ScenarioResult *result,
+              const std::exception_ptr &error,
               ErrorKind kind = ErrorKind::kInternal)
 {
     {
-        std::lock_guard<std::mutex> lock(state.mutex);
+        MutexLock lock(state.mutex);
         if (ticket_status_terminal(state.status)) {
             return;
         }
@@ -327,7 +338,7 @@ finish_ticket(ServiceShared &shared, TicketState &state, TicketStatus status,
         if (result != nullptr) {
             state.result = *result;
         }
-        state.error = std::move(error);
+        state.error = error;
         state.error_kind = kind;
         state.completed = Clock::now();
         // Bump before the waiter can observe the terminal status (it
@@ -352,11 +363,12 @@ finish_ticket(ServiceShared &shared, TicketState &state, TicketStatus status,
 }
 
 /// Complete a whole job: mark it done, drop it from the dedup index and
-/// resolve every subscriber. Caller holds jobs_mutex and job.mutex.
+/// resolve every subscriber.
 void
 finish_job_locked(ServiceShared &shared, Job &job, TicketStatus status,
-                  std::exception_ptr error,
+                  const std::exception_ptr &error,
                   ErrorKind kind = ErrorKind::kInternal)
+    REQUIRES(shared.jobs_mutex, job.mutex)
 {
     job.done = true;
     job.outcome = status;
@@ -375,9 +387,10 @@ finish_job_locked(ServiceShared &shared, Job &job, TicketStatus status,
 
 /// The last subscriber left @p job before it completed: pull it out of
 /// the dedup index and, if it is evaluating, vote its batch toward
-/// abort. Caller holds jobs_mutex and job.mutex.
+/// abort.
 void
 abandon_job_locked(ServiceShared &shared, Job &job)
+    REQUIRES(shared.jobs_mutex, job.mutex)
 {
     job.abandoned = true;
     auto it = shared.in_flight.find(job.fingerprint);
@@ -537,16 +550,17 @@ EvalTicket::status() const
     if (!valid()) {
         return TicketStatus::kRejected;
     }
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     return state_->status;
 }
 
 void
 EvalTicket::wait() const
 {
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->cv.wait(lock,
-                    [&] { return ticket_status_terminal(state_->status); });
+    MutexLock lock(state_->mutex);
+    while (!ticket_status_terminal(state_->status)) {
+        state_->cv.wait(state_->mutex);
+    }
 }
 
 bool
@@ -558,19 +572,24 @@ EvalTicket::wait_for(double seconds) const
         wait();
         return true;
     }
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    return state_->cv.wait_for(
-        lock,
+    const auto deadline = Clock::now() +
         std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double>(std::max(seconds, 0.0))),
-        [&] { return ticket_status_terminal(state_->status); });
+            std::chrono::duration<double>(std::max(seconds, 0.0)));
+    MutexLock lock(state_->mutex);
+    while (!ticket_status_terminal(state_->status)) {
+        if (state_->cv.wait_until(state_->mutex, deadline) ==
+            std::cv_status::timeout) {
+            break;
+        }
+    }
+    return ticket_status_terminal(state_->status);
 }
 
 const eval::ScenarioResult &
 EvalTicket::result() const
 {
     wait();
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     if (state_->status == TicketStatus::kDone) {
         return state_->result;
     }
@@ -590,10 +609,10 @@ EvalTicket::cancel()
     if (!job_) {
         return false;  // failed fast at submit (quarantine / admission)
     }
-    std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
-    std::lock_guard<std::mutex> job_lock(job_->mutex);
+    MutexLock jobs_lock(shared_->jobs_mutex);
+    MutexLock job_lock(job_->mutex);
     {
-        std::lock_guard<std::mutex> lock(state_->mutex);
+        MutexLock lock(state_->mutex);
         if (ticket_status_terminal(state_->status)) {
             return false;
         }
@@ -617,7 +636,7 @@ EvalTicket::deduped() const
 double
 EvalTicket::latency_seconds() const
 {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     return std::chrono::duration<double>(state_->completed -
                                          state_->submitted).count();
 }
@@ -628,7 +647,7 @@ EvalTicket::error_kind() const
     if (!valid()) {
         return eval::ErrorKind::kInvalid;
     }
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     return state_->error_kind;
 }
 
@@ -698,16 +717,16 @@ EvalService::submit(const eval::Scenario &scenario,
         submit_options.retry.value_or(options_.retry);
     const std::uint64_t fingerprint = eval::scenario_fingerprint(scenario);
     {
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
         auto it = shared_->in_flight.find(fingerprint);
         if (it != shared_->in_flight.end()) {
             // Identical request already queued or evaluating: attach as
             // another subscriber — one evaluation, N completions.
             auto job = it->second;
-            std::lock_guard<std::mutex> job_lock(job->mutex);
+            MutexLock job_lock(job->mutex);
             state->deduped = true;
             if (job->batch != nullptr) {
-                std::lock_guard<std::mutex> lock(state->mutex);
+                MutexLock lock(state->mutex);
                 state->status = TicketStatus::kRunning;
             }
             job->subscribers.push_back(state);
@@ -740,7 +759,12 @@ EvalService::submit(const eval::Scenario &scenario,
         // batch composition invisible in the results.
         job->seed = eval::scenario_rng_seed(scenario, 0);
         job->retry = retry;
-        job->subscribers.push_back(state);
+        {
+            // Unpublished job — uncontended; taken for the guarded
+            // subscribers write.
+            MutexLock job_lock(job->mutex);
+            job->subscribers.push_back(state);
+        }
         shared_->in_flight.emplace(fingerprint, job);
         ticket.job_ = std::move(job);
     }
@@ -787,8 +811,8 @@ EvalService::submit(const eval::Scenario &scenario,
         }
     }
     if (admission_error) {
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
-        std::lock_guard<std::mutex> job_lock(ticket.job_->mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
+        MutexLock job_lock(ticket.job_->mutex);
         if (!ticket.job_->done && !ticket.job_->abandoned) {
             detail::finish_job_locked(*shared_, *ticket.job_,
                                       TicketStatus::kFailed,
@@ -798,8 +822,8 @@ EvalService::submit(const eval::Scenario &scenario,
         return ticket;
     }
     if (shed_job.has_value()) {
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
-        std::lock_guard<std::mutex> job_lock((*shed_job)->mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
+        MutexLock job_lock((*shed_job)->mutex);
         detail::finish_job_locked(*shared_, **shed_job, TicketStatus::kShed,
                                   nullptr);
     }
@@ -807,8 +831,8 @@ EvalService::submit(const eval::Scenario &scenario,
         const TicketStatus status = admitted == QueuePush::kFull
             ? TicketStatus::kRejected
             : TicketStatus::kShutdown;
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
-        std::lock_guard<std::mutex> job_lock(ticket.job_->mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
+        MutexLock job_lock(ticket.job_->mutex);
         detail::finish_job_locked(*shared_, *ticket.job_, status, nullptr);
     }
     return ticket;
@@ -851,9 +875,9 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
     // Aborting shutdown: everything popped from here on completes as
     // kShutdown, unevaluated.
     if (shared_->abort.load(std::memory_order_relaxed)) {
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
         for (auto &job : jobs) {
-            std::lock_guard<std::mutex> job_lock(job->mutex);
+            MutexLock job_lock(job->mutex);
             if (!job->done && !job->abandoned) {
                 detail::finish_job_locked(*shared_, *job,
                                           TicketStatus::kShutdown, nullptr);
@@ -870,9 +894,9 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
     Clock::time_point gate{};
     const auto now = Clock::now();
     {
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
         for (auto &job : jobs) {
-            std::lock_guard<std::mutex> job_lock(job->mutex);
+            MutexLock job_lock(job->mutex);
             if (job->done || job->abandoned) {
                 continue;  // resolved while queued (cancel / shed race)
             }
@@ -897,7 +921,7 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
             job->attempts++;
             gate = std::max(gate, job->not_before);
             for (auto &state : subs) {
-                std::lock_guard<std::mutex> lock(state->mutex);
+                MutexLock lock(state->mutex);
                 if (!ticket_status_terminal(state->status)) {
                     state->status = TicketStatus::kRunning;
                 }
@@ -950,7 +974,7 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
     bool any_done = false;
     std::vector<std::shared_ptr<detail::Job>> requeue;
     {
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
         auto &batches = shared_->active_batches;
         batches.erase(std::remove(batches.begin(), batches.end(), &control),
                       batches.end());
@@ -962,7 +986,7 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
         std::uint64_t evaluated = 0;
         for (std::size_t i = 0; i < live.size(); ++i) {
             auto &job = *live[i];
-            std::lock_guard<std::mutex> job_lock(job.mutex);
+            MutexLock job_lock(job.mutex);
             if (job.done || job.abandoned) {
                 continue;
             }
@@ -982,7 +1006,7 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
         }
         for (std::size_t i = 0; i < live.size(); ++i) {
             auto &job = *live[i];
-            std::lock_guard<std::mutex> job_lock(job.mutex);
+            MutexLock job_lock(job.mutex);
             job.batch = nullptr;
             if (job.done || job.abandoned) {
                 job.done = true;
@@ -1099,8 +1123,8 @@ EvalService::process_batch(std::shared_ptr<detail::Job> first, bool linger)
         if (pushed == QueuePush::kAccepted) {
             continue;
         }
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
-        std::lock_guard<std::mutex> job_lock(job->mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
+        MutexLock job_lock(job->mutex);
         if (job->done || job->abandoned) {
             continue;
         }
@@ -1149,14 +1173,21 @@ EvalService::watchdog_loop()
             std::chrono::milliseconds(50)));
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(shared_->watchdog_mutex);
-            if (shared_->watchdog_cv.wait_for(
-                    lock, poll, [&] { return shared_->watchdog_stop; })) {
+            const auto deadline = Clock::now() + poll;
+            MutexLock lock(shared_->watchdog_mutex);
+            while (!shared_->watchdog_stop) {
+                if (shared_->watchdog_cv.wait_until(
+                        shared_->watchdog_mutex, deadline) ==
+                    std::cv_status::timeout) {
+                    break;
+                }
+            }
+            if (shared_->watchdog_stop) {
                 return;
             }
         }
         const auto now = Clock::now();
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
         for (detail::BatchControl *batch : shared_->active_batches) {
             if (!batch->running.load(std::memory_order_acquire)) {
                 continue;
@@ -1185,7 +1216,7 @@ EvalService::shutdown(ShutdownMode mode)
     if (mode == ShutdownMode::kAbort) {
         shared_->abort.store(true, std::memory_order_relaxed);
         // Evaluating batches abort at their next chunk boundary.
-        std::lock_guard<std::mutex> jobs_lock(shared_->jobs_mutex);
+        MutexLock jobs_lock(shared_->jobs_mutex);
         for (detail::BatchControl *batch : shared_->active_batches) {
             batch->cancel.store(true, std::memory_order_relaxed);
         }
@@ -1209,7 +1240,7 @@ EvalService::shutdown(ShutdownMode mode)
         job.reset();
     }
     {
-        std::lock_guard<std::mutex> lock(shared_->watchdog_mutex);
+        MutexLock lock(shared_->watchdog_mutex);
         shared_->watchdog_stop = true;
     }
     shared_->watchdog_cv.notify_all();
@@ -1222,27 +1253,28 @@ ServiceStats
 EvalService::stats() const
 {
     ServiceStats s;
-    s.submitted = shared_->submitted.load();
-    s.dedup_hits = shared_->dedup_hits.load();
-    s.completed = shared_->completed.load();
-    s.failed = shared_->failed.load();
-    s.rejected = shared_->rejected.load();
-    s.shed = shared_->shed.load();
-    s.cancelled = shared_->cancelled.load();
-    s.deadline_expired = shared_->deadline_expired.load();
-    s.shutdown_discarded = shared_->shutdown_discarded.load();
-    s.batches = shared_->batches.load();
-    s.batched_jobs = shared_->batched_jobs.load();
-    s.steals = shared_->steals.load();
-    s.chunks = shared_->chunks.load();
-    s.retries = shared_->retries.load();
-    s.bisections = shared_->bisections.load();
-    s.quarantined = shared_->quarantined.load();
-    s.quarantine_hits = shared_->quarantine_hits.load();
-    s.watchdog_cancels = shared_->watchdog_cancels.load();
+    s.submitted = shared_->submitted.value();
+    s.dedup_hits = shared_->dedup_hits.value();
+    s.completed = shared_->completed.value();
+    s.failed = shared_->failed.value();
+    s.rejected = shared_->rejected.value();
+    s.shed = shared_->shed.value();
+    s.cancelled = shared_->cancelled.value();
+    s.deadline_expired = shared_->deadline_expired.value();
+    s.shutdown_discarded = shared_->shutdown_discarded.value();
+    s.batches = shared_->batches.value();
+    s.batched_jobs = shared_->batched_jobs.value();
+    s.steals = shared_->steals.value();
+    s.chunks = shared_->chunks.value();
+    s.retries = shared_->retries.value();
+    s.bisections = shared_->bisections.value();
+    s.quarantined = shared_->quarantined.value();
+    s.quarantine_hits = shared_->quarantine_hits.value();
+    s.watchdog_cancels = shared_->watchdog_cancels.value();
     s.queue_depth = shared_->queue.size();
     s.peak_queue_depth = shared_->queue.peak_size();
-    s.health = static_cast<HealthState>(shared_->health.load());
+    s.health = static_cast<HealthState>(
+        shared_->health.load(std::memory_order_relaxed));
     s.queue_wait_ns = shared_->phase_queue.snapshot();
     s.batch_ns = shared_->phase_batch.snapshot();
     s.compute_ns = shared_->phase_compute.snapshot();

@@ -1,0 +1,11 @@
+// Fixture: ad-hoc BENCH_*.json emission outside bench_util must fire.
+#include <cstdio>
+
+void report(double value)
+{
+    std::FILE *f = std::fopen("BENCH_adhoc.json", "w");  // line 6
+    if (f != nullptr) {
+        std::fprintf(f, "{\"value\": %f}\n", value);
+        std::fclose(f);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: this path IS the sanctioned writer (bench/bench_util.hpp),
+// so building the BENCH_ path here stays silent.
+#pragma once
+#include <string>
+
+inline std::string bench_json_path(const std::string &name)
+{
+    return "BENCH_" + name + ".json";
+}

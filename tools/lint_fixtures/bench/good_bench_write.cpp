@@ -1,0 +1,10 @@
+// Fixture: routing through bench_util's Reporter (no BENCH_ literal in
+// code; the one in this comment is stripped) stays silent.
+#include "bench_util.hpp"
+
+void report(double value)
+{
+    const std::string path = bench_json_path("good");
+    (void)path;
+    (void)value;
+}

@@ -1,0 +1,20 @@
+// Fixture: the inline escape hatch — same-line and preceding-line —
+// must suppress the finding; an allow for a *different* rule must not.
+#include <atomic>
+#include <cstdlib>
+
+std::atomic<int> g_epoch{0};
+
+int suppressed()
+{
+    int v = rand();  // bitwave-lint: allow(determinism)
+    // bitwave-lint: allow(memory-order)
+    v += g_epoch.load();
+    return v;
+}
+
+int wrong_rule_named()
+{
+    // bitwave-lint: allow(logging)
+    return g_epoch.load();  // line 19: still fires (memory-order)
+}

@@ -1,0 +1,14 @@
+// Fixture: every determinism pattern must fire, at these exact lines.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int noise()
+{
+    std::srand(42);                            // line 8: srand
+    int r = rand();                            // line 9: rand
+    std::random_device rd;                     // line 10: random_device
+    r += static_cast<int>(std::time(nullptr)); // line 11: std::time
+    r += static_cast<int>(rd());
+    return r;
+}

@@ -1,0 +1,9 @@
+// Fixture: naked getenv outside common/env.{hpp,cpp} must fire.
+#include <cstdlib>
+#include <string>
+
+std::string cache_dir()
+{
+    const char *dir = std::getenv("BITWAVE_CACHE_DIR");  // line 7
+    return dir != nullptr ? dir : "/tmp";
+}

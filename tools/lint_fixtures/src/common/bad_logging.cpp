@@ -1,0 +1,7 @@
+// Fixture: direct std::cerr outside common/logging.cpp must fire.
+#include <iostream>
+
+void complain(int code)
+{
+    std::cerr << "failure: " << code << "\n";  // line 6
+}

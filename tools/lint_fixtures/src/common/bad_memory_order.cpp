@@ -1,0 +1,16 @@
+// Fixture: implicit-seq_cst atomic operations must fire.
+#include <atomic>
+
+std::atomic<int> g_counter{0};
+std::atomic<bool> g_flag{false};
+
+int bump()
+{
+    g_counter.store(1);              // line 9: store without order
+    int v = g_counter.load();        // line 10: load without order
+    v += g_counter.fetch_add(1);     // line 11: fetch_add without order
+    int expected = 2;
+    g_counter.compare_exchange_strong(expected, 3);  // line 13
+    g_flag.exchange(true);           // line 14: exchange without order
+    return v;
+}

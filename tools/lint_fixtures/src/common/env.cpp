@@ -1,0 +1,10 @@
+// Fixture: this path IS the sanctioned seam (src/common/env.cpp), so
+// getenv here stays silent.
+#include <cstdlib>
+#include <string>
+
+std::string env_string(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? v : "";
+}

@@ -1,0 +1,24 @@
+// Fixture: seeded RNG and steady_clock are the sanctioned shapes, and
+// mentions of rand() or std::time() in comments must not fire.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t next(std::uint64_t state)
+{
+    // splitmix64 step — deterministic, seeded from position.
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t monotonic_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+const char *operand_name()
+{
+    return "operand(";  // strings are stripped too: rand( inside one
+}

@@ -1,0 +1,10 @@
+// Fixture: stderr via the logging API shape stays silent; so does a
+// comment mentioning std::cerr.
+#include <cstdio>
+
+void complain(int code)
+{
+    // The real tree calls bitwave::log::warn(); a raw fprintf to
+    // stderr is logging.cpp's own business, not std::cerr.
+    std::fprintf(stderr, "failure: %d\n", code);
+}

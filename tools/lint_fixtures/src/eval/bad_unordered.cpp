@@ -1,0 +1,20 @@
+// Fixture: hash-order iteration feeding a fingerprint must fire.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+std::uint64_t fnv1a_step(std::uint64_t h, std::uint64_t v)
+{
+    return (h ^ v) * 0x100000001B3ULL;
+}
+
+std::uint64_t fingerprint_layers()
+{
+    std::unordered_map<std::string, std::uint64_t> layer_hashes;
+    layer_hashes["conv1"] = 11;
+    std::uint64_t fingerprint = 0xCBF29CE484222325ULL;
+    for (const auto &kv : layer_hashes) {  // line 16: fires
+        fingerprint = fnv1a_step(fingerprint, kv.second);
+    }
+    return fingerprint;
+}

@@ -1,0 +1,29 @@
+// Fixture: sorting the keys first (iterating a vector, not the map)
+// and unordered iteration that never touches a result stay silent.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::uint64_t fnv1a_step(std::uint64_t h, std::uint64_t v)
+{
+    return (h ^ v) * 0x100000001B3ULL;
+}
+
+std::uint64_t fingerprint_layers()
+{
+    std::unordered_map<std::string, std::uint64_t> layer_hashes;
+    layer_hashes["conv1"] = 11;
+    std::vector<std::string> keys;
+    keys.reserve(layer_hashes.size());
+    for (const auto &kv : layer_hashes) {  // order-free collection
+        keys.push_back(kv.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t fp = 0xCBF29CE484222325ULL;
+    for (const auto &key : keys) {
+        fp = fnv1a_step(fp, layer_hashes[key]);
+    }
+    return fp;
+}
